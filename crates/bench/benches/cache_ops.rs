@@ -1,0 +1,47 @@
+//! Criterion microbenches: cache lookup/fill and DRAM scheduling cost —
+//! the inner loops of the simulator.
+
+use berti_mem::{Cache, Dram};
+use berti_types::{AccessKind, Cycle, Ip, SystemConfig, DDR5_6400};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_cache(c: &mut Criterion) {
+    let cfg = SystemConfig::default();
+    c.bench_function("cache_access_hit", |b| {
+        let mut cache = Cache::new("L1D", cfg.l1d);
+        for l in 0..768u64 {
+            cache.fill(l, AccessKind::Load, Cycle::ZERO, Cycle::ZERO, 1, Ip::new(1), l);
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            let out = cache.access(black_box(i % 768), AccessKind::Load, Cycle::new(i));
+            i += 1;
+            black_box(out)
+        });
+    });
+    c.bench_function("cache_fill_evict", |b| {
+        let mut cache = Cache::new("L1D", cfg.l1d);
+        let mut i = 0u64;
+        b.iter(|| {
+            let ev = cache.fill(i, AccessKind::Load, Cycle::new(i), Cycle::new(i), 1, Ip::new(1), i);
+            i += 1;
+            black_box(ev)
+        });
+    });
+}
+
+fn bench_dram(c: &mut Criterion) {
+    c.bench_function("dram_read_row_hit_stream", |b| {
+        let mut d = Dram::new(DDR5_6400);
+        let mut i = 0u64;
+        b.iter(|| {
+            let t = d.read(black_box(i), Cycle::new(i * 12));
+            i += 1;
+            black_box(t)
+        });
+    });
+}
+
+criterion_group!(benches, bench_cache, bench_dram);
+criterion_main!(benches);

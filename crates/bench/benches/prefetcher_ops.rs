@@ -1,0 +1,53 @@
+//! Criterion microbenches: per-access cost of each prefetcher's
+//! training + prediction path (the logic a real L1D pipeline must fit).
+
+use berti_mem::{AccessEvent, Prefetcher};
+use berti_sim::PrefetcherChoice;
+use berti_types::{AccessKind, Cycle, Ip, VLine};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn access_stream(n: usize) -> Vec<AccessEvent> {
+    (0..n)
+        .map(|i| AccessEvent {
+            ip: Ip::new(0x400_000 + (i as u64 % 7) * 24),
+            line: VLine::new(1_000_000 + (i as u64 * 3) % 100_000),
+            at: Cycle::new(i as u64 * 17),
+            kind: AccessKind::Load,
+            hit: i % 3 == 0,
+            timely_prefetch_hit: false,
+            late_prefetch_hit: false,
+            stored_latency: 0,
+            mshr_occupancy: 0.3,
+        })
+        .collect()
+}
+
+fn bench_prefetchers(c: &mut Criterion) {
+    let stream = access_stream(4096);
+    let mut group = c.benchmark_group("prefetcher_on_access");
+    for choice in [
+        PrefetcherChoice::IpStride,
+        PrefetcherChoice::Bop,
+        PrefetcherChoice::Mlop,
+        PrefetcherChoice::Ipcp,
+        PrefetcherChoice::Vldp,
+        PrefetcherChoice::Berti,
+    ] {
+        group.bench_function(choice.name(), |b| {
+            let mut p = choice.build();
+            let mut out = Vec::new();
+            let mut i = 0;
+            b.iter(|| {
+                out.clear();
+                p.on_access(black_box(&stream[i % stream.len()]), &mut out);
+                i += 1;
+                black_box(out.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_prefetchers);
+criterion_main!(benches);

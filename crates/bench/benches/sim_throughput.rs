@@ -1,0 +1,31 @@
+//! Criterion microbench: end-to-end simulator throughput
+//! (instructions simulated per second) with Berti hosted at the L1D.
+
+use berti_sim::{simulate, PrefetcherChoice, SimOptions};
+use berti_types::SystemConfig;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_sim(c: &mut Criterion) {
+    let cfg = SystemConfig::default();
+    let mut group = c.benchmark_group("sim_throughput");
+    group.sample_size(10);
+    for choice in [PrefetcherChoice::IpStride, PrefetcherChoice::Berti] {
+        group.bench_function(choice.name(), |b| {
+            let trace = berti_traces::spec::StridedLoops.generator();
+            b.iter(|| {
+                let opts = SimOptions {
+                    warmup_instructions: 5_000,
+                    sim_instructions: 50_000,
+                    max_cpi: 64,
+                };
+                let r = simulate(&cfg, choice.clone(), &mut trace.restarted(), &opts);
+                black_box(r.ipc())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Fig. 7: overall speedup versus prefetcher storage budget.
+
+use berti_bench::*;
+use berti_traces::memory_intensive_suite;
+
+fn main() {
+    header(
+        "Fig. 7 — speedup vs storage (memory-intensive SPEC+GAP)",
+        "paper Fig. 7: Berti best speedup at 2.55 KB; multi-level combos cost 18-22x more",
+    );
+    let opts = experiment_options();
+    let workloads = memory_intensive_suite();
+    let baseline = run_baseline(&workloads, &opts);
+    println!(
+        "{:<16} {:>10} {:>10}  kind",
+        "config", "storage", "speedup"
+    );
+    let mut rows: Vec<(String, f64, f64, &str)> = Vec::new();
+    for l1 in l1d_contenders() {
+        let cfg = run_config(l1, None, &workloads, &opts);
+        let kb = cfg.runs[0].prefetcher_storage_bits as f64 / 8.0 / 1024.0;
+        let s = geomean_speedup(&workloads, &cfg.runs, &baseline, None);
+        rows.push((cfg.label, kb, s, "L1D"));
+    }
+    for (l1, l2) in multilevel_contenders() {
+        let cfg = run_config(l1, l2, &workloads, &opts);
+        let kb = cfg.runs[0].prefetcher_storage_bits as f64 / 8.0 / 1024.0;
+        let s = geomean_speedup(&workloads, &cfg.runs, &baseline, None);
+        rows.push((cfg.label, kb, s, "L1D+L2"));
+    }
+    rows.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
+    for (label, kb, s, kind) in rows {
+        println!("{:<16} {:>7.2} KB {:>9.3}x  {kind}", label, kb, s);
+    }
+}

@@ -1,0 +1,32 @@
+//! Fig. 8: speedup of the L1D prefetchers (MLOP, IPCP, Berti) over the
+//! IP-stride baseline, per suite and overall.
+
+use berti_bench::*;
+use berti_traces::{memory_intensive_suite, Suite};
+
+fn main() {
+    header(
+        "Fig. 8 — L1D prefetcher speedup over IP-stride",
+        "paper Fig. 8: Berti +11.6% SPEC / +1.9% GAP / +8.5% overall, best of all",
+    );
+    let opts = experiment_options();
+    let workloads = memory_intensive_suite();
+    let baseline = run_baseline(&workloads, &opts);
+    println!(
+        "{:<12} {:>10} {:>10} {:>10}",
+        "prefetcher", "SPEC", "GAP", "overall"
+    );
+    for l1 in l1d_contenders() {
+        let cfg = run_config(l1, None, &workloads, &opts);
+        let spec = geomean_speedup(&workloads, &cfg.runs, &baseline, Some(Suite::Spec));
+        let gap = geomean_speedup(&workloads, &cfg.runs, &baseline, Some(Suite::Gap));
+        let all = geomean_speedup(&workloads, &cfg.runs, &baseline, None);
+        println!(
+            "{:<12} {:>9.1}% {:>9.1}% {:>9.1}%",
+            cfg.label,
+            (spec - 1.0) * 100.0,
+            (gap - 1.0) * 100.0,
+            (all - 1.0) * 100.0
+        );
+    }
+}

@@ -1,0 +1,31 @@
+//! Fig. 9: per-trace speedups of the L1D prefetchers over IP-stride,
+//! for the SPEC-like (a) and GAP-like (b) workloads.
+
+use berti_bench::*;
+use berti_traces::memory_intensive_suite;
+
+fn main() {
+    header(
+        "Fig. 9 — per-trace L1D prefetcher speedup over IP-stride",
+        "paper Fig. 9: Berti best or tied everywhere except CactuBSSN (global deltas win)",
+    );
+    let opts = experiment_options();
+    let workloads = memory_intensive_suite();
+    let baseline = run_baseline(&workloads, &opts);
+    let configs: Vec<SuiteRuns> = l1d_contenders()
+        .into_iter()
+        .map(|l1| run_config(l1, None, &workloads, &opts))
+        .collect();
+    print!("{:<18}", "trace");
+    for c in &configs {
+        print!(" {:>8}", c.label);
+    }
+    println!();
+    for (i, w) in workloads.iter().enumerate() {
+        print!("{:<18}", w.name);
+        for c in &configs {
+            print!(" {:>8.3}", c.runs[i].speedup_over(&baseline[i]));
+        }
+        println!();
+    }
+}

@@ -1,0 +1,31 @@
+//! Fig. 10: L1D prefetch accuracy (artifact formula), split into
+//! timely and late useful prefetches.
+
+use berti_bench::*;
+use berti_traces::{memory_intensive_suite, Suite};
+
+fn main() {
+    header(
+        "Fig. 10 — L1D prefetch accuracy (timely + late useful / fills)",
+        "paper Fig. 10: Berti 87.2% vs MLOP 62.4% vs IPCP 50.6%, almost all timely",
+    );
+    let opts = experiment_options();
+    let workloads = memory_intensive_suite();
+    println!(
+        "{:<12} {:>12} {:>12} {:>12} {:>12}",
+        "prefetcher", "acc(SPEC)", "acc(GAP)", "acc(all)", "late frac"
+    );
+    for l1 in l1d_contenders() {
+        let cfg = run_config(l1, None, &workloads, &opts);
+        let acc = |s| suite_mean(&workloads, &cfg.runs, s, |r| r.l1d_accuracy());
+        let late = suite_mean(&workloads, &cfg.runs, None, |r| r.l1d_late_fraction());
+        println!(
+            "{:<12} {:>11.1}% {:>11.1}% {:>11.1}% {:>11.1}%",
+            cfg.label,
+            acc(Some(Suite::Spec)) * 100.0,
+            acc(Some(Suite::Gap)) * 100.0,
+            acc(None) * 100.0,
+            late * 100.0
+        );
+    }
+}

@@ -1,0 +1,35 @@
+//! Fig. 11: demand MPKI at L1D/L2/LLC with each L1D prefetcher.
+
+use berti_bench::*;
+use berti_sim::PrefetcherChoice;
+use berti_traces::{memory_intensive_suite, Suite};
+
+fn main() {
+    header(
+        "Fig. 11 — demand MPKI at L1D/L2/LLC (L1D prefetchers)",
+        "paper Fig. 11: Berti lowest at L2/LLC thanks to its line-preloading policy",
+    );
+    let opts = experiment_options();
+    let workloads = memory_intensive_suite();
+    println!(
+        "{:<12} {:>22} {:>22}",
+        "", "SPEC (L1D/L2/LLC)", "GAP (L1D/L2/LLC)"
+    );
+    let mut choices = vec![PrefetcherChoice::IpStride];
+    choices.extend(l1d_contenders());
+    for l1 in choices {
+        let cfg = run_config(l1, None, &workloads, &opts);
+        let spec = Some(Suite::Spec);
+        let gap = Some(Suite::Gap);
+        println!(
+            "{:<12} {:>6.1}/{:>6.1}/{:>6.1} {:>8.1}/{:>6.1}/{:>6.1}",
+            cfg.label,
+            suite_mean(&workloads, &cfg.runs, spec, |r| Some(r.l1d_mpki())),
+            suite_mean(&workloads, &cfg.runs, spec, |r| Some(r.l2_mpki())),
+            suite_mean(&workloads, &cfg.runs, spec, |r| Some(r.llc_mpki())),
+            suite_mean(&workloads, &cfg.runs, gap, |r| Some(r.l1d_mpki())),
+            suite_mean(&workloads, &cfg.runs, gap, |r| Some(r.l2_mpki())),
+            suite_mean(&workloads, &cfg.runs, gap, |r| Some(r.llc_mpki())),
+        );
+    }
+}

@@ -1,0 +1,34 @@
+//! Fig. 12: speedup of multi-level (L1D+L2) prefetching combinations.
+
+use berti_bench::*;
+use berti_sim::PrefetcherChoice;
+use berti_traces::{memory_intensive_suite, Suite};
+
+fn main() {
+    header(
+        "Fig. 12 — multi-level prefetching speedup over IP-stride",
+        "paper Fig. 12: Berti alone beats every combination without Berti",
+    );
+    let opts = experiment_options();
+    let workloads = memory_intensive_suite();
+    let baseline = run_baseline(&workloads, &opts);
+    println!(
+        "{:<16} {:>10} {:>10} {:>10}",
+        "config", "SPEC", "GAP", "overall"
+    );
+    let berti_alone = run_config(PrefetcherChoice::Berti, None, &workloads, &opts);
+    let mut all = vec![berti_alone];
+    for (l1, l2) in multilevel_contenders() {
+        all.push(run_config(l1, l2, &workloads, &opts));
+    }
+    for cfg in &all {
+        let s = |suite| geomean_speedup(&workloads, &cfg.runs, &baseline, suite);
+        println!(
+            "{:<16} {:>9.1}% {:>9.1}% {:>9.1}%",
+            cfg.label,
+            (s(Some(Suite::Spec)) - 1.0) * 100.0,
+            (s(Some(Suite::Gap)) - 1.0) * 100.0,
+            (s(None) - 1.0) * 100.0
+        );
+    }
+}

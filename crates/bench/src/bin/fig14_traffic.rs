@@ -1,0 +1,45 @@
+//! Fig. 14: traffic between hierarchy levels, normalized to no
+//! prefetching.
+
+use berti_bench::*;
+use berti_sim::PrefetcherChoice;
+use berti_traces::memory_intensive_suite;
+
+fn main() {
+    header(
+        "Fig. 14 — traffic between levels normalized to no prefetching",
+        "paper Fig. 14: Berti lowest increase at every level (1.0/9.2/13.9% vs ~90% for IPCP)",
+    );
+    let opts = experiment_options();
+    let workloads = memory_intensive_suite();
+    let none = run_config(PrefetcherChoice::None, None, &workloads, &opts);
+    println!(
+        "{:<16} {:>12} {:>12} {:>12}",
+        "config", "L1D->L2", "L2->LLC", "LLC<->DRAM"
+    );
+    let mut configs = vec![run_config(PrefetcherChoice::IpStride, None, &workloads, &opts)];
+    for l1 in l1d_contenders() {
+        configs.push(run_config(l1, None, &workloads, &opts));
+    }
+    for (l1, l2) in multilevel_contenders() {
+        configs.push(run_config(l1, l2, &workloads, &opts));
+    }
+    for cfg in &configs {
+        let mut sums = [0.0f64; 3];
+        for (r, b) in cfg.runs.iter().zip(&none.runs) {
+            let (a1, a2, a3) = r.traffic();
+            let (b1, b2, b3) = b.traffic();
+            sums[0] += a1 as f64 / b1.max(1) as f64;
+            sums[1] += a2 as f64 / b2.max(1) as f64;
+            sums[2] += a3 as f64 / b3.max(1) as f64;
+        }
+        let n = cfg.runs.len() as f64;
+        println!(
+            "{:<16} {:>11.2}x {:>11.2}x {:>11.2}x",
+            cfg.label,
+            sums[0] / n,
+            sums[1] / n,
+            sums[2] / n
+        );
+    }
+}

@@ -1,0 +1,41 @@
+//! Fig. 15: dynamic energy of the memory hierarchy, normalized to no
+//! prefetching.
+
+use berti_bench::*;
+use berti_sim::PrefetcherChoice;
+use berti_traces::{memory_intensive_suite, Suite};
+
+fn main() {
+    header(
+        "Fig. 15 — dynamic energy normalized to no prefetching",
+        "paper Fig. 15: Berti +9.0% SPEC / +14.3% GAP, least of all prefetchers",
+    );
+    let opts = experiment_options();
+    let workloads = memory_intensive_suite();
+    let none = run_config(PrefetcherChoice::None, None, &workloads, &opts);
+    println!("{:<16} {:>12} {:>12}", "config", "SPEC", "GAP");
+    let mut configs = vec![run_config(PrefetcherChoice::IpStride, None, &workloads, &opts)];
+    for l1 in l1d_contenders() {
+        configs.push(run_config(l1, None, &workloads, &opts));
+    }
+    for (l1, l2) in multilevel_contenders() {
+        configs.push(run_config(l1, l2, &workloads, &opts));
+    }
+    for cfg in &configs {
+        let e = |suite: Suite| {
+            let ratios: Vec<f64> = workloads
+                .iter()
+                .zip(cfg.runs.iter().zip(&none.runs))
+                .filter(|(w, _)| w.suite == suite)
+                .map(|(_, (r, b))| r.energy.normalized_to(&b.energy))
+                .collect();
+            ratios.iter().sum::<f64>() / ratios.len().max(1) as f64
+        };
+        println!(
+            "{:<16} {:>11.2}x {:>11.2}x",
+            cfg.label,
+            e(Suite::Spec),
+            e(Suite::Gap)
+        );
+    }
+}

@@ -1,0 +1,36 @@
+//! Fig. 16: L1D prefetcher speedup under constrained DRAM bandwidth
+//! (DDR5-6400 / DDR4-3200 / DDR3-1600).
+
+use berti_bench::*;
+use berti_sim::{simulate_suite, PrefetcherChoice};
+use berti_traces::memory_intensive_suite;
+use berti_types::{SystemConfig, DDR3_1600, DDR4_3200, DDR5_6400};
+
+fn main() {
+    header(
+        "Fig. 16 — L1D prefetchers vs DRAM bandwidth (MTPS)",
+        "paper Fig. 16: negligible loss for GAP, ≤4.1% loss for SPEC at 1600 MTPS",
+    );
+    let opts = experiment_options();
+    let workloads = memory_intensive_suite();
+    println!("{:<12} {:>10} {:>10} {:>10}", "prefetcher", "6400", "3200", "1600");
+    // One baseline per bandwidth, shared by every contender.
+    let bands = [DDR5_6400, DDR4_3200, DDR3_1600];
+    let baselines: Vec<_> = bands
+        .iter()
+        .map(|&dram| {
+            let cfg = SystemConfig { dram, ..SystemConfig::default() };
+            simulate_suite(&cfg, PrefetcherChoice::IpStride, None, &workloads, &opts)
+        })
+        .collect();
+    for l1 in l1d_contenders() {
+        print!("{:<12}", l1.name());
+        for (dram, base) in bands.iter().zip(&baselines) {
+            let cfg = SystemConfig { dram: *dram, ..SystemConfig::default() };
+            let runs = simulate_suite(&cfg, l1.clone(), None, &workloads, &opts);
+            print!(" {:>9.3}", geomean_speedup(&workloads, &runs, base, None));
+        }
+        println!();
+    }
+    println!("(speedups are vs IP-stride at the same bandwidth)");
+}

@@ -1,0 +1,40 @@
+//! Fig. 17: multi-level prefetching speedup under constrained DRAM
+//! bandwidth.
+
+use berti_bench::*;
+use berti_sim::{simulate_suite, PrefetcherChoice};
+use berti_traces::memory_intensive_suite;
+use berti_types::{SystemConfig, DDR3_1600, DDR4_3200, DDR5_6400};
+
+fn main() {
+    header(
+        "Fig. 17 — multi-level prefetching vs DRAM bandwidth (MTPS)",
+        "paper Fig. 17: Berti(+SPP-PPF) degrade most gracefully",
+    );
+    let opts = experiment_options();
+    let workloads = memory_intensive_suite();
+    println!("{:<16} {:>10} {:>10} {:>10}", "config", "6400", "3200", "1600");
+    let bands = [DDR5_6400, DDR4_3200, DDR3_1600];
+    let baselines: Vec<_> = bands
+        .iter()
+        .map(|&dram| {
+            let cfg = SystemConfig { dram, ..SystemConfig::default() };
+            simulate_suite(&cfg, PrefetcherChoice::IpStride, None, &workloads, &opts)
+        })
+        .collect();
+    let mut combos = vec![(PrefetcherChoice::Berti, None)];
+    combos.extend(multilevel_contenders());
+    for (l1, l2) in combos {
+        let label = match l2 {
+            Some(c) => format!("{}+{}", l1.name(), c.name()),
+            None => l1.name().to_string(),
+        };
+        print!("{:<16}", label);
+        for (dram, base) in bands.iter().zip(&baselines) {
+            let cfg = SystemConfig { dram: *dram, ..SystemConfig::default() };
+            let runs = simulate_suite(&cfg, l1.clone(), l2, &workloads, &opts);
+            print!(" {:>9.3}", geomean_speedup(&workloads, &runs, base, None));
+        }
+        println!();
+    }
+}

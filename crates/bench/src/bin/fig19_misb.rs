@@ -1,0 +1,35 @@
+//! Fig. 19: interaction with the MISB temporal prefetcher at the L2.
+
+use berti_bench::*;
+use berti_sim::{L2PrefetcherChoice, PrefetcherChoice};
+use berti_traces::{cloud, memory_intensive_suite};
+
+fn main() {
+    header(
+        "Fig. 19 — L1D prefetchers with and without MISB at L2",
+        "paper Fig. 19: MISB helps CloudSuite (temporal streams), not SPEC/GAP",
+    );
+    let opts = experiment_options();
+    for (suite_name, workloads) in [
+        ("CloudSuite", cloud::suite()),
+        ("SPEC+GAP", memory_intensive_suite()),
+    ] {
+        let baseline = run_baseline(&workloads, &opts);
+        println!("--- {suite_name} ---");
+        println!("{:<16} {:>12} {:>12}", "prefetcher", "alone", "+MISB");
+        for l1 in [
+            PrefetcherChoice::Mlop,
+            PrefetcherChoice::Ipcp,
+            PrefetcherChoice::Berti,
+        ] {
+            let alone = run_config(l1.clone(), None, &workloads, &opts);
+            let with = run_config(l1, Some(L2PrefetcherChoice::Misb), &workloads, &opts);
+            println!(
+                "{:<16} {:>11.3}x {:>11.3}x",
+                alone.label,
+                geomean_speedup(&workloads, &alone.runs, &baseline, None),
+                geomean_speedup(&workloads, &with.runs, &baseline, None)
+            );
+        }
+    }
+}

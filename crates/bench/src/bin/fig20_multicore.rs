@@ -1,0 +1,39 @@
+//! Fig. 20: 4-core heterogeneous-mix speedups.
+
+use berti_bench::*;
+use berti_sim::{geometric_mean, simulate_multicore, PrefetcherChoice};
+use berti_traces::mix::random_mixes;
+use berti_types::SystemConfig;
+
+fn main() {
+    header(
+        "Fig. 20 — 4-core heterogeneous mixes, speedup over IP-stride",
+        "paper Fig. 20: Berti best (+16.2%), beating MLOP+Bingo too",
+    );
+    let opts = experiment_options();
+    let cfg = SystemConfig::default();
+    let n_mixes: usize = std::env::var("BERTI_MIXES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8);
+    let mixes = random_mixes(n_mixes, 4, 0xF1620);
+    println!("{:<12} {:>14}", "prefetcher", "geomean speedup");
+    let mut choices = vec![PrefetcherChoice::Mlop, PrefetcherChoice::Ipcp, PrefetcherChoice::Berti];
+    if std::env::var("BERTI_QUICK").is_ok() {
+        choices.truncate(1);
+    }
+    for l1 in choices {
+        let mut speedups = Vec::new();
+        for mix in &mixes {
+            let base = simulate_multicore(&cfg, PrefetcherChoice::IpStride, None, mix, &opts);
+            let run = simulate_multicore(&cfg, l1.clone(), None, mix, &opts);
+            speedups.push(run.speedup_over(&base));
+        }
+        println!(
+            "{:<12} {:>13.1}%",
+            l1.name(),
+            (geometric_mean(&speedups) - 1.0) * 100.0
+        );
+    }
+    println!("({} mixes of 4 workloads; set BERTI_MIXES to widen)", n_mixes);
+}

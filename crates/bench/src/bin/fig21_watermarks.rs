@@ -1,0 +1,47 @@
+//! Fig. 21: sensitivity to the L1/L2 coverage watermarks.
+
+use berti_bench::*;
+use berti_core::BertiConfig;
+use berti_sim::PrefetcherChoice;
+use berti_traces::memory_intensive_suite;
+
+fn main() {
+    header(
+        "Fig. 21 — speedup vs L1/L2 coverage watermarks",
+        "paper Fig. 21: 65%/35% is the sweet spot; extremes hurt",
+    );
+    let opts = experiment_options();
+    let workloads = memory_intensive_suite();
+    let baseline = run_baseline(&workloads, &opts);
+    let l1_marks = [0.35, 0.50, 0.65, 0.80];
+    let l2_marks = [0.05, 0.20, 0.35, 0.50];
+    print!("{:<10}", "L1\\L2");
+    for l2 in l2_marks {
+        print!(" {:>7.0}%", l2 * 100.0);
+    }
+    println!();
+    for l1 in l1_marks {
+        print!("{:>8.0}% ", l1 * 100.0);
+        for l2 in l2_marks {
+            if l2 > l1 {
+                print!(" {:>8}", "-");
+                continue;
+            }
+            let cfg = BertiConfig {
+                high_watermark: l1,
+                medium_watermark: l2,
+                low_watermark: l2,
+                ..BertiConfig::default()
+            };
+            let runs = run_config(
+                PrefetcherChoice::BertiWith(cfg),
+                None,
+                &workloads,
+                &opts,
+            );
+            let s = geomean_speedup(&workloads, &runs.runs, &baseline, None);
+            print!(" {:>8.3}", s);
+        }
+        println!();
+    }
+}

@@ -1,0 +1,43 @@
+//! Fig. 22: sensitivity to the sizes of Berti's tables.
+
+use berti_bench::*;
+use berti_core::BertiConfig;
+use berti_sim::PrefetcherChoice;
+use berti_traces::memory_intensive_suite;
+
+fn main() {
+    header(
+        "Fig. 22 — speedup vs Berti table sizes (0.25x..4x)",
+        "paper Fig. 22: shrinking the table of deltas hurts most (-12.1% at 0.25x)",
+    );
+    let opts = experiment_options();
+    let workloads = memory_intensive_suite();
+    let baseline = run_baseline(&workloads, &opts);
+    let factors = [0.25, 0.5, 1.0, 2.0, 4.0];
+    println!(
+        "{:<14} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "structure", "0.25x", "0.50x", "1x", "2x", "4x"
+    );
+    for structure in ["history", "delta-table", "num-deltas"] {
+        print!("{:<14}", structure);
+        for f in factors {
+            let mut cfg = BertiConfig::default();
+            match structure {
+                "history" => {
+                    cfg.history_sets = ((cfg.history_sets as f64 * f).round() as usize).max(1)
+                }
+                "delta-table" => {
+                    cfg.delta_table_entries =
+                        ((cfg.delta_table_entries as f64 * f).round() as usize).max(1)
+                }
+                _ => {
+                    cfg.deltas_per_entry =
+                        ((cfg.deltas_per_entry as f64 * f).round() as usize).max(1)
+                }
+            }
+            let runs = run_config(PrefetcherChoice::BertiWith(cfg), None, &workloads, &opts);
+            print!(" {:>8.3}", geomean_speedup(&workloads, &runs.runs, &baseline, None));
+        }
+        println!();
+    }
+}

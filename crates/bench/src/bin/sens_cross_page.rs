@@ -1,0 +1,31 @@
+//! Sec. IV-J: cross-page prefetching ablation (issue suppressed,
+//! training kept).
+
+use berti_bench::*;
+use berti_core::BertiConfig;
+use berti_sim::PrefetcherChoice;
+use berti_traces::{memory_intensive_suite, Suite};
+
+fn main() {
+    header(
+        "Sec. IV-J — cross-page prefetching ablation",
+        "paper: disabling it drops SPEC 1.16->1.10 and GAP 1.02->1.01",
+    );
+    let opts = experiment_options();
+    let workloads = memory_intensive_suite();
+    let baseline = run_baseline(&workloads, &opts);
+    println!("{:<14} {:>10} {:>10}", "cross-page", "SPEC", "GAP");
+    for enabled in [true, false] {
+        let cfg = BertiConfig {
+            cross_page: enabled,
+            ..BertiConfig::default()
+        };
+        let runs = run_config(PrefetcherChoice::BertiWith(cfg), None, &workloads, &opts);
+        println!(
+            "{:<14} {:>9.3}x {:>9.3}x",
+            if enabled { "on" } else { "off" },
+            geomean_speedup(&workloads, &runs.runs, &baseline, Some(Suite::Spec)),
+            geomean_speedup(&workloads, &runs.runs, &baseline, Some(Suite::Gap)),
+        );
+    }
+}

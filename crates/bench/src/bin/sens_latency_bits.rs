@@ -1,0 +1,31 @@
+//! Sec. IV-J: sensitivity to the per-line latency-counter width
+//! (4 / 12 / 32 bits).
+
+use berti_bench::*;
+use berti_core::BertiConfig;
+use berti_sim::PrefetcherChoice;
+use berti_traces::{memory_intensive_suite, Suite};
+
+fn main() {
+    header(
+        "Sec. IV-J — latency-counter width sensitivity",
+        "paper: 12->32 bits no change; 4 bits drops SPEC 1.16->1.07, GAP 1.02->0.98",
+    );
+    let opts = experiment_options();
+    let workloads = memory_intensive_suite();
+    let baseline = run_baseline(&workloads, &opts);
+    println!("{:<10} {:>10} {:>10}", "bits", "SPEC", "GAP");
+    for bits in [4u32, 8, 12, 32] {
+        let cfg = BertiConfig {
+            latency_bits: bits,
+            ..BertiConfig::default()
+        };
+        let runs = run_config(PrefetcherChoice::BertiWith(cfg), None, &workloads, &opts);
+        println!(
+            "{:<10} {:>9.3}x {:>9.3}x",
+            bits,
+            geomean_speedup(&workloads, &runs.runs, &baseline, Some(Suite::Spec)),
+            geomean_speedup(&workloads, &runs.runs, &baseline, Some(Suite::Gap)),
+        );
+    }
+}

@@ -1,0 +1,39 @@
+//! Local-context ablation (extension experiment): per-IP deltas (the
+//! MICRO 2022 Berti) vs per-page deltas (the DPC-3 predecessor) vs one
+//! global delta (BOP) — quantifying Sec. II-B's "why a *local* delta
+//! prefetcher, and why the IP as the context".
+
+use berti_bench::*;
+use berti_sim::PrefetcherChoice;
+use berti_traces::{memory_intensive_suite, Suite};
+
+fn main() {
+    header(
+        "Extension — local-context ablation: per-IP vs per-page vs global",
+        "paper Sec. II-B + ref [46]: IP context finds the deltas page/global contexts miss",
+    );
+    let opts = experiment_options();
+    let workloads = memory_intensive_suite();
+    let baseline = run_baseline(&workloads, &opts);
+    println!(
+        "{:<14} {:>10} {:>10} {:>10} {:>10}",
+        "context", "SPEC", "GAP", "overall", "accuracy"
+    );
+    for (label, choice) in [
+        ("per-IP", PrefetcherChoice::Berti),
+        ("per-page", PrefetcherChoice::BertiPage),
+        ("global (BOP)", PrefetcherChoice::Bop),
+    ] {
+        let cfg = run_config(choice, None, &workloads, &opts);
+        let s = |suite| geomean_speedup(&workloads, &cfg.runs, &baseline, suite);
+        let acc = suite_mean(&workloads, &cfg.runs, None, |r| r.l1d_accuracy());
+        println!(
+            "{:<14} {:>9.3}x {:>9.3}x {:>9.3}x {:>9.1}%",
+            label,
+            s(Some(Suite::Spec)),
+            s(Some(Suite::Gap)),
+            s(None),
+            acc * 100.0
+        );
+    }
+}

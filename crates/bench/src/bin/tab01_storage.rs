@@ -1,0 +1,43 @@
+//! Table I: Berti's storage overhead per structure.
+
+use berti_core::BertiConfig;
+
+fn main() {
+    berti_bench::header(
+        "Table I — storage overhead of Berti",
+        "paper Table I: 0.74 + 0.62 + 0.06 + 1.13 = 2.55 KB",
+    );
+    let cfg = BertiConfig::default();
+    let s = cfg.storage();
+    let kb = |b: u64| b as f64 / 8.0 / 1024.0;
+    println!("{:<55} {:>10}", "Structure", "Storage");
+    println!(
+        "{:<55} {:>8.2} KB",
+        format!(
+            "History table {}-set, {}-way ({}-entry), FIFO",
+            cfg.history_sets,
+            cfg.history_ways,
+            cfg.history_sets * cfg.history_ways
+        ),
+        kb(s.history_bits)
+    );
+    println!(
+        "{:<55} {:>8.2} KB",
+        format!(
+            "Table of deltas {}-entry, fully-assoc, {} deltas/entry",
+            cfg.delta_table_entries, cfg.deltas_per_entry
+        ),
+        kb(s.delta_table_bits)
+    );
+    println!(
+        "{:<55} {:>8.2} KB",
+        "PQ + MSHR 16+16 entries, 16-bit timestamp each",
+        kb(s.queue_bits)
+    );
+    println!(
+        "{:<55} {:>8.2} KB",
+        format!("L1D 768 lines, {}-bit latency per line", cfg.latency_bits),
+        kb(s.shadow_bits)
+    );
+    println!("{:<55} {:>8.2} KB", "Total", s.total_kb());
+}

@@ -1,0 +1,53 @@
+//! Table II: the baseline system configuration.
+
+use berti_types::SystemConfig;
+
+fn main() {
+    berti_bench::header(
+        "Table II — simulation parameters of the baseline system",
+        "paper Table II (Intel Sunny Cove-like)",
+    );
+    let c = SystemConfig::default();
+    println!(
+        "Core      out-of-order, {}-issue, {}-retire, {}-entry ROB, {}-cycle mispredict refill",
+        c.core.issue_width, c.core.retire_width, c.core.rob_entries, c.core.mispredict_penalty
+    );
+    println!(
+        "TLBs      dTLB {} entries {}-way {} cycle; STLB {} entries {}-way {} cycles; walk {} cycles",
+        c.tlb.dtlb_entries,
+        c.tlb.dtlb_ways,
+        c.tlb.dtlb_latency,
+        c.tlb.stlb_entries,
+        c.tlb.stlb_ways,
+        c.tlb.stlb_latency,
+        c.tlb.walk_latency
+    );
+    for (name, g) in [("L1D", &c.l1d), ("L2", &c.l2), ("LLC", &c.llc)] {
+        println!(
+            "{:<9} {} KB, {}-way, {} cycles, {} MSHRs, {:?} replacement, PQ {}",
+            name,
+            g.capacity_bytes() / 1024,
+            g.ways,
+            g.latency,
+            g.mshr_entries,
+            g.replacement,
+            g.pq_entries
+        );
+    }
+    println!(
+        "DRAM      {} MTPS, {} banks, {} B row buffer, RQ/WQ {}/{}, tRP/tRCD/tCAS {}/{}/{} cycles, watermark {}/{}",
+        c.dram.mtps,
+        c.dram.banks,
+        c.dram.row_buffer_bytes,
+        c.dram.rq_entries,
+        c.dram.wq_entries,
+        c.dram.t_rp,
+        c.dram.t_rcd,
+        c.dram.t_cas,
+        c.dram.write_watermark_num,
+        c.dram.write_watermark_den
+    );
+    println!(
+        "Baseline  24-entry fully-associative IP-stride prefetcher at the L1D"
+    );
+}

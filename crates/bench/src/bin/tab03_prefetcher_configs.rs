@@ -1,0 +1,44 @@
+//! Table III: configurations and storage budgets of the evaluated
+//! prefetchers.
+
+use berti_mem::Prefetcher;
+use berti_sim::{L2PrefetcherChoice, PrefetcherChoice};
+
+fn main() {
+    berti_bench::header(
+        "Table III — evaluated prefetcher configurations",
+        "paper Table III; storage budgets drive Fig. 7's x-axis",
+    );
+    println!("{:<12} {:>12}  role", "prefetcher", "storage");
+    let l1: Vec<(Box<dyn Prefetcher>, &str)> = vec![
+        (PrefetcherChoice::IpStride.build(), "baseline L1D"),
+        (PrefetcherChoice::NextLine.build(), "fallback class"),
+        (PrefetcherChoice::Stream.build(), "classic streams"),
+        (PrefetcherChoice::Bop.build(), "DPC-2 winner (global offset)"),
+        (PrefetcherChoice::Mlop.build(), "DPC-3 3rd (multi-lookahead)"),
+        (PrefetcherChoice::Ipcp.build(), "DPC-3 winner (IP classes)"),
+        (PrefetcherChoice::Vldp.build(), "variable-length deltas"),
+        (PrefetcherChoice::Berti.build(), "this paper"),
+    ];
+    for (p, role) in &l1 {
+        println!(
+            "{:<12} {:>9.2} KB  {role}",
+            p.name(),
+            p.storage_bits() as f64 / 8.0 / 1024.0
+        );
+    }
+    println!("--- L2-hosted ---");
+    for c in [
+        L2PrefetcherChoice::SppPpf,
+        L2PrefetcherChoice::Bingo,
+        L2PrefetcherChoice::Ipcp,
+        L2PrefetcherChoice::Misb,
+    ] {
+        let p = c.build();
+        println!(
+            "{:<12} {:>9.2} KB  L2 prefetcher",
+            p.name(),
+            p.storage_bits() as f64 / 8.0 / 1024.0
+        );
+    }
+}

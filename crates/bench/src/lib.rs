@@ -1,0 +1,152 @@
+//! Shared harness for the experiment binaries that regenerate the
+//! paper's tables and figures (see DESIGN.md §4 for the index).
+//!
+//! Every binary prints the same rows/series the paper reports, for the
+//! synthetic workload suites standing in for SPEC CPU2017 / GAP /
+//! CloudSuite. Run lengths default to a laptop-scale budget and can be
+//! raised via `BERTI_WARMUP` and `BERTI_INSTR` (instructions).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use berti_sim::{
+    simulate_suite, L2PrefetcherChoice, PrefetcherChoice, Report, SimOptions,
+};
+use berti_traces::{Suite, WorkloadDef};
+use berti_types::SystemConfig;
+
+/// Simulation options from the environment (`BERTI_WARMUP`,
+/// `BERTI_INSTR`), with defaults sized for minutes-scale full runs.
+pub fn experiment_options() -> SimOptions {
+    let env_num = |k: &str, default: u64| {
+        std::env::var(k)
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    };
+    SimOptions {
+        warmup_instructions: env_num("BERTI_WARMUP", 100_000),
+        sim_instructions: env_num("BERTI_INSTR", 400_000),
+        max_cpi: 64,
+    }
+}
+
+/// The L1D prefetchers of Fig. 8/10/11 (the baseline IP-stride is the
+/// denominator of every speedup).
+pub fn l1d_contenders() -> Vec<PrefetcherChoice> {
+    vec![
+        PrefetcherChoice::Mlop,
+        PrefetcherChoice::Ipcp,
+        PrefetcherChoice::Berti,
+    ]
+}
+
+/// The multi-level combinations of Fig. 12/13 (L1D + L2).
+pub fn multilevel_contenders() -> Vec<(PrefetcherChoice, Option<L2PrefetcherChoice>)> {
+    vec![
+        (PrefetcherChoice::Mlop, Some(L2PrefetcherChoice::Bingo)),
+        (PrefetcherChoice::Mlop, Some(L2PrefetcherChoice::SppPpf)),
+        (PrefetcherChoice::Ipcp, Some(L2PrefetcherChoice::Ipcp)),
+        (PrefetcherChoice::Berti, Some(L2PrefetcherChoice::Bingo)),
+        (PrefetcherChoice::Berti, Some(L2PrefetcherChoice::SppPpf)),
+    ]
+}
+
+/// One prefetcher configuration's results over a workload list, plus
+/// the matching baseline runs.
+pub struct SuiteRuns {
+    /// Configuration label ("berti", "mlop+bingo", ...).
+    pub label: String,
+    /// Reports, one per workload, same order as the workload list.
+    pub runs: Vec<Report>,
+}
+
+/// Runs the IP-stride baseline over `workloads`.
+pub fn run_baseline(workloads: &[WorkloadDef], opts: &SimOptions) -> Vec<Report> {
+    simulate_suite(
+        &SystemConfig::default(),
+        PrefetcherChoice::IpStride,
+        None,
+        workloads,
+        opts,
+    )
+}
+
+/// Runs one L1D(+L2) configuration over `workloads`.
+pub fn run_config(
+    l1: PrefetcherChoice,
+    l2: Option<L2PrefetcherChoice>,
+    workloads: &[WorkloadDef],
+    opts: &SimOptions,
+) -> SuiteRuns {
+    let label = match l2 {
+        Some(l2c) => format!("{}+{}", l1.name(), l2c.name()),
+        None => l1.name().to_string(),
+    };
+    SuiteRuns {
+        label,
+        runs: simulate_suite(&SystemConfig::default(), l1, l2, workloads, opts),
+    }
+}
+
+/// Geometric-mean speedup of `runs` over `baseline` restricted to one
+/// suite (or all workloads when `suite` is `None`).
+pub fn geomean_speedup(
+    workloads: &[WorkloadDef],
+    runs: &[Report],
+    baseline: &[Report],
+    suite: Option<Suite>,
+) -> f64 {
+    let ratios: Vec<f64> = workloads
+        .iter()
+        .zip(runs.iter().zip(baseline))
+        .filter(|(w, _)| suite.is_none_or(|s| w.suite == s))
+        .map(|(_, (r, b))| r.speedup_over(b))
+        .collect();
+    berti_sim::geometric_mean(&ratios)
+}
+
+/// Mean of an extracted metric over one suite.
+pub fn suite_mean<F: Fn(&Report) -> Option<f64>>(
+    workloads: &[WorkloadDef],
+    runs: &[Report],
+    suite: Option<Suite>,
+    f: F,
+) -> f64 {
+    let vals: Vec<f64> = workloads
+        .iter()
+        .zip(runs)
+        .filter(|(w, _)| suite.is_none_or(|s| w.suite == s))
+        .filter_map(|(_, r)| f(r))
+        .collect();
+    if vals.is_empty() {
+        0.0
+    } else {
+        vals.iter().sum::<f64>() / vals.len() as f64
+    }
+}
+
+/// Prints a horizontal rule and a figure/table header.
+pub fn header(title: &str, paper_ref: &str) {
+    println!("{}", "=".repeat(78));
+    println!("{title}");
+    println!("(reproduces {paper_ref}; shapes comparable, absolutes differ — see EXPERIMENTS.md)");
+    println!("{}", "=".repeat(78));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn options_default_and_env_parse() {
+        let o = experiment_options();
+        assert!(o.sim_instructions >= o.warmup_instructions);
+    }
+
+    #[test]
+    fn contender_lists_are_nonempty() {
+        assert_eq!(l1d_contenders().len(), 3);
+        assert_eq!(multilevel_contenders().len(), 5);
+    }
+}

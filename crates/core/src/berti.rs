@@ -1,0 +1,402 @@
+//! The Berti prefetcher: training and prediction (Sec. III-A/B) wired
+//! to the [`berti_mem::Prefetcher`] interface.
+
+use berti_mem::{AccessEvent, FillEvent, PrefetchDecision, Prefetcher};
+use berti_types::{Cycle, Delta, FillLevel, Ip, VLine};
+
+use crate::deltas::{DeltaStatus, DeltaTable, LearnedDelta};
+use crate::history::HistoryTable;
+use crate::storage::BertiConfig;
+
+/// The Berti accurate local-delta L1D data prefetcher.
+///
+/// # Example
+///
+/// ```
+/// use berti_core::{Berti, BertiConfig};
+/// use berti_mem::Prefetcher;
+///
+/// let mut berti = Berti::new(BertiConfig::default());
+/// assert_eq!(berti.name(), "berti");
+/// ```
+#[derive(Clone, Debug)]
+pub struct Berti {
+    cfg: BertiConfig,
+    history: HistoryTable,
+    deltas: DeltaTable,
+    scratch_deltas: Vec<Delta>,
+    scratch_pred: Vec<(Delta, DeltaStatus)>,
+}
+
+impl Berti {
+    /// Creates a Berti prefetcher.
+    pub fn new(cfg: BertiConfig) -> Self {
+        Self {
+            history: HistoryTable::new(cfg.history_sets, cfg.history_ways, cfg.timestamp_bits),
+            deltas: DeltaTable::new(&cfg),
+            scratch_deltas: Vec::new(),
+            scratch_pred: Vec::new(),
+            cfg,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &BertiConfig {
+        &self.cfg
+    }
+
+    /// Current learning state for `ip` (Fig. 3 diagnostics).
+    pub fn learned_deltas(&self, ip: Ip) -> Vec<LearnedDelta> {
+        self.deltas.snapshot(ip)
+    }
+
+    /// Applies the configured latency-field width: values that do not
+    /// fit are recorded as zero and skipped (Sec. III-C and the
+    /// latency-counter sensitivity study of Sec. IV-J).
+    fn truncate_latency(&self, latency: u64) -> u64 {
+        if self.cfg.latency_bits >= 64 || latency < (1 << self.cfg.latency_bits) {
+            latency
+        } else {
+            0
+        }
+    }
+
+    /// One training step: search the history for timely deltas for a
+    /// demand of `line` at `demand_at` with fetch latency `latency`,
+    /// and account the search in the table of deltas.
+    fn train(&mut self, ip: Ip, line: VLine, demand_at: Cycle, latency: u64) {
+        let hits = self.history.search_timely(
+            ip,
+            line,
+            demand_at,
+            latency,
+            self.cfg.max_timely_deltas_per_search,
+        );
+        self.scratch_deltas.clear();
+        self.scratch_deltas.extend(hits.iter().map(|h| h.delta));
+        let ds = std::mem::take(&mut self.scratch_deltas);
+        self.deltas.record_search(ip, &ds);
+        self.scratch_deltas = ds;
+    }
+
+    /// Prediction: emit one prefetch per selected delta for this access.
+    fn predict(&mut self, ev: &AccessEvent, out: &mut Vec<PrefetchDecision>) {
+        self.scratch_pred.clear();
+        let mut preds = std::mem::take(&mut self.scratch_pred);
+        self.deltas.prefetch_deltas(ev.ip, &mut preds);
+        for &(delta, status) in &preds {
+            let target = ev.line + delta;
+            if !self.cfg.cross_page && target.page() != ev.line.page() {
+                continue;
+            }
+            let fill_level = match status {
+                DeltaStatus::L1Pref => {
+                    if ev.mshr_occupancy < self.cfg.mshr_watermark {
+                        FillLevel::L1
+                    } else {
+                        FillLevel::L2
+                    }
+                }
+                DeltaStatus::L2Pref | DeltaStatus::L2PrefRepl => FillLevel::L2,
+                DeltaStatus::LlcPref => FillLevel::Llc,
+                DeltaStatus::NoPref => continue,
+            };
+            out.push(PrefetchDecision { target, fill_level });
+        }
+        self.scratch_pred = preds;
+    }
+}
+
+impl Prefetcher for Berti {
+    fn name(&self) -> &'static str {
+        "berti"
+    }
+
+    fn storage_bits(&self) -> u64 {
+        self.cfg.storage().total_bits()
+    }
+
+    fn on_access(&mut self, ev: &AccessEvent, out: &mut Vec<PrefetchDecision>) {
+        if !ev.kind.is_demand() {
+            return;
+        }
+        if !ev.hit {
+            // Demand miss: record the access now; the timely-delta
+            // search happens when the fill latency is known (on_fill).
+            self.history.insert(ev.ip, ev.line, ev.at);
+        } else if ev.timely_prefetch_hit || ev.late_prefetch_hit {
+            // First demand touch of a prefetched line — a miss the
+            // baseline would have had. Record it and search immediately
+            // using the latency stored alongside the line.
+            self.history.insert(ev.ip, ev.line, ev.at);
+            let latency = self.truncate_latency(ev.stored_latency);
+            if latency != 0 {
+                self.train(ev.ip, ev.line, ev.at, latency);
+            }
+        }
+        // "On every L1D access, the table of deltas is searched" —
+        // prediction runs for hits and misses alike (Sec. III-C).
+        self.predict(ev, out);
+    }
+
+    fn on_fill(&mut self, ev: &FillEvent) {
+        // Berti does not learn deltas on prefetch-caused fills, since
+        // the demand time is not known yet (Sec. III-A).
+        if ev.was_prefetch {
+            return;
+        }
+        let latency = self.truncate_latency(ev.latency);
+        if latency == 0 {
+            return;
+        }
+        let demand_at = Cycle::new(ev.at.raw().saturating_sub(latency));
+        self.train(ev.ip, ev.line, demand_at, latency);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use berti_types::AccessKind;
+
+    const IP: Ip = Ip::new(0x4049de);
+
+    fn miss_event(line: u64, at: u64) -> AccessEvent {
+        AccessEvent {
+            ip: IP,
+            line: VLine::new(line),
+            at: Cycle::new(at),
+            kind: AccessKind::Load,
+            hit: false,
+            timely_prefetch_hit: false,
+            late_prefetch_hit: false,
+            stored_latency: 0,
+            mshr_occupancy: 0.0,
+        }
+    }
+
+    fn fill_event(line: u64, at: u64, latency: u64) -> FillEvent {
+        FillEvent {
+            line: VLine::new(line),
+            ip: IP,
+            at: Cycle::new(at),
+            latency,
+            was_prefetch: false,
+        }
+    }
+
+    /// Drives a steady +2 stride with fetch latency 100 and 300 cycles
+    /// between accesses, so the +2 delta (one access of lead time,
+    /// 300 >= 100) is timely.
+    fn train_stride(b: &mut Berti, start_line: u64, accesses: u64) -> Vec<PrefetchDecision> {
+        let mut out = Vec::new();
+        for i in 0..accesses {
+            let line = start_line + 2 * i;
+            let t = 300 * i;
+            b.on_access(&miss_event(line, t), &mut out);
+            b.on_fill(&fill_event(line, t + 100, 100));
+        }
+        out
+    }
+
+    #[test]
+    fn learns_and_prefetches_a_steady_stride() {
+        let mut b = Berti::new(BertiConfig::default());
+        let decisions = train_stride(&mut b, 1000, 40);
+        assert!(
+            !decisions.is_empty(),
+            "after a full phase Berti must prefetch the learned delta"
+        );
+        // The learned delta set should contain +2 with L1 status.
+        let learned = b.learned_deltas(IP);
+        assert!(
+            learned
+                .iter()
+                .any(|d| d.delta == Delta::new(2) && d.status == DeltaStatus::L1Pref),
+            "learned: {learned:?}"
+        );
+        // Targets must be line + learned delta.
+        let last_targets: Vec<u64> = decisions.iter().map(|d| d.target.raw()).collect();
+        assert!(last_targets.iter().all(|&t| t >= 1000));
+    }
+
+    #[test]
+    fn no_prefetch_without_confidence() {
+        let mut b = Berti::new(BertiConfig::default());
+        let mut out = Vec::new();
+        // Random-ish lines: no repeated delta support.
+        for (i, line) in [5u64, 900, 17, 4000, 33].iter().enumerate() {
+            b.on_access(&miss_event(*line, 300 * i as u64), &mut out);
+            b.on_fill(&fill_event(*line, 300 * i as u64 + 100, 100));
+        }
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn high_mshr_occupancy_demotes_to_l2_fill() {
+        let mut b = Berti::new(BertiConfig::default());
+        let _ = train_stride(&mut b, 1000, 40);
+        let mut out = Vec::new();
+        let mut ev = miss_event(2000, 100_000);
+        ev.mshr_occupancy = 0.9; // above the 70% watermark
+        b.on_access(&ev, &mut out);
+        assert!(!out.is_empty());
+        assert!(
+            out.iter().all(|d| d.fill_level == FillLevel::L2),
+            "L1Pref deltas must demote to L2 fills under MSHR pressure: {out:?}"
+        );
+    }
+
+    #[test]
+    fn low_mshr_occupancy_fills_l1() {
+        let mut b = Berti::new(BertiConfig::default());
+        let _ = train_stride(&mut b, 1000, 40);
+        let mut out = Vec::new();
+        b.on_access(&miss_event(2000, 100_000), &mut out);
+        assert!(out.iter().any(|d| d.fill_level == FillLevel::L1));
+    }
+
+    #[test]
+    fn cross_page_ablation_suppresses_page_crossers() {
+        let mut cfg = BertiConfig::default();
+        cfg.cross_page = false;
+        let mut b = Berti::new(cfg);
+        // Large stride that crosses pages: +80 lines (page = 64 lines).
+        let mut out = Vec::new();
+        for i in 0..40u64 {
+            let line = 1000 + 80 * i;
+            b.on_access(&miss_event(line, 300 * i), &mut out);
+            b.on_fill(&fill_event(line, 300 * i + 100, 100));
+        }
+        assert!(
+            out.is_empty(),
+            "every +80 target crosses a page and must be suppressed"
+        );
+        // Training still happened.
+        assert!(b
+            .learned_deltas(IP)
+            .iter()
+            .any(|d| d.delta == Delta::new(80)));
+    }
+
+    #[test]
+    fn four_bit_latency_field_kills_training() {
+        let mut cfg = BertiConfig::default();
+        cfg.latency_bits = 4; // latencies >= 16 overflow to 0
+        let mut b = Berti::new(cfg);
+        let out = train_stride(&mut b, 1000, 40);
+        assert!(out.is_empty(), "latency 100 overflows a 4-bit field");
+        assert!(b.learned_deltas(IP).is_empty());
+    }
+
+    #[test]
+    fn late_deltas_are_not_learned() {
+        // Accesses 10 cycles apart with latency 100: the +2 delta (one
+        // access back) is NOT timely; only deltas ≥ 10 accesses back
+        // would be, and the +20 delta appears consistently.
+        let mut b = Berti::new(BertiConfig::default());
+        let mut out = Vec::new();
+        for i in 0..60u64 {
+            let line = 1000 + 2 * i;
+            let t = 10 * i;
+            b.on_access(&miss_event(line, t), &mut out);
+            b.on_fill(&fill_event(line, t + 100, 100));
+        }
+        let learned = b.learned_deltas(IP);
+        assert!(
+            !learned.iter().any(|d| d.delta == Delta::new(2)
+                && (d.status == DeltaStatus::L1Pref || d.status == DeltaStatus::L2Pref)),
+            "+2 would be a late prefetch and must not be selected: {learned:?}"
+        );
+        assert!(
+            learned.iter().any(|d| d.delta.raw() >= 20),
+            "a larger, timely delta must be learned instead: {learned:?}"
+        );
+    }
+
+    #[test]
+    fn trains_on_prefetched_hit_with_stored_latency() {
+        let mut b = Berti::new(BertiConfig::default());
+        let mut out = Vec::new();
+        // Seed history with older accesses.
+        for i in 0..20u64 {
+            b.on_access(&miss_event(100 + 3 * i, 300 * i), &mut out);
+            b.on_fill(&fill_event(100 + 3 * i, 300 * i + 90, 90));
+        }
+        // Now a prefetched-line first touch (hit_p) continues training.
+        let ev = AccessEvent {
+            ip: IP,
+            line: VLine::new(100 + 3 * 20),
+            at: Cycle::new(300 * 20),
+            kind: AccessKind::Load,
+            hit: true,
+            timely_prefetch_hit: true,
+            late_prefetch_hit: false,
+            stored_latency: 90,
+            mshr_occupancy: 0.0,
+        };
+        b.on_access(&ev, &mut out);
+        assert!(b
+            .learned_deltas(IP)
+            .iter()
+            .any(|d| d.delta == Delta::new(3)));
+    }
+
+    #[test]
+    fn prefetch_fills_do_not_train() {
+        let mut b = Berti::new(BertiConfig::default());
+        let mut out = Vec::new();
+        b.on_access(&miss_event(100, 0), &mut out);
+        b.on_fill(&FillEvent {
+            line: VLine::new(102),
+            ip: IP,
+            at: Cycle::new(200),
+            latency: 100,
+            was_prefetch: true,
+        });
+        // Only the demand miss is in history; no search has happened,
+        // so nothing can be learned yet.
+        assert!(b.learned_deltas(IP).is_empty());
+    }
+
+    #[test]
+    fn storage_matches_table_i() {
+        let b = Berti::new(BertiConfig::default());
+        let kb = b.storage_bits() as f64 / 8.0 / 1024.0;
+        assert!((kb - 2.55).abs() < 0.02, "{kb}");
+    }
+
+    #[test]
+    fn per_ip_isolation() {
+        // Two IPs with different strides must learn different deltas
+        // (the paper's core claim vs. global-delta prefetchers).
+        let mut b = Berti::new(BertiConfig::default());
+        let mut out = Vec::new();
+        let ip2 = Ip::new(0x402dc7);
+        for i in 0..40u64 {
+            let t = 600 * i;
+            let l1 = 1000 + 2 * i;
+            let l2 = 500_000 - i; // -1 stride
+            b.on_access(&miss_event(l1, t), &mut out);
+            b.on_fill(&fill_event(l1, t + 100, 100));
+            let ev2 = AccessEvent {
+                ip: ip2,
+                line: VLine::new(l2),
+                at: Cycle::new(t + 300),
+                ..miss_event(l2, t + 300)
+            };
+            b.on_access(&ev2, &mut out);
+            b.on_fill(&FillEvent {
+                line: VLine::new(l2),
+                ip: ip2,
+                at: Cycle::new(t + 300 + 100),
+                latency: 100,
+                was_prefetch: false,
+            });
+        }
+        let d1 = b.learned_deltas(IP);
+        let d2 = b.learned_deltas(ip2);
+        assert!(d1.iter().any(|d| d.delta.raw() > 0));
+        assert!(d2.iter().any(|d| d.delta.raw() < 0));
+    }
+}

@@ -1,0 +1,211 @@
+//! The DPC-3 predecessor of Berti: a **per-page** best-request-time
+//! delta prefetcher ("Berti: a per-page best-request-time delta
+//! prefetcher", Ros, 3rd Data Prefetching Championship — the paper's
+//! reference [46]).
+//!
+//! Identical training machinery to the MICRO 2022 design, but the
+//! *local context* is the 4 KiB page of the access instead of the
+//! instruction pointer. Useful for the local-context ablation: per-IP
+//! deltas (this paper) vs per-page deltas (DPC-3) vs one global delta
+//! (BOP) — see the `sens_local_context` experiment.
+
+use berti_mem::{AccessEvent, FillEvent, PrefetchDecision, Prefetcher};
+use berti_types::{Cycle, Delta, FillLevel, Ip, VLine};
+
+use crate::deltas::{DeltaStatus, DeltaTable};
+use crate::history::HistoryTable;
+use crate::storage::BertiConfig;
+
+/// The per-page Berti variant.
+///
+/// # Example
+///
+/// ```
+/// use berti_core::{BertiConfig, BertiPage};
+/// use berti_mem::Prefetcher;
+///
+/// let p = BertiPage::new(BertiConfig::default());
+/// assert_eq!(p.name(), "berti-page");
+/// ```
+#[derive(Clone, Debug)]
+pub struct BertiPage {
+    cfg: BertiConfig,
+    history: HistoryTable,
+    deltas: DeltaTable,
+    scratch: Vec<(Delta, DeltaStatus)>,
+}
+
+impl BertiPage {
+    /// Creates a per-page Berti with the same table geometry as the
+    /// per-IP design.
+    pub fn new(cfg: BertiConfig) -> Self {
+        Self {
+            history: HistoryTable::new(cfg.history_sets, cfg.history_ways, cfg.timestamp_bits),
+            deltas: DeltaTable::new(&cfg),
+            scratch: Vec::new(),
+            cfg,
+        }
+    }
+
+    /// The page of `line`, encoded as the tables' context key.
+    fn context(line: VLine) -> Ip {
+        Ip::new(line.page().raw() << 2)
+    }
+
+    fn truncate_latency(&self, latency: u64) -> u64 {
+        if self.cfg.latency_bits >= 64 || latency < (1 << self.cfg.latency_bits) {
+            latency
+        } else {
+            0
+        }
+    }
+
+    fn train(&mut self, line: VLine, demand_at: Cycle, latency: u64) {
+        let ctx = Self::context(line);
+        let hits = self.history.search_timely(
+            ctx,
+            line,
+            demand_at,
+            latency,
+            self.cfg.max_timely_deltas_per_search,
+        );
+        let ds: Vec<Delta> = hits.iter().map(|h| h.delta).collect();
+        self.deltas.record_search(ctx, &ds);
+    }
+}
+
+impl Prefetcher for BertiPage {
+    fn name(&self) -> &'static str {
+        "berti-page"
+    }
+
+    fn storage_bits(&self) -> u64 {
+        self.cfg.storage().total_bits()
+    }
+
+    fn on_access(&mut self, ev: &AccessEvent, out: &mut Vec<PrefetchDecision>) {
+        if !ev.kind.is_demand() {
+            return;
+        }
+        let ctx = Self::context(ev.line);
+        if !ev.hit {
+            self.history.insert(ctx, ev.line, ev.at);
+        } else if ev.timely_prefetch_hit || ev.late_prefetch_hit {
+            self.history.insert(ctx, ev.line, ev.at);
+            let latency = self.truncate_latency(ev.stored_latency);
+            if latency != 0 {
+                self.train(ev.line, ev.at, latency);
+            }
+        }
+        self.scratch.clear();
+        let mut preds = std::mem::take(&mut self.scratch);
+        self.deltas.prefetch_deltas(ctx, &mut preds);
+        for &(delta, status) in &preds {
+            let target = ev.line + delta;
+            if !self.cfg.cross_page && target.page() != ev.line.page() {
+                continue;
+            }
+            let fill_level = match status {
+                DeltaStatus::L1Pref => {
+                    if ev.mshr_occupancy < self.cfg.mshr_watermark {
+                        FillLevel::L1
+                    } else {
+                        FillLevel::L2
+                    }
+                }
+                DeltaStatus::L2Pref | DeltaStatus::L2PrefRepl => FillLevel::L2,
+                DeltaStatus::LlcPref => FillLevel::Llc,
+                DeltaStatus::NoPref => continue,
+            };
+            out.push(PrefetchDecision { target, fill_level });
+        }
+        self.scratch = preds;
+    }
+
+    fn on_fill(&mut self, ev: &FillEvent) {
+        if ev.was_prefetch {
+            return;
+        }
+        let latency = self.truncate_latency(ev.latency);
+        if latency == 0 {
+            return;
+        }
+        let demand_at = Cycle::new(ev.at.raw().saturating_sub(latency));
+        self.train(ev.line, demand_at, latency);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use berti_types::AccessKind;
+
+    fn miss(ip: u64, line: u64, at: u64) -> AccessEvent {
+        AccessEvent {
+            ip: Ip::new(ip),
+            line: VLine::new(line),
+            at: Cycle::new(at),
+            kind: AccessKind::Load,
+            hit: false,
+            timely_prefetch_hit: false,
+            late_prefetch_hit: false,
+            stored_latency: 0,
+            mshr_occupancy: 0.0,
+        }
+    }
+
+    fn fill(line: u64, at: u64, lat: u64) -> FillEvent {
+        FillEvent {
+            line: VLine::new(line),
+            ip: Ip::new(0),
+            at: Cycle::new(at),
+            latency: lat,
+            was_prefetch: false,
+        }
+    }
+
+    #[test]
+    fn learns_within_a_page_regardless_of_ip() {
+        // Two alternating IPs walk one page with stride +2: a per-IP
+        // tracker sees stride +4 per IP, the per-page tracker sees the
+        // full +2 stream.
+        let mut p = BertiPage::new(BertiConfig::default());
+        let mut out = Vec::new();
+        let base = 64 * 1000;
+        for i in 0..30u64 {
+            let ip = if i % 2 == 0 { 0x400 } else { 0x900 };
+            out.clear();
+            p.on_access(&miss(ip, base + 2 * i, 300 * i), &mut out);
+            p.on_fill(&fill(base + 2 * i, 300 * i + 100, 100));
+        }
+        assert!(!out.is_empty(), "page context must cover the merged stream");
+    }
+
+    #[test]
+    fn interleaved_pages_learn_independently() {
+        let mut p = BertiPage::new(BertiConfig::default());
+        let mut out = Vec::new();
+        // Page A strides +1; page B strides -2; one IP drives both.
+        for i in 0..40u64 {
+            let t = 600 * i;
+            out.clear();
+            p.on_access(&miss(0x400, 64 * 500 + i, t), &mut out);
+            p.on_fill(&fill(64 * 500 + i, t + 100, 100));
+            p.on_access(&miss(0x400, 64 * 900 - 2 * i, t + 300), &mut out);
+            p.on_fill(&fill(64 * 900 - 2 * i, t + 400, 100));
+        }
+        let a = p.deltas.snapshot(BertiPage::context(VLine::new(64 * 500 + 39)));
+        let b = p.deltas.snapshot(BertiPage::context(VLine::new(64 * 900 - 78)));
+        assert!(a.iter().any(|d| d.delta.raw() > 0), "{a:?}");
+        assert!(b.iter().any(|d| d.delta.raw() < 0), "{b:?}");
+    }
+
+    #[test]
+    fn storage_matches_the_ip_variant() {
+        let cfg = BertiConfig::default();
+        assert_eq!(
+            BertiPage::new(cfg).storage_bits(),
+            crate::Berti::new(cfg).storage_bits()
+        );
+    }
+}

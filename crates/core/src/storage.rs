@@ -1,0 +1,185 @@
+//! Berti configuration and the Table I storage accounting.
+
+/// Configuration of the Berti prefetcher.
+///
+/// Defaults reproduce the paper's hardware proposal (Sec. III-C and
+/// Table I). The sensitivity studies of Sec. IV-J vary
+/// [`history_sets`](Self::history_sets)/[`history_ways`](Self::history_ways)
+/// (Fig. 22), the watermarks (Fig. 21), the latency-field width, and
+/// cross-page prefetching.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BertiConfig {
+    /// History-table sets (8).
+    pub history_sets: usize,
+    /// History-table ways (16) — FIFO replacement within a set.
+    pub history_ways: usize,
+    /// Table-of-deltas entries (16, fully associative, FIFO).
+    pub delta_table_entries: usize,
+    /// Deltas tracked per table-of-deltas entry (16).
+    pub deltas_per_entry: usize,
+    /// Maximum timely deltas collected per history search (8, youngest
+    /// first).
+    pub max_timely_deltas_per_search: usize,
+    /// Maximum deltas selected for prefetching per entry per phase (12).
+    pub max_prefetch_deltas: usize,
+    /// Searches per learning phase (16: the 4-bit counter overflows).
+    pub rounds_per_phase: u32,
+    /// High-coverage watermark: above it, deltas fill to L1D (0.65).
+    pub high_watermark: f64,
+    /// Medium-coverage watermark: above it, deltas fill to L2 (0.35).
+    pub medium_watermark: f64,
+    /// Low-coverage watermark for LLC-only prefetching; the paper sets
+    /// it equal to the medium watermark, disabling the LLC tier (0.35).
+    pub low_watermark: f64,
+    /// Replacement-candidate threshold: an `L2Pref` delta below this
+    /// coverage is marked replaceable (0.50).
+    pub replaceable_watermark: f64,
+    /// Coverage demanded while an entry's statuses are still warming up
+    /// (0.80).
+    pub warmup_watermark: f64,
+    /// Minimum searches before warm-up prefetching begins (8).
+    pub warmup_min_rounds: u32,
+    /// L1D MSHR occupancy above which L1-bound prefetches are demoted
+    /// to L2 fills (0.70).
+    pub mshr_watermark: f64,
+    /// Width of the per-line fetch-latency field (12 bits; latencies
+    /// that overflow are recorded as zero and skipped by training).
+    pub latency_bits: u32,
+    /// Width of history timestamps (16 bits); accesses older than the
+    /// wrap window can no longer be compared and are skipped.
+    pub timestamp_bits: u32,
+    /// Width of the signed delta field (13 bits: −4096..=4095 lines).
+    pub delta_bits: u32,
+    /// Issue prefetches that cross a 4 KiB page (Sec. IV-J ablation);
+    /// training is unaffected.
+    pub cross_page: bool,
+}
+
+impl Default for BertiConfig {
+    fn default() -> Self {
+        Self {
+            history_sets: 8,
+            history_ways: 16,
+            delta_table_entries: 16,
+            deltas_per_entry: 16,
+            max_timely_deltas_per_search: 8,
+            max_prefetch_deltas: 12,
+            rounds_per_phase: 16,
+            high_watermark: 0.65,
+            medium_watermark: 0.35,
+            low_watermark: 0.35,
+            replaceable_watermark: 0.50,
+            warmup_watermark: 0.80,
+            warmup_min_rounds: 8,
+            mshr_watermark: 0.70,
+            latency_bits: 12,
+            timestamp_bits: 16,
+            delta_bits: 13,
+            cross_page: true,
+        }
+    }
+}
+
+impl BertiConfig {
+    /// Scales the history table, the table of deltas, and the deltas
+    /// per entry by `factor` (Fig. 22's 0.25×–4× sweep). The scaled
+    /// sizes are clamped to at least one set/way/entry/delta.
+    pub fn scaled_tables(mut self, factor: f64) -> Self {
+        let scale = |v: usize| ((v as f64 * factor).round() as usize).max(1);
+        // Fig. 22 scales capacity; grow sets for the history table so
+        // associativity (and the per-search window) stays put.
+        self.history_sets = scale(self.history_sets);
+        self.delta_table_entries = scale(self.delta_table_entries);
+        self.deltas_per_entry = scale(self.deltas_per_entry);
+        self
+    }
+
+    /// Storage accounting per structure (Table I).
+    pub fn storage(&self) -> StorageBreakdown {
+        let history_entry_bits = 7 + 24 + self.timestamp_bits as u64;
+        let history_bits = (self.history_sets * self.history_ways) as u64 * history_entry_bits
+            + self.history_sets as u64 * 4; // FIFO pointer per set
+        let delta_slot_bits = self.delta_bits as u64 + 4 + 2;
+        let delta_entry_bits = 10 + 4 + self.deltas_per_entry as u64 * delta_slot_bits;
+        let delta_table_bits = self.delta_table_entries as u64 * delta_entry_bits + 4;
+        // PQ (16) + MSHR (16) timestamps, 16 bits each.
+        let queue_bits = (16 + 16) * self.timestamp_bits as u64;
+        // L1D shadow latency: 768 lines × latency field.
+        let shadow_bits = 768 * self.latency_bits as u64;
+        StorageBreakdown {
+            history_bits,
+            delta_table_bits,
+            queue_bits,
+            shadow_bits,
+        }
+    }
+}
+
+/// Per-structure storage cost in bits (Table I).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StorageBreakdown {
+    /// History table (0.74 KB in the paper's configuration).
+    pub history_bits: u64,
+    /// Table of deltas (0.62 KB).
+    pub delta_table_bits: u64,
+    /// PQ + MSHR timestamp extensions (0.06 KB).
+    pub queue_bits: u64,
+    /// L1D per-line latency shadow (1.13 KB).
+    pub shadow_bits: u64,
+}
+
+impl StorageBreakdown {
+    /// Total bits.
+    pub fn total_bits(&self) -> u64 {
+        self.history_bits + self.delta_table_bits + self.queue_bits + self.shadow_bits
+    }
+
+    /// Total kilobytes.
+    pub fn total_kb(&self) -> f64 {
+        self.total_bits() as f64 / 8.0 / 1024.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_i_storage_matches_paper() {
+        let s = BertiConfig::default().storage();
+        let kb = |b: u64| b as f64 / 8.0 / 1024.0;
+        assert!((kb(s.history_bits) - 0.74).abs() < 0.01, "{}", kb(s.history_bits));
+        assert!((kb(s.delta_table_bits) - 0.62).abs() < 0.01, "{}", kb(s.delta_table_bits));
+        assert!((kb(s.queue_bits) - 0.06).abs() < 0.01, "{}", kb(s.queue_bits));
+        assert!((kb(s.shadow_bits) - 1.13).abs() < 0.01, "{}", kb(s.shadow_bits));
+        assert!((s.total_kb() - 2.55).abs() < 0.02, "{}", s.total_kb());
+    }
+
+    #[test]
+    fn default_watermarks_match_section_iii() {
+        let c = BertiConfig::default();
+        assert_eq!(c.high_watermark, 0.65);
+        assert_eq!(c.medium_watermark, 0.35);
+        assert_eq!(c.low_watermark, c.medium_watermark, "LLC tier disabled");
+        assert_eq!(c.mshr_watermark, 0.70);
+        assert_eq!(c.rounds_per_phase, 16);
+        assert_eq!(c.max_prefetch_deltas, 12);
+    }
+
+    #[test]
+    fn scaling_changes_capacity_monotonically() {
+        let base = BertiConfig::default().storage().total_bits();
+        let quarter = BertiConfig::default().scaled_tables(0.25).storage().total_bits();
+        let quadruple = BertiConfig::default().scaled_tables(4.0).storage().total_bits();
+        assert!(quarter < base);
+        assert!(quadruple > base);
+    }
+
+    #[test]
+    fn scaling_never_reaches_zero() {
+        let c = BertiConfig::default().scaled_tables(0.01);
+        assert!(c.history_sets >= 1);
+        assert!(c.delta_table_entries >= 1);
+        assert!(c.deltas_per_entry >= 1);
+    }
+}

@@ -1,0 +1,27 @@
+//! Trace-driven out-of-order core model (Table II: 6-issue, 4-retire,
+//! 352-entry ROB, two L1D read ports, one write port).
+//!
+//! The model captures the pipeline properties the paper's evaluation
+//! depends on:
+//!
+//! - **ROB-bounded memory-level parallelism** — misses overlap until
+//!   the 352-entry ROB or the L1D MSHR fills, which is what makes
+//!   prefetch *timeliness* matter;
+//! - **out-of-order issue** — loads issue as they dispatch, so the L1D
+//!   observes the reordered stream of Sec. II-B;
+//! - **dependence chains** — loads in the same declared chain
+//!   serialize (pointer chasing), limiting MLP exactly where graph
+//!   workloads limit it;
+//! - **front-end stalls** on mispredicted branches (fixed penalty).
+//!
+//! Register renaming, functional units, and the store queue are
+//! abstracted away (see DESIGN.md substitution #2): non-memory
+//! instructions complete in one cycle, stores issue their RFO at
+//! dispatch.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod core_model;
+
+pub use core_model::{Core, CoreStats, DataPort, MemOpKind, PortResponse};

@@ -1,0 +1,185 @@
+//! Dynamic-energy model of the memory hierarchy (Sec. IV-A: CACTI-P
+//! for the SRAM arrays, the Micron power calculator for DRAM, 22 nm).
+//!
+//! The methodology is the paper's: total dynamic energy = Σ (accesses
+//! of each type at each level × energy per access). The per-access
+//! constants below are CACTI-P-class values for the Table II
+//! geometries at 22 nm; the figures the paper reports (Figs. 1b, 15)
+//! are *ratios between prefetchers*, which are driven by the access
+//! counts the simulator produces, not by the absolute constants.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Access counts consumed by the model, gathered from the simulator's
+/// cache and DRAM statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AccessCounts {
+    /// L1D lookups (demand + prefetch probes).
+    pub l1d_reads: u64,
+    /// L1D fills + store commits.
+    pub l1d_writes: u64,
+    /// L2 lookups.
+    pub l2_reads: u64,
+    /// L2 fills + writebacks into L2.
+    pub l2_writes: u64,
+    /// LLC lookups.
+    pub llc_reads: u64,
+    /// LLC fills + writebacks into LLC.
+    pub llc_writes: u64,
+    /// DRAM line reads.
+    pub dram_reads: u64,
+    /// DRAM line writes.
+    pub dram_writes: u64,
+}
+
+impl AccessCounts {
+    /// Element-wise sum (multi-core aggregation).
+    pub fn add(&mut self, other: &AccessCounts) {
+        self.l1d_reads += other.l1d_reads;
+        self.l1d_writes += other.l1d_writes;
+        self.l2_reads += other.l2_reads;
+        self.l2_writes += other.l2_writes;
+        self.llc_reads += other.llc_reads;
+        self.llc_writes += other.llc_writes;
+        self.dram_reads += other.dram_reads;
+        self.dram_writes += other.dram_writes;
+    }
+}
+
+/// Per-access dynamic energies in nanojoules.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EnergyModel {
+    /// L1D read (48 KiB, 12-way).
+    pub l1d_read_nj: f64,
+    /// L1D write.
+    pub l1d_write_nj: f64,
+    /// L2 read (512 KiB, 8-way).
+    pub l2_read_nj: f64,
+    /// L2 write.
+    pub l2_write_nj: f64,
+    /// LLC read (2 MiB, 16-way).
+    pub llc_read_nj: f64,
+    /// LLC write.
+    pub llc_write_nj: f64,
+    /// DRAM 64-byte read (activate + column + I/O, amortized).
+    pub dram_read_nj: f64,
+    /// DRAM 64-byte write.
+    pub dram_write_nj: f64,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        Self {
+            l1d_read_nj: 0.045,
+            l1d_write_nj: 0.055,
+            l2_read_nj: 0.28,
+            l2_write_nj: 0.32,
+            llc_read_nj: 0.90,
+            llc_write_nj: 1.00,
+            dram_read_nj: 17.0,
+            dram_write_nj: 18.0,
+        }
+    }
+}
+
+/// Dynamic energy per level, in nanojoules.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct EnergyBreakdown {
+    /// L1D array energy.
+    pub l1d_nj: f64,
+    /// L2 array energy.
+    pub l2_nj: f64,
+    /// LLC array energy.
+    pub llc_nj: f64,
+    /// DRAM energy.
+    pub dram_nj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total across the hierarchy.
+    pub fn total_nj(&self) -> f64 {
+        self.l1d_nj + self.l2_nj + self.llc_nj + self.dram_nj
+    }
+
+    /// This breakdown's total relative to a baseline's (the paper's
+    /// "normalized to no prefetching" presentation).
+    pub fn normalized_to(&self, baseline: &EnergyBreakdown) -> f64 {
+        if baseline.total_nj() == 0.0 {
+            0.0
+        } else {
+            self.total_nj() / baseline.total_nj()
+        }
+    }
+}
+
+impl EnergyModel {
+    /// Computes the dynamic energy of the given access mix.
+    pub fn dynamic_energy(&self, c: &AccessCounts) -> EnergyBreakdown {
+        EnergyBreakdown {
+            l1d_nj: c.l1d_reads as f64 * self.l1d_read_nj + c.l1d_writes as f64 * self.l1d_write_nj,
+            l2_nj: c.l2_reads as f64 * self.l2_read_nj + c.l2_writes as f64 * self.l2_write_nj,
+            llc_nj: c.llc_reads as f64 * self.llc_read_nj + c.llc_writes as f64 * self.llc_write_nj,
+            dram_nj: c.dram_reads as f64 * self.dram_read_nj
+                + c.dram_writes as f64 * self.dram_write_nj,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn energy_scales_linearly_with_accesses() {
+        let m = EnergyModel::default();
+        let c1 = AccessCounts {
+            l1d_reads: 100,
+            dram_reads: 10,
+            ..Default::default()
+        };
+        let mut c2 = c1;
+        c2.add(&c1);
+        let e1 = m.dynamic_energy(&c1).total_nj();
+        let e2 = m.dynamic_energy(&c2).total_nj();
+        assert!((e2 - 2.0 * e1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dram_dominates_per_access() {
+        // The hierarchy's energy story (Fig. 15) hinges on DRAM being
+        // orders of magnitude costlier than SRAM per access.
+        let m = EnergyModel::default();
+        assert!(m.dram_read_nj > 10.0 * m.llc_read_nj);
+        assert!(m.llc_read_nj > m.l2_read_nj);
+        assert!(m.l2_read_nj > m.l1d_read_nj);
+    }
+
+    #[test]
+    fn useless_prefetch_traffic_costs_energy() {
+        // Two systems with identical demand behaviour; one adds 50%
+        // useless DRAM traffic — its energy must rise accordingly.
+        let m = EnergyModel::default();
+        let base = AccessCounts {
+            l1d_reads: 1000,
+            l2_reads: 100,
+            llc_reads: 50,
+            dram_reads: 40,
+            ..Default::default()
+        };
+        let mut wasteful = base;
+        wasteful.dram_reads += 20;
+        wasteful.llc_writes += 20;
+        wasteful.l2_writes += 20;
+        let e0 = m.dynamic_energy(&base);
+        let e1 = m.dynamic_energy(&wasteful);
+        let ratio = e1.normalized_to(&e0);
+        assert!(ratio > 1.2, "ratio {ratio}");
+    }
+
+    #[test]
+    fn normalization_handles_zero_baseline() {
+        let z = EnergyBreakdown::default();
+        assert_eq!(z.normalized_to(&z), 0.0);
+    }
+}

@@ -1,0 +1,622 @@
+//! A set-associative, write-back, non-inclusive cache with in-flight
+//! line tracking, prefetch metadata, and per-kind statistics.
+//!
+//! Lines filled by a miss become visible at `valid_at` (the fill time);
+//! accesses arriving earlier merge into the outstanding miss exactly as
+//! an MSHR merge would. Each line carries the metadata Berti's hardware
+//! keeps next to the L1D: a *prefetched* bit and the 12-bit latency of
+//! the prefetch that brought the line (Fig. 5, "L1D shadow part").
+
+use berti_types::{AccessKind, CacheGeometry, Cycle, Ip};
+
+use crate::mshr::Mshr;
+use crate::replacement::ReplacementPolicy;
+
+/// Width of the per-line latency field (Sec. III-C: 12 bits; overflow
+/// is recorded as zero and skipped by training).
+pub const LATENCY_BITS: u32 = 12;
+
+#[derive(Clone, Copy, Debug)]
+struct Line {
+    /// Full line address (this model stores the whole address rather
+    /// than a truncated tag; the geometry still determines indexing).
+    addr: u64,
+    dirty: bool,
+    /// Brought in by a prefetch and not yet touched by a demand access.
+    prefetched: bool,
+    /// A demand access merged while the line was still in flight
+    /// (a *late* prefetch, Fig. 10's dark bars).
+    demand_merged: bool,
+    /// The line is in flight until this cycle.
+    valid_at: Cycle,
+    /// Latency of the request that brought the line, truncated to
+    /// [`LATENCY_BITS`]; zero means overflow or already-consumed.
+    latency: u16,
+    /// IP of the access that triggered the fill (for prefetch training).
+    ip: Ip,
+    /// Translation of this line in the next level's address space
+    /// (physical line for a virtually-indexed L1D); `u64::MAX` if unset.
+    xlat: u64,
+}
+
+/// A dirty victim that must be written back to the next level.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EvictedLine {
+    /// Line address in this cache's address space.
+    pub addr: u64,
+    /// Line address in the next level's address space (see `xlat`).
+    pub xlat: u64,
+    /// Whether the victim was dirty (needs a writeback).
+    pub dirty: bool,
+    /// Whether the victim was an unused prefetch (accuracy accounting).
+    pub wasted_prefetch: bool,
+}
+
+/// Result of a demand lookup that found the line.
+#[derive(Clone, Copy, Debug)]
+pub struct HitInfo {
+    /// Cycle at which data is available to the requester (includes the
+    /// cache hit latency, or the fill time for in-flight merges).
+    pub ready_at: Cycle,
+    /// This was the first demand touch of a prefetched line that had
+    /// already arrived: a *timely, useful* prefetch.
+    pub timely_prefetch_hit: bool,
+    /// This demand merged into a still-in-flight prefetch: a *late,
+    /// useful* prefetch.
+    pub late_prefetch_hit: bool,
+    /// The stored per-line fill latency (Berti's shadow field); zero if
+    /// overflowed or already consumed. Reading a demand hit consumes it.
+    pub stored_latency: u64,
+    /// IP recorded at fill time.
+    pub fill_ip: Ip,
+}
+
+/// Result of [`Cache::access`].
+#[derive(Clone, Copy, Debug)]
+pub enum AccessOutcome {
+    /// Present (possibly still in flight; see
+    /// [`HitInfo::late_prefetch_hit`] and `ready_at`).
+    Hit(HitInfo),
+    /// Absent; the caller must fetch from the next level and call
+    /// [`Cache::fill`].
+    Miss,
+    /// Absent, and no MSHR entry is free: a demand must stall, a
+    /// prefetch is dropped.
+    MshrFull,
+}
+
+/// Per-cache event counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CacheStats {
+    /// Demand-load hits (including merges into in-flight lines).
+    pub load_hits: u64,
+    /// Demand-load misses.
+    pub load_misses: u64,
+    /// RFO (store) hits.
+    pub rfo_hits: u64,
+    /// RFO misses.
+    pub rfo_misses: u64,
+    /// Writeback requests that found the line.
+    pub wb_hits: u64,
+    /// Writeback requests that allocated.
+    pub wb_misses: u64,
+    /// Prefetch requests that found the line already present.
+    pub pf_already_present: u64,
+    /// Prefetch requests that missed and were sent down (prefetch fills).
+    pub pf_fills: u64,
+    /// Prefetched lines first touched by a demand after arriving.
+    pub pf_useful_timely: u64,
+    /// Prefetched lines whose first demand merged while in flight.
+    pub pf_useful_late: u64,
+    /// Prefetched lines evicted without ever being demanded.
+    pub pf_useless: u64,
+    /// Demand misses forwarded to the next level (read traffic).
+    pub demand_reads_below: u64,
+    /// Prefetch misses forwarded to the next level (prefetch traffic).
+    pub pf_reads_below: u64,
+    /// Dirty writebacks sent to the next level (write traffic).
+    pub writebacks_below: u64,
+}
+
+impl CacheStats {
+    /// Total demand accesses (loads + RFOs).
+    pub fn demand_accesses(&self) -> u64 {
+        self.load_hits + self.load_misses + self.rfo_hits + self.rfo_misses
+    }
+
+    /// Total demand misses.
+    pub fn demand_misses(&self) -> u64 {
+        self.load_misses + self.rfo_misses
+    }
+
+    /// The artifact's accuracy metric (Appendix G):
+    /// `(late + timely useful) / prefetch fills`.
+    pub fn prefetch_accuracy(&self) -> Option<f64> {
+        if self.pf_fills == 0 {
+            return None;
+        }
+        Some((self.pf_useful_timely + self.pf_useful_late) as f64 / self.pf_fills as f64)
+    }
+
+    /// Fraction of useful prefetches that arrived late.
+    pub fn late_fraction(&self) -> Option<f64> {
+        let useful = self.pf_useful_timely + self.pf_useful_late;
+        if useful == 0 {
+            return None;
+        }
+        Some(self.pf_useful_late as f64 / useful as f64)
+    }
+
+    /// Total read+write traffic this cache sent to the next level.
+    pub fn traffic_below(&self) -> u64 {
+        self.demand_reads_below + self.pf_reads_below + self.writebacks_below
+    }
+}
+
+/// A set-associative cache level.
+#[derive(Clone, Debug)]
+pub struct Cache {
+    name: &'static str,
+    geom: CacheGeometry,
+    lines: Vec<Option<Line>>,
+    repl: ReplacementPolicy,
+    mshr: Mshr,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Creates a cache with the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry has zero sets or ways (via
+    /// [`ReplacementPolicy::new`]).
+    pub fn new(name: &'static str, geom: CacheGeometry) -> Self {
+        Self {
+            name,
+            geom,
+            lines: vec![None; geom.sets * geom.ways],
+            repl: ReplacementPolicy::new(geom.replacement, geom.sets, geom.ways),
+            mshr: Mshr::new(geom.mshr_entries),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The cache's display name ("L1D", "L2", "LLC").
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The configured geometry.
+    pub fn geometry(&self) -> &CacheGeometry {
+        &self.geom
+    }
+
+    /// Event counters so far.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Resets event counters (end of warm-up).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    /// Hit latency in cycles.
+    pub fn latency(&self) -> u64 {
+        self.geom.latency
+    }
+
+    /// MSHR occupancy fraction at `now` (Berti's watermark input).
+    pub fn mshr_occupancy_fraction(&mut self, now: Cycle) -> f64 {
+        self.mshr.occupancy_fraction(now)
+    }
+
+    /// Whether an MSHR entry is free at `now`.
+    pub fn mshr_has_free_entry(&mut self, now: Cycle) -> bool {
+        self.mshr.has_free_entry(now)
+    }
+
+    #[inline]
+    fn set_of(&self, addr: u64) -> usize {
+        (addr % self.geom.sets as u64) as usize
+    }
+
+    #[inline]
+    fn slot(&self, set: usize, way: usize) -> usize {
+        set * self.geom.ways + way
+    }
+
+    fn find(&self, addr: u64) -> Option<(usize, usize)> {
+        let set = self.set_of(addr);
+        (0..self.geom.ways)
+            .find(|&w| matches!(self.lines[self.slot(set, w)], Some(l) if l.addr == addr))
+            .map(|w| (set, w))
+    }
+
+    /// Whether `addr` is present (even if still in flight).
+    pub fn probe(&self, addr: u64) -> bool {
+        self.find(addr).is_some()
+    }
+
+    /// Looks up a demand access (`Load`/`Rfo`) or a prefetch probe
+    /// (`Prefetch`) on `addr` at `now`.
+    ///
+    /// On a miss with a free MSHR entry the caller is responsible for
+    /// resolving the miss against the next level and calling
+    /// [`Cache::fill`] with the fill time; this method only accounts the
+    /// lookup. Prefetch probes that find the line present return `Hit`
+    /// without perturbing prefetch-usefulness metadata.
+    pub fn access(&mut self, addr: u64, kind: AccessKind, now: Cycle) -> AccessOutcome {
+        match self.find(addr) {
+            Some((set, way)) => {
+                let slot = self.slot(set, way);
+                let line = self.lines[slot].as_mut().expect("found line exists");
+                match kind {
+                    AccessKind::Load | AccessKind::Rfo | AccessKind::Translation => {
+                        let in_flight = line.valid_at > now;
+                        let timely = line.prefetched && !in_flight;
+                        let late = line.prefetched && in_flight;
+                        if line.prefetched {
+                            line.prefetched = false;
+                            if late {
+                                line.demand_merged = true;
+                            }
+                        }
+                        let stored_latency = u64::from(line.latency);
+                        line.latency = 0; // consumed by this demand touch
+                        if kind == AccessKind::Rfo {
+                            line.dirty = true;
+                        }
+                        let ready_at = if in_flight {
+                            line.valid_at
+                        } else {
+                            now + self.geom.latency
+                        };
+                        let fill_ip = line.ip;
+                        self.repl.on_hit(set, way);
+                        match kind {
+                            AccessKind::Load | AccessKind::Translation => {
+                                self.stats.load_hits += 1
+                            }
+                            AccessKind::Rfo => self.stats.rfo_hits += 1,
+                            _ => unreachable!(),
+                        }
+                        if timely {
+                            self.stats.pf_useful_timely += 1;
+                        }
+                        if late {
+                            self.stats.pf_useful_late += 1;
+                        }
+                        AccessOutcome::Hit(HitInfo {
+                            ready_at,
+                            timely_prefetch_hit: timely,
+                            late_prefetch_hit: late,
+                            stored_latency,
+                            fill_ip,
+                        })
+                    }
+                    AccessKind::Prefetch => {
+                        self.stats.pf_already_present += 1;
+                        self.repl.on_hit(set, way);
+                        let line = self.lines[slot].as_ref().expect("found line exists");
+                        AccessOutcome::Hit(HitInfo {
+                            ready_at: now.max(line.valid_at),
+                            timely_prefetch_hit: false,
+                            late_prefetch_hit: false,
+                            stored_latency: 0,
+                            fill_ip: line.ip,
+                        })
+                    }
+                    AccessKind::Writeback => {
+                        line.dirty = true;
+                        self.repl.on_hit(set, way);
+                        self.stats.wb_hits += 1;
+                        AccessOutcome::Hit(HitInfo {
+                            ready_at: now + self.geom.latency,
+                            timely_prefetch_hit: false,
+                            late_prefetch_hit: false,
+                            stored_latency: 0,
+                            fill_ip: Ip::default(),
+                        })
+                    }
+                }
+            }
+            None => {
+                if !self.mshr.has_free_entry(now) && kind != AccessKind::Writeback {
+                    return AccessOutcome::MshrFull;
+                }
+                match kind {
+                    AccessKind::Load | AccessKind::Translation => self.stats.load_misses += 1,
+                    AccessKind::Rfo => self.stats.rfo_misses += 1,
+                    AccessKind::Prefetch => {}
+                    AccessKind::Writeback => self.stats.wb_misses += 1,
+                }
+                AccessOutcome::Miss
+            }
+        }
+    }
+
+    /// Allocates an MSHR entry for a miss on `addr` that resolves at
+    /// `ready_at`, and accounts the read sent to the next level.
+    pub fn track_miss(&mut self, addr: u64, kind: AccessKind, now: Cycle, ready_at: Cycle) {
+        let ok = self.mshr.allocate(addr, now, ready_at);
+        debug_assert!(ok, "caller must check mshr_has_free_entry first");
+        match kind {
+            AccessKind::Prefetch => self.stats.pf_reads_below += 1,
+            AccessKind::Writeback => {}
+            _ => self.stats.demand_reads_below += 1,
+        }
+    }
+
+    /// Inserts `addr` (arriving at `ready_at`) and returns the victim,
+    /// if one had to be evicted.
+    ///
+    /// `latency` is the measured fill latency to be stored in the
+    /// per-line shadow field (truncated to 12 bits; overflow stores 0,
+    /// Sec. III-C). `xlat` is the line's address in the next level's
+    /// address space (used to route writebacks from a virtually-indexed
+    /// L1D).
+    #[allow(clippy::too_many_arguments)] // mirrors the hardware fill interface
+    pub fn fill(
+        &mut self,
+        addr: u64,
+        kind: AccessKind,
+        now: Cycle,
+        ready_at: Cycle,
+        latency: u64,
+        ip: Ip,
+        xlat: u64,
+    ) -> Option<EvictedLine> {
+        if let Some((set, way)) = self.find(addr) {
+            // Writeback to a present line, or a refill race: update in place.
+            let slot = self.slot(set, way);
+            let line = self.lines[slot].as_mut().expect("present");
+            if kind == AccessKind::Writeback {
+                line.dirty = true;
+            }
+            self.repl.on_hit(set, way);
+            return None;
+        }
+        let set = self.set_of(addr);
+        let way = {
+            let lines = &self.lines;
+            let geom = &self.geom;
+            let base = set * geom.ways;
+            self.repl.victim(set, |w| lines[base + w].is_some())
+        };
+        let slot = self.slot(set, way);
+        let evicted = self.lines[slot].take().map(|old| {
+            if old.prefetched {
+                self.stats.pf_useless += 1;
+            }
+            if old.dirty {
+                self.stats.writebacks_below += 1;
+            }
+            EvictedLine {
+                addr: old.addr,
+                xlat: old.xlat,
+                dirty: old.dirty,
+                wasted_prefetch: old.prefetched,
+            }
+        });
+        let stored_latency = if latency >= (1 << LATENCY_BITS) {
+            0
+        } else {
+            latency as u16
+        };
+        let is_prefetch = kind == AccessKind::Prefetch;
+        if is_prefetch {
+            self.stats.pf_fills += 1;
+        }
+        self.lines[slot] = Some(Line {
+            addr,
+            dirty: kind == AccessKind::Writeback || kind == AccessKind::Rfo,
+            prefetched: is_prefetch,
+            demand_merged: false,
+            valid_at: ready_at,
+            latency: stored_latency,
+            ip,
+            xlat,
+        });
+        self.repl.on_fill(set, way, kind.is_demand());
+        let _ = now;
+        evicted
+    }
+
+    /// The stored shadow latency of `addr` without consuming it
+    /// (testing/diagnostics).
+    pub fn peek_latency(&self, addr: u64) -> Option<u64> {
+        self.find(addr)
+            .map(|(s, w)| u64::from(self.lines[self.slot(s, w)].as_ref().expect("hit").latency))
+    }
+
+    /// Number of resident lines (testing/diagnostics).
+    pub fn resident_lines(&self) -> usize {
+        self.lines.iter().flatten().count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use berti_types::ReplacementKind;
+
+    fn tiny() -> Cache {
+        Cache::new(
+            "T",
+            CacheGeometry {
+                sets: 2,
+                ways: 2,
+                latency: 5,
+                mshr_entries: 2,
+                rq_entries: 8,
+                wq_entries: 8,
+                pq_entries: 8,
+                bandwidth: 2,
+                replacement: ReplacementKind::Lru,
+            },
+        )
+    }
+
+    #[test]
+    fn miss_then_fill_then_hit() {
+        let mut c = tiny();
+        let now = Cycle::new(0);
+        assert!(matches!(c.access(100, AccessKind::Load, now), AccessOutcome::Miss));
+        c.track_miss(100, AccessKind::Load, now, Cycle::new(50));
+        c.fill(100, AccessKind::Load, now, Cycle::new(50), 50, Ip::new(1), 100);
+        match c.access(100, AccessKind::Load, Cycle::new(60)) {
+            AccessOutcome::Hit(h) => assert_eq!(h.ready_at, Cycle::new(65)),
+            other => panic!("expected hit, got {other:?}"),
+        }
+        assert_eq!(c.stats().load_misses, 1);
+        assert_eq!(c.stats().load_hits, 1);
+        assert_eq!(c.stats().demand_reads_below, 1);
+    }
+
+    #[test]
+    fn in_flight_demand_merges() {
+        let mut c = tiny();
+        c.fill(100, AccessKind::Load, Cycle::new(0), Cycle::new(80), 80, Ip::new(1), 100);
+        // A second demand at cycle 10 must wait for the fill, not hit at 15.
+        match c.access(100, AccessKind::Load, Cycle::new(10)) {
+            AccessOutcome::Hit(h) => assert_eq!(h.ready_at, Cycle::new(80)),
+            other => panic!("expected merge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn timely_and_late_prefetch_accounting() {
+        let mut c = tiny();
+        // Timely: prefetch fills at 50; demand arrives at 100.
+        c.fill(1, AccessKind::Prefetch, Cycle::new(0), Cycle::new(50), 50, Ip::new(1), 1);
+        match c.access(1, AccessKind::Load, Cycle::new(100)) {
+            AccessOutcome::Hit(h) => {
+                assert!(h.timely_prefetch_hit);
+                assert!(!h.late_prefetch_hit);
+                assert_eq!(h.stored_latency, 50);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Late: prefetch fills at 500; demand arrives at 100.
+        c.fill(2, AccessKind::Prefetch, Cycle::new(0), Cycle::new(500), 500, Ip::new(1), 2);
+        match c.access(2, AccessKind::Load, Cycle::new(100)) {
+            AccessOutcome::Hit(h) => {
+                assert!(!h.timely_prefetch_hit);
+                assert!(h.late_prefetch_hit);
+                assert_eq!(h.ready_at, Cycle::new(500));
+            }
+            other => panic!("{other:?}"),
+        }
+        let s = c.stats();
+        assert_eq!(s.pf_fills, 2);
+        assert_eq!(s.pf_useful_timely, 1);
+        assert_eq!(s.pf_useful_late, 1);
+        assert_eq!(s.prefetch_accuracy(), Some(1.0));
+        assert_eq!(s.late_fraction(), Some(0.5));
+        // Second touch is a plain hit: latency was consumed.
+        match c.access(1, AccessKind::Load, Cycle::new(200)) {
+            AccessOutcome::Hit(h) => {
+                assert!(!h.timely_prefetch_hit);
+                assert_eq!(h.stored_latency, 0);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn useless_prefetch_counted_on_eviction() {
+        let mut c = tiny();
+        // Set 0 holds even addresses: 0, 2, 4 map to set 0 (2 sets).
+        c.fill(0, AccessKind::Prefetch, Cycle::new(0), Cycle::new(1), 1, Ip::new(1), 0);
+        c.fill(2, AccessKind::Load, Cycle::new(0), Cycle::new(1), 1, Ip::new(1), 2);
+        c.fill(4, AccessKind::Load, Cycle::new(0), Cycle::new(1), 1, Ip::new(1), 4);
+        assert_eq!(c.stats().pf_useless, 1);
+        assert_eq!(c.stats().prefetch_accuracy(), Some(0.0));
+    }
+
+    #[test]
+    fn latency_overflow_stores_zero() {
+        let mut c = tiny();
+        c.fill(1, AccessKind::Prefetch, Cycle::new(0), Cycle::new(1), 4096, Ip::new(1), 1);
+        assert_eq!(c.peek_latency(1), Some(0));
+        c.fill(3, AccessKind::Prefetch, Cycle::new(0), Cycle::new(1), 4095, Ip::new(1), 3);
+        assert_eq!(c.peek_latency(3), Some(4095));
+    }
+
+    #[test]
+    fn mshr_full_blocks_misses() {
+        let mut c = tiny();
+        let now = Cycle::new(0);
+        for a in [10, 12] {
+            assert!(matches!(c.access(a, AccessKind::Load, now), AccessOutcome::Miss));
+            c.track_miss(a, AccessKind::Load, now, Cycle::new(1000));
+        }
+        assert!(matches!(
+            c.access(14, AccessKind::Load, now),
+            AccessOutcome::MshrFull
+        ));
+        // After the fills resolve, misses are accepted again.
+        assert!(matches!(
+            c.access(14, AccessKind::Load, Cycle::new(1001)),
+            AccessOutcome::Miss
+        ));
+    }
+
+    #[test]
+    fn dirty_eviction_returns_writeback() {
+        let mut c = tiny();
+        c.fill(0, AccessKind::Rfo, Cycle::new(0), Cycle::new(1), 1, Ip::new(1), 900);
+        c.fill(2, AccessKind::Load, Cycle::new(0), Cycle::new(1), 1, Ip::new(1), 902);
+        let ev = c.fill(4, AccessKind::Load, Cycle::new(0), Cycle::new(1), 1, Ip::new(1), 904);
+        let ev = ev.expect("dirty victim");
+        assert_eq!(ev.addr, 0);
+        assert_eq!(ev.xlat, 900);
+        assert!(ev.dirty);
+        assert_eq!(c.stats().writebacks_below, 1);
+    }
+
+    #[test]
+    fn writeback_into_present_line_sets_dirty() {
+        let mut c = tiny();
+        c.fill(6, AccessKind::Load, Cycle::new(0), Cycle::new(1), 1, Ip::new(1), 6);
+        assert!(matches!(
+            c.access(6, AccessKind::Writeback, Cycle::new(5)),
+            AccessOutcome::Hit(_)
+        ));
+        // Evicting it now must produce a writeback (set 0: 6%2==0 -> set 0).
+        c.fill(8, AccessKind::Load, Cycle::new(0), Cycle::new(1), 1, Ip::new(1), 8);
+        let ev = c.fill(10, AccessKind::Load, Cycle::new(0), Cycle::new(1), 1, Ip::new(1), 10);
+        assert!(ev.expect("victim").dirty);
+    }
+
+    #[test]
+    fn prefetch_probe_does_not_consume_usefulness() {
+        let mut c = tiny();
+        c.fill(1, AccessKind::Prefetch, Cycle::new(0), Cycle::new(1), 1, Ip::new(1), 1);
+        assert!(matches!(
+            c.access(1, AccessKind::Prefetch, Cycle::new(5)),
+            AccessOutcome::Hit(_)
+        ));
+        // The later demand still counts as a useful prefetch.
+        match c.access(1, AccessKind::Load, Cycle::new(10)) {
+            AccessOutcome::Hit(h) => assert!(h.timely_prefetch_hit),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(c.stats().pf_already_present, 1);
+    }
+
+    #[test]
+    fn rfo_marks_dirty_on_hit() {
+        let mut c = tiny();
+        c.fill(6, AccessKind::Load, Cycle::new(0), Cycle::new(1), 1, Ip::new(1), 6);
+        assert!(matches!(
+            c.access(6, AccessKind::Rfo, Cycle::new(5)),
+            AccessOutcome::Hit(_)
+        ));
+        c.fill(8, AccessKind::Load, Cycle::new(0), Cycle::new(1), 1, Ip::new(1), 8);
+        let ev = c.fill(10, AccessKind::Load, Cycle::new(0), Cycle::new(1), 1, Ip::new(1), 10);
+        assert!(ev.expect("victim").dirty, "RFO hit must dirty the line");
+    }
+}

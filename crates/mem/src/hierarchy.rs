@@ -1,0 +1,983 @@
+//! The per-core memory hierarchy and its shared back end.
+//!
+//! [`Hierarchy`] owns the private L1D and L2, the TLBs, the page table,
+//! and the prefetchers (one hosted at the L1D, optionally one at the
+//! L2). [`SharedMemory`] owns the LLC and the DRAM channel, shared by
+//! all cores in a multi-core simulation.
+//!
+//! Demand flow (Sec. IV-A's ChampSim): translate through dTLB/STLB,
+//! look up the L1D on the *virtual* line; on a miss walk down
+//! L2 → LLC → DRAM on the *physical* line, filling every level on the
+//! way back (non-inclusive, fills propagate up). Prefetch flow
+//! (Sec. III-B): decisions enter the level's prefetch queue with a
+//! timestamp; each cycle the queue head is translated through the STLB
+//! (dropped on a miss), checked for presence, and issued; its measured
+//! latency — fill time minus *queue-insertion* time — is stored in the
+//! L1D line's shadow field for Berti's training.
+
+use std::collections::VecDeque;
+
+use berti_types::{
+    AccessKind, Cycle, FillLevel, Ip, PLine, Ppn, SystemConfig, VAddr, VLine, Vpn,
+};
+
+use crate::cache::{AccessOutcome, Cache, HitInfo};
+use crate::dram::Dram;
+use crate::prefetch::{AccessEvent, FillEvent, PrefetchDecision, Prefetcher};
+use crate::tlb::Tlb;
+use crate::vmem::PageTable;
+
+/// The LLC and DRAM, shared by every core of the simulated system.
+#[derive(Debug)]
+pub struct SharedMemory {
+    /// Last-level cache (physical lines).
+    pub llc: Cache,
+    /// The DRAM channel.
+    pub dram: Dram,
+}
+
+impl SharedMemory {
+    /// Builds the shared back end for `cores` cores (LLC capacity and
+    /// queues scale per core, Table II).
+    pub fn new(cfg: &SystemConfig, cores: usize) -> Self {
+        let scaled = cfg.for_cores(cores.max(1));
+        Self {
+            llc: Cache::new("LLC", scaled.llc),
+            dram: Dram::new(scaled.dram),
+        }
+    }
+
+    /// Resets statistics at the end of warm-up.
+    pub fn reset_stats(&mut self) {
+        self.llc.reset_stats();
+        self.dram.reset_stats();
+    }
+}
+
+/// Result of a demand access.
+#[derive(Clone, Copy, Debug)]
+pub enum DemandOutcome {
+    /// The access was accepted; data is ready at `ready_at`.
+    Done {
+        /// Cycle the data is available to the core.
+        ready_at: Cycle,
+        /// Whether the L1D had the line (including in-flight merges).
+        l1_hit: bool,
+    },
+    /// The L1D MSHR is full; the core must retry next cycle.
+    MshrFull,
+}
+
+/// A demand access request from the core.
+#[derive(Clone, Copy, Debug)]
+pub struct DemandAccess {
+    /// IP of the memory instruction.
+    pub ip: Ip,
+    /// Virtual byte address.
+    pub vaddr: VAddr,
+    /// `Load` or `Rfo`.
+    pub kind: AccessKind,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct QueuedPrefetch {
+    target: VLine,
+    fill_level: FillLevel,
+    enqueued_at: Cycle,
+    trigger_ip: Ip,
+}
+
+/// Drop/issue counters for the prefetch machinery and the TLBs.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FlowStats {
+    /// Decisions accepted into the L1D prefetch queue.
+    pub pf_enqueued: u64,
+    /// Decisions dropped because the PQ was full.
+    pub pf_dropped_pq_full: u64,
+    /// Queued prefetches dropped on an STLB translation miss.
+    pub pf_dropped_stlb_miss: u64,
+    /// Queued prefetches dropped because the target was present.
+    pub pf_dropped_present: u64,
+    /// Queued prefetches dropped because the fill level's MSHR was full.
+    pub pf_dropped_mshr_full: u64,
+    /// L1-bound prefetches demoted to L2 fills because the L1D MSHR was
+    /// saturated at issue time.
+    pub pf_demoted_mshr_full: u64,
+    /// Prefetches issued to the hierarchy (after all checks).
+    pub pf_issued: u64,
+    /// L2-hosted prefetcher decisions accepted into the L2 PQ.
+    pub l2_pf_enqueued: u64,
+    /// L2-hosted prefetcher issues.
+    pub l2_pf_issued: u64,
+    /// Page walks performed (STLB misses).
+    pub page_walks: u64,
+}
+
+/// One core's private memory hierarchy plus hooks into the shared back
+/// end.
+pub struct Hierarchy {
+    l1d: Cache,
+    l2: Cache,
+    dtlb: Tlb,
+    stlb: Tlb,
+    page_table: PageTable,
+    walk_latency: u64,
+    l1_prefetcher: Box<dyn Prefetcher>,
+    l2_prefetcher: Option<Box<dyn Prefetcher>>,
+    l1_pq: VecDeque<QueuedPrefetch>,
+    l2_pq: VecDeque<QueuedPrefetch>,
+    l1_pq_capacity: usize,
+    l2_pq_capacity: usize,
+    /// Event-time cursor: next cycle the L1 PQ may issue.
+    l1_pq_cursor: Cycle,
+    /// Event-time cursor: next cycle the L2 PQ may issue.
+    l2_pq_cursor: Cycle,
+    flow: FlowStats,
+    decisions: Vec<PrefetchDecision>,
+}
+
+impl std::fmt::Debug for Hierarchy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Hierarchy")
+            .field("l1_prefetcher", &self.l1_prefetcher.name())
+            .field(
+                "l2_prefetcher",
+                &self.l2_prefetcher.as_ref().map(|p| p.name()),
+            )
+            .field("flow", &self.flow)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Hierarchy {
+    /// Builds a private hierarchy hosting `l1_prefetcher` at the L1D
+    /// and, optionally, `l2_prefetcher` at the L2.
+    pub fn new(
+        cfg: &SystemConfig,
+        l1_prefetcher: Box<dyn Prefetcher>,
+        l2_prefetcher: Option<Box<dyn Prefetcher>>,
+    ) -> Self {
+        Self {
+            l1d: Cache::new("L1D", cfg.l1d),
+            l2: Cache::new("L2", cfg.l2),
+            dtlb: Tlb::new(cfg.tlb.dtlb_entries, cfg.tlb.dtlb_ways, cfg.tlb.dtlb_latency),
+            stlb: Tlb::new(cfg.tlb.stlb_entries, cfg.tlb.stlb_ways, cfg.tlb.stlb_latency),
+            page_table: PageTable::new(),
+            walk_latency: cfg.tlb.walk_latency,
+            l1_prefetcher,
+            l2_prefetcher,
+            l1_pq: VecDeque::new(),
+            l2_pq: VecDeque::new(),
+            l1_pq_capacity: cfg.l1d.pq_entries,
+            l2_pq_capacity: cfg.l2.pq_entries,
+            l1_pq_cursor: Cycle::ZERO,
+            l2_pq_cursor: Cycle::ZERO,
+            flow: FlowStats::default(),
+            decisions: Vec::new(),
+        }
+    }
+
+    /// The private L1D (statistics, probing).
+    pub fn l1d(&self) -> &Cache {
+        &self.l1d
+    }
+
+    /// The private L2.
+    pub fn l2(&self) -> &Cache {
+        &self.l2
+    }
+
+    /// Prefetch-flow counters.
+    pub fn flow_stats(&self) -> &FlowStats {
+        &self.flow
+    }
+
+    /// The hosted L1D prefetcher.
+    pub fn l1_prefetcher(&self) -> &dyn Prefetcher {
+        self.l1_prefetcher.as_ref()
+    }
+
+    /// The hosted L2 prefetcher, if any.
+    pub fn l2_prefetcher(&self) -> Option<&dyn Prefetcher> {
+        self.l2_prefetcher.as_deref()
+    }
+
+    /// TLB statistics: (dTLB hits, dTLB misses, STLB hits, STLB misses).
+    pub fn tlb_stats(&self) -> (u64, u64, u64, u64) {
+        (
+            self.dtlb.hits(),
+            self.dtlb.misses(),
+            self.stlb.hits(),
+            self.stlb.misses(),
+        )
+    }
+
+    /// Resets statistics at the end of warm-up (cache/TLB contents and
+    /// prefetcher training state are deliberately kept warm).
+    pub fn reset_stats(&mut self) {
+        self.l1d.reset_stats();
+        self.l2.reset_stats();
+        self.dtlb.reset_stats();
+        self.stlb.reset_stats();
+        self.flow = FlowStats::default();
+    }
+
+    /// Translates `vpn`, paying dTLB/STLB/walk latency; returns the
+    /// frame and the translation latency in cycles.
+    fn translate(&mut self, vpn: Vpn, now: Cycle) -> (Ppn, u64) {
+        if let Some(ppn) = self.dtlb.lookup(vpn, now) {
+            return (ppn, self.dtlb.latency());
+        }
+        if let Some(ppn) = self.stlb.lookup(vpn, now) {
+            self.dtlb.insert(vpn, ppn);
+            return (ppn, self.dtlb.latency() + self.stlb.latency());
+        }
+        self.flow.page_walks += 1;
+        let ppn = self.page_table.translate(vpn);
+        self.dtlb.insert(vpn, ppn);
+        self.stlb.insert(vpn, ppn);
+        (
+            ppn,
+            self.dtlb.latency() + self.stlb.latency() + self.walk_latency,
+        )
+    }
+
+    /// Physical line for `vline` within frame `ppn`.
+    #[inline]
+    fn phys_line(ppn: Ppn, vline: VLine) -> PLine {
+        PLine::new(ppn.first_line().raw() + vline.index_in_page())
+    }
+
+    /// A demand access from the core at `now`.
+    pub fn demand_access(
+        &mut self,
+        shared: &mut SharedMemory,
+        req: DemandAccess,
+        now: Cycle,
+    ) -> DemandOutcome {
+        debug_assert!(req.kind.is_demand());
+        let vline = req.vaddr.line();
+        let (ppn, xlat) = self.translate(req.vaddr.page(), now);
+        let pline = Self::phys_line(ppn, vline);
+        let t0 = now + xlat;
+        // Let queued prefetches whose (event-time) turn precedes this
+        // access reach the caches first.
+        self.drain_prefetch_queues(shared, t0);
+
+        match self.l1d.access(vline.raw(), req.kind, t0) {
+            AccessOutcome::Hit(h) => {
+                let occ = self.l1d.mshr_occupancy_fraction(t0);
+                self.notify_l1_access(&AccessEvent {
+                    ip: req.ip,
+                    line: vline,
+                    at: t0,
+                    kind: req.kind,
+                    hit: true,
+                    timely_prefetch_hit: h.timely_prefetch_hit,
+                    late_prefetch_hit: h.late_prefetch_hit,
+                    stored_latency: h.stored_latency,
+                    mshr_occupancy: occ,
+                });
+                DemandOutcome::Done {
+                    ready_at: h.ready_at,
+                    l1_hit: true,
+                }
+            }
+            AccessOutcome::MshrFull => DemandOutcome::MshrFull,
+            AccessOutcome::Miss => {
+                let occ = self.l1d.mshr_occupancy_fraction(t0);
+                self.notify_l1_access(&AccessEvent {
+                    ip: req.ip,
+                    line: vline,
+                    at: t0,
+                    kind: req.kind,
+                    hit: false,
+                    timely_prefetch_hit: false,
+                    late_prefetch_hit: false,
+                    stored_latency: 0,
+                    mshr_occupancy: occ,
+                });
+                let t1 = t0 + self.l1d.latency();
+                let data_at = self.fetch_from_l2(shared, pline, req.kind, req.ip, t1, true);
+                let latency = data_at - t0;
+                self.l1d.track_miss(vline.raw(), req.kind, t0, data_at);
+                let evicted =
+                    self.l1d
+                        .fill(vline.raw(), req.kind, t0, data_at, latency, req.ip, pline.raw());
+                if let Some(ev) = evicted {
+                    if ev.dirty {
+                        self.writeback_to_l2(shared, ev.xlat, data_at);
+                    }
+                    self.l1_prefetcher
+                        .on_eviction(VLine::new(ev.addr), ev.wasted_prefetch);
+                }
+                self.l1_prefetcher.on_fill(&FillEvent {
+                    line: vline,
+                    ip: req.ip,
+                    at: data_at,
+                    latency,
+                    was_prefetch: false,
+                });
+                self.drain_decisions_to_l1_pq(req.ip, t0);
+                DemandOutcome::Done {
+                    ready_at: data_at,
+                    l1_hit: false,
+                }
+            }
+        }
+    }
+
+    /// Invokes the L1D prefetcher and queues its decisions.
+    fn notify_l1_access(&mut self, ev: &AccessEvent) {
+        debug_assert!(self.decisions.is_empty());
+        self.l1_prefetcher.on_access(ev, &mut self.decisions);
+        self.drain_decisions_to_l1_pq(ev.ip, ev.at);
+    }
+
+    fn drain_decisions_to_l1_pq(&mut self, ip: Ip, now: Cycle) {
+        for d in self.decisions.drain(..) {
+            // Hardware checks the cache and the PQ before allocating a
+            // PQ entry; without this, repeated decisions for lines
+            // already fetched would evict the useful frontier entries
+            // from the 16-entry queue.
+            if self.l1d.probe(d.target.raw())
+                || self.l1_pq.iter().any(|q| q.target == d.target)
+            {
+                self.flow.pf_dropped_present += 1;
+                continue;
+            }
+            if self.l1_pq.len() >= self.l1_pq_capacity {
+                self.flow.pf_dropped_pq_full += 1;
+                continue;
+            }
+            self.flow.pf_enqueued += 1;
+            self.l1_pq.push_back(QueuedPrefetch {
+                target: d.target,
+                fill_level: d.fill_level,
+                enqueued_at: now,
+                trigger_ip: ip,
+            });
+        }
+    }
+
+    fn drain_decisions_to_l2_pq(&mut self, ip: Ip, now: Cycle) {
+        for d in self.decisions.drain(..) {
+            if self.l2.probe(d.target.raw())
+                || self.l2_pq.iter().any(|q| q.target == d.target)
+            {
+                self.flow.pf_dropped_present += 1;
+                continue;
+            }
+            if self.l2_pq.len() >= self.l2_pq_capacity {
+                self.flow.pf_dropped_pq_full += 1;
+                continue;
+            }
+            self.flow.l2_pf_enqueued += 1;
+            self.l2_pq.push_back(QueuedPrefetch {
+                target: d.target,
+                fill_level: d.fill_level,
+                enqueued_at: now,
+                trigger_ip: ip,
+            });
+        }
+    }
+
+    /// Fetches `pline` from the L2 (recursing into LLC/DRAM on a miss);
+    /// returns the data-ready cycle. `fill_l2` is false only for
+    /// LLC-only prefetch fills.
+    fn fetch_from_l2(
+        &mut self,
+        shared: &mut SharedMemory,
+        pline: PLine,
+        kind: AccessKind,
+        ip: Ip,
+        t1: Cycle,
+        fill_l2: bool,
+    ) -> Cycle {
+        let outcome = self.l2.access(pline.raw(), kind, t1);
+        match outcome {
+            AccessOutcome::Hit(h) => {
+                if kind.is_demand() {
+                    self.notify_l2_access(pline, ip, t1, kind, Some(h));
+                }
+                h.ready_at
+            }
+            AccessOutcome::Miss | AccessOutcome::MshrFull => {
+                // Demands always proceed (the L1D MSHR is the core's
+                // gate); an L2 MSHR overflow only loses occupancy
+                // tracking, never correctness.
+                if kind.is_demand() {
+                    self.notify_l2_access(pline, ip, t1, kind, None);
+                }
+                let t2 = t1 + self.l2.latency();
+                let data_at = Self::fetch_from_llc(shared, pline, kind, t2);
+                if self.l2.mshr_has_free_entry(t1) {
+                    self.l2.track_miss(pline.raw(), kind, t1, data_at);
+                }
+                if fill_l2 {
+                    let latency = data_at - t1;
+                    let evicted = self.l2.fill(
+                        pline.raw(),
+                        kind,
+                        t1,
+                        data_at,
+                        latency,
+                        ip,
+                        pline.raw(),
+                    );
+                    if let Some(ev) = evicted {
+                        if ev.dirty {
+                            Self::writeback_to_llc(shared, ev.xlat, data_at);
+                        }
+                        if let Some(p) = self.l2_prefetcher.as_mut() {
+                            p.on_eviction(VLine::new(ev.addr), ev.wasted_prefetch);
+                        }
+                    }
+                    if let Some(p) = self.l2_prefetcher.as_mut() {
+                        p.on_fill(&FillEvent {
+                            line: VLine::new(pline.raw()),
+                            ip,
+                            at: data_at,
+                            latency,
+                            was_prefetch: kind == AccessKind::Prefetch,
+                        });
+                    }
+                }
+                data_at
+            }
+        }
+    }
+
+    /// Invokes the L2-hosted prefetcher on a demand access reaching L2.
+    fn notify_l2_access(
+        &mut self,
+        pline: PLine,
+        ip: Ip,
+        at: Cycle,
+        kind: AccessKind,
+        hit: Option<HitInfo>,
+    ) {
+        let occ = self.l2.mshr_occupancy_fraction(at);
+        if let Some(p) = self.l2_prefetcher.as_mut() {
+            debug_assert!(self.decisions.is_empty());
+            p.on_access(
+                &AccessEvent {
+                    ip,
+                    line: VLine::new(pline.raw()),
+                    at,
+                    kind,
+                    hit: hit.is_some(),
+                    timely_prefetch_hit: hit.is_some_and(|h| h.timely_prefetch_hit),
+                    late_prefetch_hit: hit.is_some_and(|h| h.late_prefetch_hit),
+                    stored_latency: hit.map_or(0, |h| h.stored_latency),
+                    mshr_occupancy: occ,
+                },
+                &mut self.decisions,
+            );
+            self.drain_decisions_to_l2_pq(ip, at);
+        }
+    }
+
+    /// Fetches `pline` from the LLC (recursing into DRAM on a miss).
+    fn fetch_from_llc(
+        shared: &mut SharedMemory,
+        pline: PLine,
+        kind: AccessKind,
+        t2: Cycle,
+    ) -> Cycle {
+        match shared.llc.access(pline.raw(), kind, t2) {
+            AccessOutcome::Hit(h) => h.ready_at,
+            AccessOutcome::Miss | AccessOutcome::MshrFull => {
+                let t3 = t2 + shared.llc.latency();
+                let data_at = shared.dram.read(pline.raw(), t3);
+                if shared.llc.mshr_has_free_entry(t2) {
+                    shared.llc.track_miss(pline.raw(), kind, t2, data_at);
+                }
+                let evicted = shared.llc.fill(
+                    pline.raw(),
+                    kind,
+                    t2,
+                    data_at,
+                    data_at - t2,
+                    Ip::default(),
+                    pline.raw(),
+                );
+                if let Some(ev) = evicted {
+                    if ev.dirty {
+                        shared.dram.write(ev.xlat, data_at);
+                    }
+                }
+                data_at
+            }
+        }
+    }
+
+    /// A dirty L1D victim lands in the L2 (allocating if absent).
+    fn writeback_to_l2(&mut self, shared: &mut SharedMemory, pline_raw: u64, at: Cycle) {
+        match self.l2.access(pline_raw, AccessKind::Writeback, at) {
+            AccessOutcome::Hit(_) => {}
+            _ => {
+                let evicted = self.l2.fill(
+                    pline_raw,
+                    AccessKind::Writeback,
+                    at,
+                    at,
+                    0,
+                    Ip::default(),
+                    pline_raw,
+                );
+                if let Some(ev) = evicted {
+                    if ev.dirty {
+                        Self::writeback_to_llc(shared, ev.xlat, at);
+                    }
+                }
+            }
+        }
+    }
+
+    /// A dirty L2 victim lands in the LLC (allocating if absent).
+    fn writeback_to_llc(shared: &mut SharedMemory, pline_raw: u64, at: Cycle) {
+        match shared.llc.access(pline_raw, AccessKind::Writeback, at) {
+            AccessOutcome::Hit(_) => {}
+            _ => {
+                let evicted = shared.llc.fill(
+                    pline_raw,
+                    AccessKind::Writeback,
+                    at,
+                    at,
+                    0,
+                    Ip::default(),
+                    pline_raw,
+                );
+                if let Some(ev) = evicted {
+                    if ev.dirty {
+                        shared.dram.write(ev.xlat, at);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Advances the prefetch machinery to (wall-clock) `now`: issues
+    /// queued prefetches whose turn has come.
+    pub fn tick(&mut self, shared: &mut SharedMemory, now: Cycle) {
+        self.drain_prefetch_queues(shared, now);
+    }
+
+    /// Issues queued prefetches up to event time `upto`, one per
+    /// elapsed cycle per queue. The out-of-order core executes demand
+    /// accesses at dispatch with *event-time* stamps that can run ahead
+    /// of the wall clock; draining the queues against the same event
+    /// clock keeps the demand/prefetch race faithful (a prefetch
+    /// enqueued at event time T reaches the caches at T+1, before a
+    /// demand stamped T+k).
+    fn drain_prefetch_queues(&mut self, shared: &mut SharedMemory, upto: Cycle) {
+        while let Some(&q) = self.l1_pq.front() {
+            let at = self.l1_pq_cursor.max(q.enqueued_at + 1);
+            if at > upto {
+                break;
+            }
+            self.issue_one_l1_prefetch(shared, q, at);
+            self.l1_pq.pop_front();
+            self.l1_pq_cursor = at + 1;
+        }
+        while let Some(&q) = self.l2_pq.front() {
+            let at = self.l2_pq_cursor.max(q.enqueued_at + 1);
+            if at > upto {
+                break;
+            }
+            self.issue_one_l2_prefetch(shared, q, at);
+            self.l2_pq.pop_front();
+            self.l2_pq_cursor = at + 1;
+        }
+    }
+
+    /// Pending entries in the L1D prefetch queue (diagnostics).
+    pub fn l1_pq_len(&self) -> usize {
+        self.l1_pq.len()
+    }
+
+    fn issue_one_l1_prefetch(&mut self, shared: &mut SharedMemory, q: QueuedPrefetch, at: Cycle) {
+        // Translate through the STLB (Sec. III-B); drop on a miss. The
+        // miss still triggers a page walk that installs the translation
+        // (the program's arrays are mapped ahead of the demand stream),
+        // so only the first prefetch into a page is lost — without this
+        // an ascending stream could never prefetch across pages at all,
+        // contradicting the paper's cross-page results (Sec. IV-J).
+        let vpn = q.target.page();
+        let ppn = match self.stlb.probe(vpn).or_else(|| self.dtlb.probe(vpn)) {
+            Some(p) => p,
+            None => {
+                let ppn = self.page_table.translate(vpn);
+                self.stlb.insert(vpn, ppn);
+                self.flow.pf_dropped_stlb_miss += 1;
+                return;
+            }
+        };
+        let pline = Self::phys_line(ppn, q.target);
+        match q.fill_level {
+            FillLevel::L1 => {
+                if self.l1d.probe(q.target.raw()) {
+                    self.flow.pf_dropped_present += 1;
+                    return;
+                }
+                if !self.l1d.mshr_has_free_entry(at) {
+                    // MSHR saturated: demote this request to an L2 fill
+                    // (Sec. III-B: above the occupancy watermark,
+                    // "prefetch requests get filled till L2") instead
+                    // of blocking the queue head.
+                    let t1 = at + self.l1d.latency();
+                    let _ = self.fetch_from_l2(
+                        shared,
+                        pline,
+                        AccessKind::Prefetch,
+                        q.trigger_ip,
+                        t1,
+                        true,
+                    );
+                    self.flow.pf_demoted_mshr_full += 1;
+                    self.flow.pf_issued += 1;
+                    return;
+                }
+                let t1 = at + self.l1d.latency();
+                let data_at =
+                    self.fetch_from_l2(shared, pline, AccessKind::Prefetch, q.trigger_ip, t1, true);
+                // Berti measures prefetch latency from PQ insertion.
+                let latency = data_at - q.enqueued_at;
+                self.l1d.track_miss(q.target.raw(), AccessKind::Prefetch, at, data_at);
+                let evicted = self.l1d.fill(
+                    q.target.raw(),
+                    AccessKind::Prefetch,
+                    at,
+                    data_at,
+                    latency,
+                    q.trigger_ip,
+                    pline.raw(),
+                );
+                if let Some(ev) = evicted {
+                    if ev.dirty {
+                        self.writeback_to_l2(shared, ev.xlat, data_at);
+                    }
+                    self.l1_prefetcher
+                        .on_eviction(VLine::new(ev.addr), ev.wasted_prefetch);
+                }
+                self.flow.pf_issued += 1;
+                self.l1_prefetcher.on_fill(&FillEvent {
+                    line: q.target,
+                    ip: q.trigger_ip,
+                    at: data_at,
+                    latency,
+                    was_prefetch: true,
+                });
+            }
+            FillLevel::L2 => {
+                if self.l2.probe(pline.raw()) {
+                    self.flow.pf_dropped_present += 1;
+                    return;
+                }
+                if !self.l2.mshr_has_free_entry(at) {
+                    self.flow.pf_dropped_mshr_full += 1;
+                    return;
+                }
+                let t1 = at + self.l1d.latency();
+                let _ =
+                    self.fetch_from_l2(shared, pline, AccessKind::Prefetch, q.trigger_ip, t1, true);
+                self.flow.pf_issued += 1;
+            }
+            FillLevel::Llc => {
+                if shared.llc.probe(pline.raw()) {
+                    self.flow.pf_dropped_present += 1;
+                    return;
+                }
+                if !shared.llc.mshr_has_free_entry(at) {
+                    self.flow.pf_dropped_mshr_full += 1;
+                    return;
+                }
+                let t2 = at + self.l1d.latency() + self.l2.latency();
+                let _ = Self::fetch_from_llc(shared, pline, AccessKind::Prefetch, t2);
+                self.flow.pf_issued += 1;
+            }
+        }
+    }
+
+    fn issue_one_l2_prefetch(&mut self, shared: &mut SharedMemory, q: QueuedPrefetch, at: Cycle) {
+        // L2 prefetchers already operate on physical lines.
+        let pline = PLine::new(q.target.raw());
+        match q.fill_level {
+            FillLevel::L1 | FillLevel::L2 => {
+                if self.l2.probe(pline.raw()) {
+                    self.flow.pf_dropped_present += 1;
+                    return;
+                }
+                if !self.l2.mshr_has_free_entry(at) {
+                    self.flow.pf_dropped_mshr_full += 1;
+                    return;
+                }
+                let _ =
+                    self.fetch_from_l2(shared, pline, AccessKind::Prefetch, q.trigger_ip, at, true);
+                self.flow.l2_pf_issued += 1;
+            }
+            FillLevel::Llc => {
+                if shared.llc.probe(pline.raw()) {
+                    self.flow.pf_dropped_present += 1;
+                    return;
+                }
+                let t2 = at + self.l2.latency();
+                let _ = Self::fetch_from_llc(shared, pline, AccessKind::Prefetch, t2);
+                self.flow.l2_pf_issued += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prefetch::NullPrefetcher;
+    use berti_types::Delta;
+
+    fn system() -> (Hierarchy, SharedMemory) {
+        let cfg = SystemConfig::default();
+        (
+            Hierarchy::new(&cfg, Box::new(NullPrefetcher), None),
+            SharedMemory::new(&cfg, 1),
+        )
+    }
+
+    fn load(ip: u64, vaddr: u64) -> DemandAccess {
+        DemandAccess {
+            ip: Ip::new(ip),
+            vaddr: VAddr::new(vaddr),
+            kind: AccessKind::Load,
+        }
+    }
+
+    #[test]
+    fn cold_miss_then_warm_hit() {
+        let (mut h, mut s) = system();
+        let miss = h.demand_access(&mut s, load(1, 0x1000), Cycle::new(0));
+        let DemandOutcome::Done { ready_at: t_miss, l1_hit } = miss else {
+            panic!("unexpected stall");
+        };
+        assert!(!l1_hit);
+        // Cold: walk + L1D + L2 + LLC + DRAM activation — hundreds of cycles.
+        assert!(t_miss.raw() > 100, "cold miss too fast: {t_miss}");
+        let hit = h.demand_access(&mut s, load(1, 0x1000), t_miss + 10);
+        let DemandOutcome::Done { ready_at, l1_hit } = hit else {
+            panic!("unexpected stall");
+        };
+        assert!(l1_hit);
+        // dTLB (1) + L1D (5).
+        assert_eq!(ready_at - (t_miss + 10), 6);
+    }
+
+    #[test]
+    fn non_inclusive_fill_populates_l2() {
+        let (mut h, mut s) = system();
+        let DemandOutcome::Done { ready_at, .. } =
+            h.demand_access(&mut s, load(1, 0x1000), Cycle::new(0))
+        else {
+            panic!()
+        };
+        // The physical line is in L2 and LLC as well.
+        assert_eq!(h.l2().stats().load_misses, 1);
+        assert_eq!(s.llc.stats().load_misses, 1);
+        assert_eq!(s.dram.stats().reads, 1);
+        // Re-access after eviction from L1D only would hit L2; emulate by
+        // direct L2 access through another demand far in the future.
+        let DemandOutcome::Done { ready_at: t2, .. } =
+            h.demand_access(&mut s, load(1, 0x1000), ready_at + 100)
+        else {
+            panic!()
+        };
+        assert!(t2 > ready_at);
+    }
+
+    #[test]
+    fn mshr_pressure_stalls_demands() {
+        let cfg = SystemConfig::default();
+        let mut h = Hierarchy::new(&cfg, Box::new(NullPrefetcher), None);
+        let mut s = SharedMemory::new(&cfg, 1);
+        let mut stalled = false;
+        // Issue misses to distinct lines at the same cycle until the
+        // 16-entry L1D MSHR fills.
+        for i in 0..32 {
+            match h.demand_access(&mut s, load(1, 0x10_0000 + i * 64), Cycle::new(0)) {
+                DemandOutcome::Done { .. } => {}
+                DemandOutcome::MshrFull => {
+                    stalled = true;
+                    break;
+                }
+            }
+        }
+        assert!(stalled, "L1D MSHR must eventually refuse new misses");
+    }
+
+    /// A prefetcher that, on every demand access, asks for the next
+    /// `degree` lines.
+    struct NextN {
+        degree: i32,
+        level: FillLevel,
+    }
+    impl Prefetcher for NextN {
+        fn name(&self) -> &'static str {
+            "nextn"
+        }
+        fn storage_bits(&self) -> u64 {
+            0
+        }
+        fn on_access(&mut self, ev: &AccessEvent, out: &mut Vec<PrefetchDecision>) {
+            for d in 1..=self.degree {
+                out.push(PrefetchDecision {
+                    target: ev.line + Delta::new(d),
+                    fill_level: self.level,
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn l1_prefetch_turns_future_miss_into_hit() {
+        let cfg = SystemConfig::default();
+        let mut h = Hierarchy::new(
+            &cfg,
+            Box::new(NextN {
+                degree: 1,
+                level: FillLevel::L1,
+            }),
+            None,
+        );
+        let mut s = SharedMemory::new(&cfg, 1);
+        let DemandOutcome::Done { ready_at, .. } =
+            h.demand_access(&mut s, load(1, 0x4000), Cycle::new(0))
+        else {
+            panic!()
+        };
+        // Let the PQ issue and the prefetch land.
+        let mut now = Cycle::new(1);
+        for _ in 0..3000 {
+            h.tick(&mut s, now);
+            now += 1;
+        }
+        assert!(now > ready_at);
+        let DemandOutcome::Done { l1_hit, .. } =
+            h.demand_access(&mut s, load(1, 0x4040), now)
+        else {
+            panic!()
+        };
+        assert!(l1_hit, "prefetched next line should hit");
+        assert_eq!(h.l1d().stats().pf_useful_timely, 1);
+        assert_eq!(h.flow_stats().pf_issued, 1);
+    }
+
+    #[test]
+    fn l2_fill_level_leaves_l1_cold_but_l2_warm() {
+        let cfg = SystemConfig::default();
+        let mut h = Hierarchy::new(
+            &cfg,
+            Box::new(NextN {
+                degree: 1,
+                level: FillLevel::L2,
+            }),
+            None,
+        );
+        let mut s = SharedMemory::new(&cfg, 1);
+        let _ = h.demand_access(&mut s, load(1, 0x4000), Cycle::new(0));
+        let mut now = Cycle::new(1);
+        for _ in 0..3000 {
+            h.tick(&mut s, now);
+            now += 1;
+        }
+        let DemandOutcome::Done { l1_hit, ready_at } =
+            h.demand_access(&mut s, load(1, 0x4040), now)
+        else {
+            panic!()
+        };
+        assert!(!l1_hit, "L2-level prefetch must not fill L1D");
+        // But it is an L2 hit: much faster than DRAM.
+        assert!(ready_at - now < 60, "expected L2-hit latency");
+        assert_eq!(h.l2().stats().pf_fills, 1);
+    }
+
+    #[test]
+    fn cross_page_prefetch_dropped_without_translation() {
+        let cfg = SystemConfig::default();
+        let mut h = Hierarchy::new(
+            &cfg,
+            Box::new(NextN {
+                degree: 1,
+                level: FillLevel::L1,
+            }),
+            None,
+        );
+        let mut s = SharedMemory::new(&cfg, 1);
+        // Last line of page 0x4: the next line is in an untouched page.
+        let _ = h.demand_access(&mut s, load(1, 0x4FC0), Cycle::new(0));
+        let mut now = Cycle::new(1);
+        for _ in 0..100_000 {
+            h.tick(&mut s, now);
+            now += 1;
+        }
+        assert!(
+            h.flow_stats().pf_dropped_stlb_miss > 0,
+            "prefetches into untouched pages must be dropped at the STLB"
+        );
+    }
+
+    #[test]
+    fn pq_capacity_drops_excess_decisions() {
+        let cfg = SystemConfig::default();
+        let mut h = Hierarchy::new(
+            &cfg,
+            Box::new(NextN {
+                degree: 40, // more than the 16-entry PQ
+                level: FillLevel::L1,
+            }),
+            None,
+        );
+        let mut s = SharedMemory::new(&cfg, 1);
+        let _ = h.demand_access(&mut s, load(1, 0x4000), Cycle::new(0));
+        assert!(h.flow_stats().pf_dropped_pq_full > 0);
+        assert!(h.l1_pq_len() <= cfg.l1d.pq_entries);
+    }
+
+    #[test]
+    fn duplicate_prefetch_dropped_as_present() {
+        let cfg = SystemConfig::default();
+        let mut h = Hierarchy::new(
+            &cfg,
+            Box::new(NextN {
+                degree: 1,
+                level: FillLevel::L1,
+            }),
+            None,
+        );
+        let mut s = SharedMemory::new(&cfg, 1);
+        let _ = h.demand_access(&mut s, load(1, 0x4000), Cycle::new(0));
+        let mut now = Cycle::new(1);
+        for _ in 0..3000 {
+            h.tick(&mut s, now);
+            now += 1;
+        }
+        // Same access again re-requests the same target, now present.
+        let _ = h.demand_access(&mut s, load(1, 0x4000), now);
+        for _ in 0..3000 {
+            h.tick(&mut s, now);
+            now += 1;
+        }
+        assert!(h.flow_stats().pf_dropped_present >= 1);
+    }
+
+    #[test]
+    fn page_walks_counted_once_per_page() {
+        let (mut h, mut s) = system();
+        let _ = h.demand_access(&mut s, load(1, 0x1000), Cycle::new(0));
+        let _ = h.demand_access(&mut s, load(1, 0x1040), Cycle::new(1000));
+        let _ = h.demand_access(&mut s, load(1, 0x2000), Cycle::new(2000));
+        assert_eq!(h.flow_stats().page_walks, 2);
+        let (dh, dm, _, sm) = h.tlb_stats();
+        assert_eq!(dh, 1);
+        assert_eq!(dm, 2);
+        assert_eq!(sm, 2);
+    }
+}

@@ -1,0 +1,128 @@
+//! The prefetcher interface.
+//!
+//! Both Berti (`berti-core`) and every baseline (`berti-prefetchers`)
+//! implement [`Prefetcher`]. The host cache drives the prefetcher with
+//! demand-access and fill events and collects [`PrefetchDecision`]s,
+//! which the hierarchy inserts into the level's prefetch queue.
+//!
+//! L1D prefetchers train on *virtual* lines; when the same trait is
+//! hosted at the L2 (SPP-PPF, Bingo, IPCP-L2, MISB), the `line` field
+//! carries the physical line reinterpreted in the same type — the
+//! prefetcher only ever does line arithmetic on it.
+
+use berti_types::{AccessKind, Cycle, FillLevel, Ip, VLine};
+
+/// A demand access observed by the host cache.
+#[derive(Clone, Copy, Debug)]
+pub struct AccessEvent {
+    /// Instruction pointer of the memory instruction.
+    pub ip: Ip,
+    /// Line address in the host level's training address space.
+    pub line: VLine,
+    /// Current cycle (access issue time).
+    pub at: Cycle,
+    /// Load or RFO.
+    pub kind: AccessKind,
+    /// The line was present (including still-in-flight merges).
+    pub hit: bool,
+    /// First demand touch of a prefetched line that had arrived in time.
+    pub timely_prefetch_hit: bool,
+    /// Demand merged into a still-in-flight prefetch.
+    pub late_prefetch_hit: bool,
+    /// Shadow fill latency stored with the line (nonzero only on the
+    /// first demand touch of a prefetched line; Berti trains on it).
+    pub stored_latency: u64,
+    /// Host-level MSHR occupancy in [0, 1] (Berti's 70 % watermark).
+    pub mshr_occupancy: f64,
+}
+
+/// A fill observed by the host cache.
+#[derive(Clone, Copy, Debug)]
+pub struct FillEvent {
+    /// Line address in the host level's training address space.
+    pub line: VLine,
+    /// IP of the access that triggered the miss (prefetch fills carry
+    /// the IP of the triggering demand access).
+    pub ip: Ip,
+    /// Fill completion cycle.
+    pub at: Cycle,
+    /// Measured fetch latency: fill time minus the MSHR (demand) or
+    /// prefetch-queue (prefetch) timestamp, Sec. III-A.
+    pub latency: u64,
+    /// The fill was caused by a prefetch request.
+    pub was_prefetch: bool,
+}
+
+/// A prefetch the prefetcher wants issued.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PrefetchDecision {
+    /// Target line in the host level's training address space.
+    pub target: VLine,
+    /// Innermost level the fetched line should fill.
+    pub fill_level: FillLevel,
+}
+
+/// A hardware data prefetcher hosted at one cache level.
+pub trait Prefetcher {
+    /// Short display name ("berti", "ipcp", ...).
+    fn name(&self) -> &'static str;
+
+    /// Hardware budget in bits (Fig. 7's storage axis).
+    fn storage_bits(&self) -> u64;
+
+    /// Observes a demand access and appends prefetch decisions to `out`.
+    fn on_access(&mut self, ev: &AccessEvent, out: &mut Vec<PrefetchDecision>);
+
+    /// Observes a fill (demand or prefetch).
+    fn on_fill(&mut self, _ev: &FillEvent) {}
+
+    /// Observes an eviction from the host cache. `wasted_prefetch` is
+    /// true when the victim was brought in by a prefetch and never
+    /// demanded — the negative-feedback signal filters like PPF train
+    /// on.
+    fn on_eviction(&mut self, _line: VLine, _wasted_prefetch: bool) {}
+}
+
+/// A prefetcher that never prefetches (the "no prefetching" baseline).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullPrefetcher;
+
+impl Prefetcher for NullPrefetcher {
+    fn name(&self) -> &'static str {
+        "none"
+    }
+
+    fn storage_bits(&self) -> u64 {
+        0
+    }
+
+    fn on_access(&mut self, _ev: &AccessEvent, _out: &mut Vec<PrefetchDecision>) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_prefetcher_is_silent() {
+        let mut p = NullPrefetcher;
+        let mut out = Vec::new();
+        p.on_access(
+            &AccessEvent {
+                ip: Ip::new(1),
+                line: VLine::new(10),
+                at: Cycle::ZERO,
+                kind: AccessKind::Load,
+                hit: false,
+                timely_prefetch_hit: false,
+                late_prefetch_hit: false,
+                stored_latency: 0,
+                mshr_occupancy: 0.0,
+            },
+            &mut out,
+        );
+        assert!(out.is_empty());
+        assert_eq!(p.storage_bits(), 0);
+        assert_eq!(p.name(), "none");
+    }
+}

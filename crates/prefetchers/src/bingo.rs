@@ -1,0 +1,264 @@
+//! The Bingo spatial data prefetcher (HPCA 2019): associates the
+//! footprint of a 2 KB region with both a *long* event (PC ⊕ trigger
+//! address) and a *short* event (PC ⊕ trigger offset) in a single
+//! pattern history table, looking the long event up first (Sec. II-A).
+//!
+//! Table III: 2 KB region, 64-entry filter table, 128-entry
+//! accumulation table, 4 K-entry PHT.
+
+use berti_mem::{AccessEvent, PrefetchDecision, Prefetcher};
+use berti_types::{Delta, FillLevel, VLine};
+
+/// Region size in cache lines (2 KB).
+const REGION_LINES: u64 = 32;
+/// Filter-table entries (regions with exactly one access so far).
+const FT_ENTRIES: usize = 64;
+/// Accumulation-table entries (regions being recorded).
+const AT_ENTRIES: usize = 128;
+/// Pattern-history-table entries.
+const PHT_ENTRIES: usize = 4096;
+
+#[derive(Clone, Copy, Debug, Default)]
+struct FtEntry {
+    region: u64,
+    pc: u64,
+    trigger_offset: u32,
+    last_use: u64,
+    valid: bool,
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct AtEntry {
+    region: u64,
+    pc: u64,
+    trigger_offset: u32,
+    footprint: u32,
+    last_use: u64,
+    valid: bool,
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct PhtEntry {
+    key: u64,
+    footprint: u32,
+    valid: bool,
+}
+
+/// The Bingo prefetcher.
+#[derive(Clone, Debug)]
+pub struct Bingo {
+    ft: Vec<FtEntry>,
+    at: Vec<AtEntry>,
+    pht: Vec<PhtEntry>,
+    tick: u64,
+    fill_level: FillLevel,
+}
+
+impl Default for Bingo {
+    fn default() -> Self {
+        Self::new(FillLevel::L2)
+    }
+}
+
+impl Bingo {
+    /// Creates a Bingo instance prefetching into `fill_level`.
+    pub fn new(fill_level: FillLevel) -> Self {
+        Self {
+            ft: vec![FtEntry::default(); FT_ENTRIES],
+            at: vec![AtEntry::default(); AT_ENTRIES],
+            pht: vec![PhtEntry::default(); PHT_ENTRIES],
+            tick: 0,
+            fill_level,
+        }
+    }
+
+    #[inline]
+    fn long_key(pc: u64, line: VLine) -> u64 {
+        (pc << 20) ^ line.raw() ^ 0x5851_f42d
+    }
+
+    #[inline]
+    fn short_key(pc: u64, offset: u32) -> u64 {
+        (pc << 6) ^ u64::from(offset) ^ 0x9e37_79b9
+    }
+
+    fn pht_store(&mut self, key: u64, footprint: u32) {
+        let slot = (key % PHT_ENTRIES as u64) as usize;
+        self.pht[slot] = PhtEntry {
+            key,
+            footprint,
+            valid: true,
+        };
+    }
+
+    fn pht_lookup(&self, key: u64) -> Option<u32> {
+        let e = &self.pht[(key % PHT_ENTRIES as u64) as usize];
+        (e.valid && e.key == key).then_some(e.footprint)
+    }
+
+    /// Evicts an AT entry into the PHT under both event keys.
+    fn retire_at(&mut self, e: AtEntry) {
+        let region_base = VLine::new(e.region * REGION_LINES);
+        let trigger_line = VLine::new(region_base.raw() + u64::from(e.trigger_offset));
+        self.pht_store(Self::long_key(e.pc, trigger_line), e.footprint);
+        self.pht_store(Self::short_key(e.pc, e.trigger_offset), e.footprint);
+    }
+}
+
+impl Prefetcher for Bingo {
+    fn name(&self) -> &'static str {
+        "bingo"
+    }
+
+    fn storage_bits(&self) -> u64 {
+        // FT: region tag 30 + pc 16 + offset 5; AT adds the 32-bit
+        // footprint; PHT: key tag 16 + footprint 32.
+        FT_ENTRIES as u64 * (30 + 16 + 5 + 5)
+            + AT_ENTRIES as u64 * (30 + 16 + 5 + 32 + 5)
+            + PHT_ENTRIES as u64 * (16 + 32)
+    }
+
+    fn on_access(&mut self, ev: &AccessEvent, out: &mut Vec<PrefetchDecision>) {
+        if !ev.kind.is_demand() {
+            return;
+        }
+        self.tick += 1;
+        let tick = self.tick;
+        let region = ev.line.raw() / REGION_LINES;
+        let offset = (ev.line.raw() % REGION_LINES) as u32;
+        let pc = ev.ip.raw();
+
+        // Already accumulating? Record the access.
+        if let Some(i) = self.at.iter().position(|e| e.valid && e.region == region) {
+            let e = &mut self.at[i];
+            e.footprint |= 1 << offset;
+            e.last_use = tick;
+            return;
+        }
+        // Second access to a filtered region: promote FT -> AT.
+        if let Some(i) = self.ft.iter().position(|e| e.valid && e.region == region) {
+            let f = self.ft[i];
+            self.ft[i].valid = false;
+            let slot = self
+                .at
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| if e.valid { e.last_use } else { 0 })
+                .map(|(i, _)| i)
+                .expect("nonempty");
+            if self.at[slot].valid {
+                let old = self.at[slot];
+                self.retire_at(old);
+            }
+            self.at[slot] = AtEntry {
+                region,
+                pc: f.pc,
+                trigger_offset: f.trigger_offset,
+                footprint: (1 << f.trigger_offset) | (1 << offset),
+                last_use: tick,
+                valid: true,
+            };
+            return;
+        }
+        // Trigger access to an untracked region: predict, then track.
+        let footprint = self
+            .pht_lookup(Self::long_key(pc, ev.line))
+            .or_else(|| self.pht_lookup(Self::short_key(pc, offset)));
+        if let Some(fp) = footprint {
+            let region_base = region * REGION_LINES;
+            for bit in 0..REGION_LINES as u32 {
+                if bit != offset && fp & (1 << bit) != 0 {
+                    let target = VLine::new(region_base + u64::from(bit));
+                    out.push(PrefetchDecision {
+                        target: target + Delta::ZERO,
+                        fill_level: self.fill_level,
+                    });
+                }
+            }
+        }
+        let slot = self
+            .ft
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, e)| if e.valid { e.last_use } else { 0 })
+            .map(|(i, _)| i)
+            .expect("nonempty");
+        self.ft[slot] = FtEntry {
+            region,
+            pc,
+            trigger_offset: offset,
+            last_use: tick,
+            valid: true,
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use berti_types::{AccessKind, Cycle, Ip};
+
+    fn ev(ip: u64, line: u64) -> AccessEvent {
+        AccessEvent {
+            ip: Ip::new(ip),
+            line: VLine::new(line),
+            at: Cycle::ZERO,
+            kind: AccessKind::Load,
+            hit: false,
+            timely_prefetch_hit: false,
+            late_prefetch_hit: false,
+            stored_latency: 0,
+            mshr_occupancy: 0.0,
+        }
+    }
+
+    /// Touch a region with a fixed sparse footprint pattern.
+    fn touch_region(p: &mut Bingo, region: u64, pattern: &[u64], out: &mut Vec<PrefetchDecision>) {
+        for &o in pattern {
+            p.on_access(&ev(0x400, region * REGION_LINES + o), out);
+        }
+    }
+
+    #[test]
+    fn replays_learned_footprint_on_matching_trigger() {
+        let mut p = Bingo::default();
+        let mut out = Vec::new();
+        let pattern = [0u64, 3, 7, 12, 20];
+        // Record the pattern in more regions than the AT can hold, so
+        // evicted entries retire their footprints into the PHT.
+        for r in 0..200 {
+            touch_region(&mut p, 100 + r, &pattern, &mut out);
+        }
+        out.clear();
+        // New region, same PC and trigger offset: the short event hits.
+        p.on_access(&ev(0x400, 5000 * REGION_LINES), &mut out);
+        let offsets: Vec<u64> = out
+            .iter()
+            .map(|d| d.target.raw() % REGION_LINES)
+            .collect();
+        assert!(
+            offsets.contains(&3) && offsets.contains(&7) && offsets.contains(&20),
+            "footprint replay missing lines: {offsets:?}"
+        );
+    }
+
+    #[test]
+    fn no_prediction_without_history() {
+        let mut p = Bingo::default();
+        let mut out = Vec::new();
+        p.on_access(&ev(0x400, 12345), &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn different_pc_does_not_match() {
+        let mut p = Bingo::default();
+        let mut out = Vec::new();
+        for r in 0..40 {
+            touch_region(&mut p, 200 + r, &[0, 5, 9], &mut out);
+        }
+        out.clear();
+        p.on_access(&ev(0x999, 8000 * REGION_LINES), &mut out);
+        assert!(out.is_empty(), "foreign PC must not replay the footprint");
+    }
+}

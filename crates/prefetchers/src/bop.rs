@@ -1,0 +1,276 @@
+//! Best-offset prefetching (BOP), the DPC-2 winner (Michaud,
+//! HPCA 2016) — the *global-delta* prefetcher Berti's motivation
+//! section argues against (Sec. II-B, Fig. 3).
+//!
+//! BOP tests a fixed list of candidate offsets against a recent-request
+//! (RR) table: an offset `d` scores a point whenever the current access
+//! `X` finds `X − d` in the RR table, meaning a prefetch with offset
+//! `d` issued at `X − d` would have been timely. The highest-scoring
+//! offset of each learning round becomes the single prefetch offset for
+//! the next round — one offset for the whole program, regardless of IP.
+
+use berti_mem::{AccessEvent, FillEvent, PrefetchDecision, Prefetcher};
+use berti_types::{Delta, FillLevel, VLine};
+
+/// Round terminates when an offset reaches this score.
+const SCORE_MAX: u32 = 31;
+/// Round terminates after this many passes over the offset list.
+const ROUND_MAX: u32 = 100;
+/// Offsets scoring at or below this are not worth prefetching with.
+const BAD_SCORE: u32 = 1;
+/// RR table entries (direct-mapped).
+const RR_ENTRIES: usize = 256;
+
+/// Builds Michaud's offset list: 1..=256 with only 2/3/5 prime factors.
+fn default_offsets() -> Vec<i32> {
+    let mut v = Vec::new();
+    for n in 1..=256i32 {
+        let mut m = n;
+        for p in [2, 3, 5] {
+            while m % p == 0 {
+                m /= p;
+            }
+        }
+        if m == 1 {
+            v.push(n);
+        }
+    }
+    v
+}
+
+/// The best-offset prefetcher.
+#[derive(Clone, Debug)]
+pub struct BestOffset {
+    offsets: Vec<i32>,
+    scores: Vec<u32>,
+    /// Index of the offset tested by the next eligible access.
+    probe: usize,
+    /// Passes over the offset list in the current round.
+    round: u32,
+    /// The offset currently used for prefetching (None = off).
+    best: Option<i32>,
+    rr: Vec<u64>,
+    fill_level: FillLevel,
+}
+
+impl Default for BestOffset {
+    fn default() -> Self {
+        Self::new(FillLevel::L1)
+    }
+}
+
+impl BestOffset {
+    /// Creates a BOP instance prefetching into `fill_level`.
+    pub fn new(fill_level: FillLevel) -> Self {
+        let offsets = default_offsets();
+        Self {
+            scores: vec![0; offsets.len()],
+            offsets,
+            probe: 0,
+            round: 0,
+            best: Some(1),
+            rr: vec![u64::MAX; RR_ENTRIES],
+            fill_level,
+        }
+    }
+
+    /// The offset currently used for prefetching (Fig. 3's "BOP best
+    /// delta"), if prefetching is on.
+    pub fn best_offset(&self) -> Option<i32> {
+        self.best
+    }
+
+    #[inline]
+    fn rr_index(line: u64) -> usize {
+        ((line ^ (line >> 8)) % RR_ENTRIES as u64) as usize
+    }
+
+    fn rr_insert(&mut self, line: u64) {
+        self.rr[Self::rr_index(line)] = line;
+    }
+
+    fn rr_contains(&self, line: u64) -> bool {
+        self.rr[Self::rr_index(line)] == line
+    }
+
+    fn end_round(&mut self) {
+        let (best_idx, &best_score) = self
+            .scores
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &s)| s)
+            .expect("nonempty offsets");
+        self.best = (best_score > BAD_SCORE).then(|| self.offsets[best_idx]);
+        self.scores.fill(0);
+        self.probe = 0;
+        self.round = 0;
+    }
+
+    /// One learning step on an eligible access (miss or prefetched hit).
+    fn learn(&mut self, line: VLine) {
+        let d = self.offsets[self.probe];
+        let base = line.raw().wrapping_sub_signed(i64::from(d));
+        if self.rr_contains(base) {
+            self.scores[self.probe] += 1;
+            if self.scores[self.probe] >= SCORE_MAX {
+                self.end_round();
+                return;
+            }
+        }
+        self.probe += 1;
+        if self.probe == self.offsets.len() {
+            self.probe = 0;
+            self.round += 1;
+            if self.round >= ROUND_MAX {
+                self.end_round();
+            }
+        }
+    }
+}
+
+impl Prefetcher for BestOffset {
+    fn name(&self) -> &'static str {
+        "bop"
+    }
+
+    fn storage_bits(&self) -> u64 {
+        // RR tags (12 bits) + per-offset scores (5 bits) + registers.
+        (RR_ENTRIES as u64 * 12) + self.offsets.len() as u64 * 5 + 64
+    }
+
+    fn on_access(&mut self, ev: &AccessEvent, out: &mut Vec<PrefetchDecision>) {
+        if !ev.kind.is_demand() {
+            return;
+        }
+        let eligible = !ev.hit || ev.timely_prefetch_hit || ev.late_prefetch_hit;
+        if !eligible {
+            return;
+        }
+        self.learn(ev.line);
+        if let Some(d) = self.best {
+            out.push(PrefetchDecision {
+                target: ev.line + Delta::new(d),
+                fill_level: self.fill_level,
+            });
+        }
+    }
+
+    fn on_fill(&mut self, ev: &FillEvent) {
+        // RR records lines whose fetch just completed: a demand fill of
+        // Y inserts Y itself; a prefetch fill of Y (issued with offset
+        // d) inserts its trigger Y − d. Either way, a later access to
+        // X = entry + d proves offset d would have been timely.
+        let base = if ev.was_prefetch {
+            let d = self.best.unwrap_or(1);
+            ev.line.raw().wrapping_sub_signed(i64::from(d))
+        } else {
+            ev.line.raw()
+        };
+        self.rr_insert(base);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use berti_types::{AccessKind, Cycle, Ip};
+
+    fn miss(line: u64) -> AccessEvent {
+        AccessEvent {
+            ip: Ip::new(1),
+            line: VLine::new(line),
+            at: Cycle::ZERO,
+            kind: AccessKind::Load,
+            hit: false,
+            timely_prefetch_hit: false,
+            late_prefetch_hit: false,
+            stored_latency: 0,
+            mshr_occupancy: 0.0,
+        }
+    }
+
+    fn fill(line: u64) -> FillEvent {
+        FillEvent {
+            line: VLine::new(line),
+            ip: Ip::new(1),
+            at: Cycle::ZERO,
+            latency: 100,
+            was_prefetch: false,
+        }
+    }
+
+    #[test]
+    fn offset_list_matches_michaud() {
+        let offs = default_offsets();
+        assert_eq!(offs.len(), 52);
+        assert!(offs.contains(&1) && offs.contains(&256) && offs.contains(&240));
+        assert!(!offs.contains(&7) && !offs.contains(&14));
+    }
+
+    #[test]
+    fn learns_a_dominant_global_offset() {
+        let mut p = BestOffset::new(FillLevel::L1);
+        let mut out = Vec::new();
+        // A pure +4 global stream: every access X has X-4 in RR.
+        let mut line = 1000u64;
+        for _ in 0..6000 {
+            p.on_access(&miss(line), &mut out);
+            p.on_fill(&fill(line));
+            line += 4;
+        }
+        assert_eq!(p.best_offset(), Some(4));
+    }
+
+    #[test]
+    fn interleaved_ip_streams_confuse_the_global_offset() {
+        // Sec. II-B / Fig. 3: per-IP streams with different strides make
+        // the single global offset represent neither stream exactly.
+        let mut p = BestOffset::new(FillLevel::L1);
+        let mut out = Vec::new();
+        for i in 0..4000u64 {
+            // Three interleaved streams with strides 3, 7, 11 at
+            // distant bases.
+            let (l1, l2, l3) = (1_000 + 3 * i, 500_000 + 7 * i, 900_000 + 11 * i);
+            for l in [l1, l2, l3] {
+                p.on_access(&miss(l), &mut out);
+                p.on_fill(&fill(l));
+            }
+        }
+        // BOP converges to *one* offset; whichever it picks misses at
+        // least two of the three streams.
+        let d = p.best_offset();
+        if let Some(d) = d {
+            let matches = [3, 7, 11].iter().filter(|&&s| s == d).count();
+            assert!(matches <= 1);
+        }
+    }
+
+    #[test]
+    fn low_scores_turn_prefetching_off() {
+        let mut p = BestOffset::new(FillLevel::L1);
+        let mut out = Vec::new();
+        // Pseudo-random accesses: no offset accumulates a score.
+        let mut x = 0x12345u64;
+        for _ in 0..60_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let line = x % 1_000_000;
+            p.on_access(&miss(line), &mut out);
+        }
+        assert_eq!(p.best_offset(), None, "random stream must disable BOP");
+    }
+
+    #[test]
+    fn prefetches_with_the_learned_offset() {
+        let mut p = BestOffset::new(FillLevel::L1);
+        let mut out = Vec::new();
+        let mut line = 1000u64;
+        for _ in 0..6000 {
+            out.clear();
+            p.on_access(&miss(line), &mut out);
+            p.on_fill(&fill(line));
+            line += 4;
+        }
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].target.raw(), (line - 4) + 4);
+    }
+}

@@ -1,0 +1,234 @@
+//! The IP-stride prefetcher: the paper's *baseline* L1D prefetcher
+//! (Table II: "24-entry, fully associative IP-stride prefetcher",
+//! modelled after Intel's smart-memory-access stride prefetcher).
+//!
+//! Each entry tracks the last line touched by an IP, the last observed
+//! stride, and a 2-bit confidence counter. Two consecutive identical
+//! strides arm the entry; armed entries prefetch `degree` strides ahead
+//! into the L1D.
+
+use berti_mem::{AccessEvent, PrefetchDecision, Prefetcher};
+use berti_types::{Delta, FillLevel, Ip, VLine};
+
+/// Confidence needed before prefetching (two matching strides).
+const CONF_ARM: u8 = 2;
+/// Confidence ceiling.
+const CONF_MAX: u8 = 3;
+
+#[derive(Clone, Copy, Debug)]
+struct Entry {
+    ip: Ip,
+    last_line: VLine,
+    stride: Delta,
+    confidence: u8,
+    last_use: u64,
+    valid: bool,
+}
+
+/// The IP-stride prefetcher.
+#[derive(Clone, Debug)]
+pub struct IpStride {
+    entries: Vec<Entry>,
+    degree: u32,
+    tick: u64,
+}
+
+impl Default for IpStride {
+    fn default() -> Self {
+        Self::new(24, 2)
+    }
+}
+
+impl IpStride {
+    /// Creates an IP-stride prefetcher with `entries` fully-associative
+    /// entries and `degree` prefetches per armed access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is zero.
+    pub fn new(entries: usize, degree: u32) -> Self {
+        assert!(entries > 0);
+        Self {
+            entries: vec![
+                Entry {
+                    ip: Ip::default(),
+                    last_line: VLine::default(),
+                    stride: Delta::ZERO,
+                    confidence: 0,
+                    last_use: 0,
+                    valid: false,
+                };
+                entries
+            ],
+            degree,
+            tick: 0,
+        }
+    }
+}
+
+impl Prefetcher for IpStride {
+    fn name(&self) -> &'static str {
+        "ip-stride"
+    }
+
+    fn storage_bits(&self) -> u64 {
+        // Per entry: ~16-bit IP tag + 24-bit line + 13-bit stride +
+        // 2-bit confidence + 5-bit LRU.
+        self.entries.len() as u64 * (16 + 24 + 13 + 2 + 5)
+    }
+
+    fn on_access(&mut self, ev: &AccessEvent, out: &mut Vec<PrefetchDecision>) {
+        if !ev.kind.is_demand() {
+            return;
+        }
+        self.tick += 1;
+        let tick = self.tick;
+        let degree = self.degree;
+        // Find the IP's entry or a victim (LRU).
+        let slot = match self.entries.iter().position(|e| e.valid && e.ip == ev.ip) {
+            Some(i) => i,
+            None => {
+                let i = self
+                    .entries
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, e)| if e.valid { e.last_use } else { 0 })
+                    .map(|(i, _)| i)
+                    .expect("nonempty table");
+                self.entries[i] = Entry {
+                    ip: ev.ip,
+                    last_line: ev.line,
+                    stride: Delta::ZERO,
+                    confidence: 0,
+                    last_use: tick,
+                    valid: true,
+                };
+                return;
+            }
+        };
+        let e = &mut self.entries[slot];
+        e.last_use = tick;
+        let stride = ev.line - e.last_line;
+        if stride == Delta::ZERO {
+            return; // same line: no stride information
+        }
+        if stride == e.stride {
+            e.confidence = (e.confidence + 1).min(CONF_MAX);
+        } else {
+            e.confidence = e.confidence.saturating_sub(1);
+            if e.confidence == 0 {
+                e.stride = stride;
+            }
+        }
+        e.last_line = ev.line;
+        if e.confidence >= CONF_ARM && e.stride != Delta::ZERO {
+            let s = e.stride;
+            for k in 1..=degree {
+                let target = ev.line + Delta::new(s.raw() * k as i32);
+                out.push(PrefetchDecision {
+                    target,
+                    fill_level: FillLevel::L1,
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use berti_types::{AccessKind, Cycle};
+
+    fn ev(ip: u64, line: u64) -> AccessEvent {
+        AccessEvent {
+            ip: Ip::new(ip),
+            line: VLine::new(line),
+            at: Cycle::ZERO,
+            kind: AccessKind::Load,
+            hit: false,
+            timely_prefetch_hit: false,
+            late_prefetch_hit: false,
+            stored_latency: 0,
+            mshr_occupancy: 0.0,
+        }
+    }
+
+    #[test]
+    fn constant_stride_arms_after_two_confirmations() {
+        let mut p = IpStride::default();
+        let mut out = Vec::new();
+        for i in 0..3 {
+            p.on_access(&ev(1, 100 + 4 * i), &mut out);
+            assert!(out.is_empty(), "not armed yet at access {i}");
+        }
+        p.on_access(&ev(1, 112), &mut out);
+        let targets: Vec<u64> = out.iter().map(|d| d.target.raw()).collect();
+        assert_eq!(targets, vec![116, 120]);
+    }
+
+    #[test]
+    fn alternating_strides_never_arm() {
+        // The lbm pattern from Sec. II-B: +1, +2, +1, +2 ... IP-stride
+        // must provide zero coverage.
+        let mut p = IpStride::default();
+        let mut out = Vec::new();
+        let mut line = 100;
+        for i in 0..40 {
+            line += if i % 2 == 0 { 1 } else { 2 };
+            p.on_access(&ev(1, line), &mut out);
+        }
+        assert!(out.is_empty(), "alternating strides must not arm");
+    }
+
+    #[test]
+    fn per_ip_independence() {
+        let mut p = IpStride::default();
+        let mut out = Vec::new();
+        // Interleave two IPs with different strides.
+        for i in 0..6 {
+            p.on_access(&ev(1, 100 + 2 * i), &mut out);
+            p.on_access(&ev(2, 9000 - 3 * i), &mut out);
+        }
+        let targets: Vec<i64> = out.iter().map(|d| d.target.raw() as i64).collect();
+        assert!(targets.iter().any(|&t| t > 100 && t < 200), "+2 stream");
+        assert!(targets.iter().any(|&t| t < 9000), "-3 stream");
+    }
+
+    #[test]
+    fn lru_replacement_under_ip_pressure() {
+        let mut p = IpStride::new(2, 2);
+        let mut out = Vec::new();
+        for i in 0..4 {
+            p.on_access(&ev(1, 100 + i), &mut out);
+            p.on_access(&ev(2, 200 + i), &mut out);
+        }
+        assert!(!out.is_empty(), "both IPs tracked with 2 entries");
+        out.clear();
+        // A third IP evicts the LRU; IP 1 must re-train afterwards.
+        p.on_access(&ev(3, 500), &mut out);
+        p.on_access(&ev(1, 104), &mut out);
+        p.on_access(&ev(1, 105), &mut out);
+        // Re-learns within a few accesses.
+        p.on_access(&ev(1, 106), &mut out);
+        p.on_access(&ev(1, 107), &mut out);
+        assert!(out.iter().any(|d| d.target.raw() >= 108));
+    }
+
+    #[test]
+    fn rfo_trains_too() {
+        let mut p = IpStride::default();
+        let mut out = Vec::new();
+        for i in 0..5 {
+            let mut e = ev(1, 100 + i);
+            e.kind = AccessKind::Rfo;
+            p.on_access(&e, &mut out);
+        }
+        assert!(!out.is_empty());
+    }
+
+    #[test]
+    fn storage_is_small() {
+        let p = IpStride::default();
+        assert!(p.storage_bits() < 8 * 1024 * 8, "well under 1 KB");
+    }
+}

@@ -1,0 +1,47 @@
+//! Baseline hardware data prefetchers evaluated against Berti in the
+//! paper (Secs. II-A and IV, Table III).
+//!
+//! All prefetchers implement [`berti_mem::Prefetcher`] and can be
+//! hosted at the L1D (training on virtual lines) or at the L2
+//! (training on physical lines):
+//!
+//! | Prefetcher | Paper role | Module |
+//! |---|---|---|
+//! | IP-stride | the *baseline* L1D prefetcher (Table II) | [`ip_stride`] |
+//! | Next-line | IPCP's fallback class | [`next_line`] |
+//! | Stream | classic ascending/descending streams | [`stream`] |
+//! | BOP | best-offset prefetching, DPC-2 winner | [`bop`] |
+//! | MLOP | multi-lookahead offset prefetching, DPC-3 3rd | [`mlop`] |
+//! | IPCP | instruction-pointer classifier, DPC-3 winner | [`ipcp`] |
+//! | VLDP | variable-length delta prefetcher | [`vldp`] |
+//! | SPP / SPP-PPF | signature-path + perceptron filter | [`spp`] |
+//! | Bingo | spatial footprints over 2 KB regions | [`bingo`] |
+//! | SMS | classic spatial memory streaming | [`sms`] |
+//! | MISB | managed irregular stream buffer (temporal) | [`misb`] |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bingo;
+pub mod bop;
+pub mod ip_stride;
+pub mod ipcp;
+pub mod misb;
+pub mod mlop;
+pub mod next_line;
+pub mod sms;
+pub mod spp;
+pub mod stream;
+pub mod vldp;
+
+pub use bingo::Bingo;
+pub use bop::BestOffset;
+pub use ip_stride::IpStride;
+pub use ipcp::Ipcp;
+pub use misb::Misb;
+pub use mlop::Mlop;
+pub use next_line::NextLine;
+pub use sms::Sms;
+pub use spp::{Spp, SppPpf};
+pub use stream::StreamPrefetcher;
+pub use vldp::Vldp;

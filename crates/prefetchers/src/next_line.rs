@@ -1,0 +1,77 @@
+//! The next-line prefetcher (IPCP's fallback class and the simplest
+//! possible spatial prefetcher): on every demand access, prefetch the
+//! following `degree` lines.
+
+use berti_mem::{AccessEvent, PrefetchDecision, Prefetcher};
+use berti_types::{Delta, FillLevel};
+
+/// The next-line prefetcher.
+#[derive(Clone, Copy, Debug)]
+pub struct NextLine {
+    degree: u32,
+    fill_level: FillLevel,
+}
+
+impl Default for NextLine {
+    fn default() -> Self {
+        Self::new(1, FillLevel::L1)
+    }
+}
+
+impl NextLine {
+    /// Creates a next-line prefetcher fetching `degree` lines ahead
+    /// into `fill_level`.
+    pub fn new(degree: u32, fill_level: FillLevel) -> Self {
+        Self { degree, fill_level }
+    }
+}
+
+impl Prefetcher for NextLine {
+    fn name(&self) -> &'static str {
+        "next-line"
+    }
+
+    fn storage_bits(&self) -> u64 {
+        0 // stateless
+    }
+
+    fn on_access(&mut self, ev: &AccessEvent, out: &mut Vec<PrefetchDecision>) {
+        if !ev.kind.is_demand() {
+            return;
+        }
+        for k in 1..=self.degree {
+            out.push(PrefetchDecision {
+                target: ev.line + Delta::new(k as i32),
+                fill_level: self.fill_level,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use berti_types::{AccessKind, Cycle, Ip, VLine};
+
+    #[test]
+    fn prefetches_following_lines() {
+        let mut p = NextLine::new(2, FillLevel::L1);
+        let mut out = Vec::new();
+        p.on_access(
+            &AccessEvent {
+                ip: Ip::new(1),
+                line: VLine::new(100),
+                at: Cycle::ZERO,
+                kind: AccessKind::Load,
+                hit: true,
+                timely_prefetch_hit: false,
+                late_prefetch_hit: false,
+                stored_latency: 0,
+                mshr_occupancy: 0.0,
+            },
+            &mut out,
+        );
+        let targets: Vec<u64> = out.iter().map(|d| d.target.raw()).collect();
+        assert_eq!(targets, vec![101, 102]);
+    }
+}

@@ -1,0 +1,213 @@
+//! Spatial memory streaming (SMS, ISCA 2006) — the classic spatial-
+//! footprint prefetcher the paper's related work groups with Bingo
+//! (Sec. V: "spatial prefetchers ... usually learn single repeating
+//! deltas or bit patterns within a spatial region").
+//!
+//! SMS records, per spatial region *generation* (from first access to
+//! region eviction), the bitmap of lines touched, and associates it
+//! with the trigger event `(PC, offset)`. On the next trigger with the
+//! same event, the recorded footprint is streamed out. Unlike Bingo it
+//! has no long/short event fallback — one pattern history table keyed
+//! by `(PC, offset)` only.
+
+use berti_mem::{AccessEvent, PrefetchDecision, Prefetcher};
+use berti_types::{Delta, FillLevel, VLine};
+
+/// Region size in cache lines (2 KB, matching the Bingo configuration
+/// so Fig. 7-style storage comparisons are apples-to-apples).
+const REGION_LINES: u64 = 32;
+/// Active-generation-table entries.
+const AGT_ENTRIES: usize = 64;
+/// Pattern-history-table entries.
+const PHT_ENTRIES: usize = 2048;
+
+#[derive(Clone, Copy, Debug, Default)]
+struct Generation {
+    region: u64,
+    trigger_key: u64,
+    footprint: u32,
+    last_use: u64,
+    valid: bool,
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct Pattern {
+    key: u64,
+    footprint: u32,
+    valid: bool,
+}
+
+/// The SMS prefetcher.
+#[derive(Clone, Debug)]
+pub struct Sms {
+    agt: Vec<Generation>,
+    pht: Vec<Pattern>,
+    tick: u64,
+    fill_level: FillLevel,
+}
+
+impl Default for Sms {
+    fn default() -> Self {
+        Self::new(FillLevel::L2)
+    }
+}
+
+impl Sms {
+    /// Creates an SMS instance prefetching into `fill_level`.
+    pub fn new(fill_level: FillLevel) -> Self {
+        Self {
+            agt: vec![Generation::default(); AGT_ENTRIES],
+            pht: vec![Pattern::default(); PHT_ENTRIES],
+            tick: 0,
+            fill_level,
+        }
+    }
+
+    #[inline]
+    fn key(pc: u64, offset: u32) -> u64 {
+        (pc << 5) ^ u64::from(offset)
+    }
+
+    fn pht_store(&mut self, key: u64, footprint: u32) {
+        let slot = ((key ^ (key >> 11)) % PHT_ENTRIES as u64) as usize;
+        self.pht[slot] = Pattern {
+            key,
+            footprint,
+            valid: true,
+        };
+    }
+
+    fn pht_lookup(&self, key: u64) -> Option<u32> {
+        let e = &self.pht[((key ^ (key >> 11)) % PHT_ENTRIES as u64) as usize];
+        (e.valid && e.key == key).then_some(e.footprint)
+    }
+
+    fn retire(&mut self, g: Generation) {
+        // Only multi-line footprints are worth remembering.
+        if g.footprint.count_ones() >= 2 {
+            self.pht_store(g.trigger_key, g.footprint);
+        }
+    }
+}
+
+impl Prefetcher for Sms {
+    fn name(&self) -> &'static str {
+        "sms"
+    }
+
+    fn storage_bits(&self) -> u64 {
+        AGT_ENTRIES as u64 * (30 + 16 + 32 + 5) + PHT_ENTRIES as u64 * (16 + 32)
+    }
+
+    fn on_access(&mut self, ev: &AccessEvent, out: &mut Vec<PrefetchDecision>) {
+        if !ev.kind.is_demand() {
+            return;
+        }
+        self.tick += 1;
+        let tick = self.tick;
+        let region = ev.line.raw() / REGION_LINES;
+        let offset = (ev.line.raw() % REGION_LINES) as u32;
+
+        if let Some(i) = self.agt.iter().position(|g| g.valid && g.region == region) {
+            let g = &mut self.agt[i];
+            g.footprint |= 1 << offset;
+            g.last_use = tick;
+            return;
+        }
+        // Trigger access: predict from the PHT, then open a generation.
+        let key = Self::key(ev.ip.raw(), offset);
+        if let Some(fp) = self.pht_lookup(key) {
+            let base = region * REGION_LINES;
+            for bit in 0..REGION_LINES as u32 {
+                if bit != offset && fp & (1 << bit) != 0 {
+                    out.push(PrefetchDecision {
+                        target: VLine::new(base + u64::from(bit)) + Delta::ZERO,
+                        fill_level: self.fill_level,
+                    });
+                }
+            }
+        }
+        let slot = self
+            .agt
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, g)| if g.valid { g.last_use } else { 0 })
+            .map(|(i, _)| i)
+            .expect("nonempty");
+        if self.agt[slot].valid {
+            let old = self.agt[slot];
+            self.retire(old);
+        }
+        self.agt[slot] = Generation {
+            region,
+            trigger_key: key,
+            footprint: 1 << offset,
+            last_use: tick,
+            valid: true,
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use berti_types::{AccessKind, Cycle, Ip};
+
+    fn ev(ip: u64, line: u64) -> AccessEvent {
+        AccessEvent {
+            ip: Ip::new(ip),
+            line: VLine::new(line),
+            at: Cycle::ZERO,
+            kind: AccessKind::Load,
+            hit: false,
+            timely_prefetch_hit: false,
+            late_prefetch_hit: false,
+            stored_latency: 0,
+            mshr_occupancy: 0.0,
+        }
+    }
+
+    #[test]
+    fn replays_footprints_on_matching_trigger() {
+        let mut p = Sms::default();
+        let mut out = Vec::new();
+        // The same (PC, offset 0) trigger opens many regions with the
+        // footprint {0, 5, 9}; generations retire under AGT pressure.
+        for r in 0..200u64 {
+            for o in [0u64, 5, 9] {
+                p.on_access(&ev(0x400, r * REGION_LINES + o), &mut out);
+            }
+        }
+        out.clear();
+        p.on_access(&ev(0x400, 10_000 * REGION_LINES), &mut out);
+        let offsets: Vec<u64> = out.iter().map(|d| d.target.raw() % REGION_LINES).collect();
+        assert!(offsets.contains(&5) && offsets.contains(&9), "{offsets:?}");
+    }
+
+    #[test]
+    fn different_trigger_offset_is_a_different_pattern() {
+        let mut p = Sms::default();
+        let mut out = Vec::new();
+        for r in 0..200u64 {
+            for o in [3u64, 7] {
+                p.on_access(&ev(0x400, r * REGION_LINES + o), &mut out);
+            }
+        }
+        out.clear();
+        // Trigger at offset 0 was never seen: no replay.
+        p.on_access(&ev(0x400, 10_000 * REGION_LINES), &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_line_generations_are_not_stored() {
+        let mut p = Sms::default();
+        let mut out = Vec::new();
+        for r in 0..200u64 {
+            p.on_access(&ev(0x400, r * REGION_LINES), &mut out);
+        }
+        out.clear();
+        p.on_access(&ev(0x400, 10_000 * REGION_LINES), &mut out);
+        assert!(out.is_empty(), "a lone trigger line is not a pattern");
+    }
+}

@@ -1,0 +1,182 @@
+//! A classic stream prefetcher: detects ascending or descending
+//! sequences of misses within a region and runs ahead of them
+//! (Sec. V cites stream prefetchers as deployed in commercial parts).
+
+use berti_mem::{AccessEvent, PrefetchDecision, Prefetcher};
+use berti_types::{Delta, FillLevel, VLine, Vpn};
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Direction {
+    Unknown,
+    Up,
+    Down,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct StreamEntry {
+    page: Vpn,
+    last_line: VLine,
+    direction: Direction,
+    confidence: u8,
+    last_use: u64,
+    valid: bool,
+}
+
+/// The stream prefetcher.
+#[derive(Clone, Debug)]
+pub struct StreamPrefetcher {
+    entries: Vec<StreamEntry>,
+    degree: u32,
+    tick: u64,
+}
+
+impl Default for StreamPrefetcher {
+    fn default() -> Self {
+        Self::new(16, 4)
+    }
+}
+
+impl StreamPrefetcher {
+    /// Creates a stream prefetcher tracking `streams` concurrent
+    /// streams with `degree` lines of run-ahead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `streams` is zero.
+    pub fn new(streams: usize, degree: u32) -> Self {
+        assert!(streams > 0);
+        Self {
+            entries: vec![
+                StreamEntry {
+                    page: Vpn::default(),
+                    last_line: VLine::default(),
+                    direction: Direction::Unknown,
+                    confidence: 0,
+                    last_use: 0,
+                    valid: false,
+                };
+                streams
+            ],
+            degree,
+            tick: 0,
+        }
+    }
+}
+
+impl Prefetcher for StreamPrefetcher {
+    fn name(&self) -> &'static str {
+        "stream"
+    }
+
+    fn storage_bits(&self) -> u64 {
+        self.entries.len() as u64 * (36 + 24 + 2 + 2 + 5)
+    }
+
+    fn on_access(&mut self, ev: &AccessEvent, out: &mut Vec<PrefetchDecision>) {
+        if !ev.kind.is_demand() {
+            return;
+        }
+        self.tick += 1;
+        let tick = self.tick;
+        let page = ev.line.page();
+        let slot = match self.entries.iter().position(|e| e.valid && e.page == page) {
+            Some(i) => i,
+            None => {
+                let i = self
+                    .entries
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, e)| if e.valid { e.last_use } else { 0 })
+                    .map(|(i, _)| i)
+                    .expect("nonempty");
+                self.entries[i] = StreamEntry {
+                    page,
+                    last_line: ev.line,
+                    direction: Direction::Unknown,
+                    confidence: 0,
+                    last_use: tick,
+                    valid: true,
+                };
+                return;
+            }
+        };
+        let e = &mut self.entries[slot];
+        e.last_use = tick;
+        let d = (ev.line - e.last_line).raw();
+        e.last_line = ev.line;
+        let dir = match d {
+            0 => return,
+            d if d > 0 => Direction::Up,
+            _ => Direction::Down,
+        };
+        if dir == e.direction {
+            e.confidence = (e.confidence + 1).min(3);
+        } else {
+            e.direction = dir;
+            e.confidence = 0;
+            return;
+        }
+        if e.confidence >= 2 {
+            let step = if e.direction == Direction::Up { 1 } else { -1 };
+            for k in 1..=self.degree {
+                out.push(PrefetchDecision {
+                    target: ev.line + Delta::new(step * k as i32),
+                    fill_level: FillLevel::L1,
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use berti_types::{AccessKind, Cycle, Ip};
+
+    fn ev(line: u64) -> AccessEvent {
+        AccessEvent {
+            ip: Ip::new(1),
+            line: VLine::new(line),
+            at: Cycle::ZERO,
+            kind: AccessKind::Load,
+            hit: false,
+            timely_prefetch_hit: false,
+            late_prefetch_hit: false,
+            stored_latency: 0,
+            mshr_occupancy: 0.0,
+        }
+    }
+
+    #[test]
+    fn ascending_stream_runs_ahead() {
+        let mut p = StreamPrefetcher::default();
+        let mut out = Vec::new();
+        for l in 0..6u64 {
+            p.on_access(&ev(1000 + l), &mut out);
+        }
+        assert!(!out.is_empty());
+        assert!(out.iter().all(|d| d.target.raw() > 1000));
+    }
+
+    #[test]
+    fn descending_stream_detected() {
+        let mut p = StreamPrefetcher::default();
+        let mut out = Vec::new();
+        for l in 0..6u64 {
+            p.on_access(&ev(2000 - l), &mut out);
+        }
+        assert!(!out.is_empty());
+        assert!(out.iter().all(|d| d.target.raw() < 2000));
+    }
+
+    #[test]
+    fn direction_flip_resets_confidence() {
+        let mut p = StreamPrefetcher::default();
+        let mut out = Vec::new();
+        for seq in [1000u64, 1001, 1002, 1003, 1002, 1001] {
+            out.clear();
+            p.on_access(&ev(seq), &mut out);
+        }
+        assert!(out.is_empty(), "flip must silence the stream until retrained");
+    }
+}

@@ -1,0 +1,183 @@
+//! `bertisim` — command-line front end to the simulator.
+//!
+//! ```bash
+//! bertisim --list                                   # available workloads
+//! bertisim -w lbm-like -p berti
+//! bertisim -w pr-kron  -p mlop --l2 spp-ppf -n 2000000
+//! bertisim -w mcf-1554-like,bfs-kron -p berti --cores 2
+//! ```
+
+use berti_core::BertiConfig;
+use berti_sim::{
+    simulate_multicore, simulate_with_l2, L2PrefetcherChoice, PrefetcherChoice, Report,
+    SimOptions,
+};
+use berti_traces::{cloud, memory_intensive_suite, WorkloadDef};
+use berti_types::SystemConfig;
+
+fn usage() -> ! {
+    eprintln!(
+        "bertisim — Berti reproduction simulator
+
+USAGE:
+    bertisim [OPTIONS]
+
+OPTIONS:
+    -w, --workload <names>   comma-separated workload names (see --list)
+    -p, --prefetcher <name>  none|ip-stride|next-line|stream|bop|mlop|ipcp|vldp|berti|berti-page
+        --l2 <name>          spp-ppf|bingo|ipcp|misb|vldp (L2 prefetcher)
+    -n, --instructions <N>   measured instructions per core [default: 1000000]
+        --warmup <N>         warm-up instructions [default: 200000]
+        --cores              run the workload list as a multi-core mix
+        --mshr-watermark <f> Berti MSHR occupancy watermark [default: 0.70]
+        --list               list workloads and exit
+    -h, --help               this help"
+    );
+    std::process::exit(2);
+}
+
+fn all_workloads() -> Vec<WorkloadDef> {
+    let mut v = memory_intensive_suite();
+    v.extend(cloud::suite());
+    v
+}
+
+fn parse_prefetcher(name: &str, watermark: f64) -> PrefetcherChoice {
+    match name {
+        "none" => PrefetcherChoice::None,
+        "ip-stride" => PrefetcherChoice::IpStride,
+        "next-line" => PrefetcherChoice::NextLine,
+        "stream" => PrefetcherChoice::Stream,
+        "bop" => PrefetcherChoice::Bop,
+        "mlop" => PrefetcherChoice::Mlop,
+        "ipcp" => PrefetcherChoice::Ipcp,
+        "vldp" => PrefetcherChoice::Vldp,
+        "berti-page" => PrefetcherChoice::BertiPage,
+        "berti" => {
+            if (watermark - 0.70).abs() < 1e-9 {
+                PrefetcherChoice::Berti
+            } else {
+                PrefetcherChoice::BertiWith(BertiConfig {
+                    mshr_watermark: watermark,
+                    ..BertiConfig::default()
+                })
+            }
+        }
+        other => {
+            eprintln!("unknown prefetcher: {other}");
+            usage()
+        }
+    }
+}
+
+fn parse_l2(name: &str) -> L2PrefetcherChoice {
+    match name {
+        "spp-ppf" => L2PrefetcherChoice::SppPpf,
+        "bingo" => L2PrefetcherChoice::Bingo,
+        "ipcp" => L2PrefetcherChoice::Ipcp,
+        "misb" => L2PrefetcherChoice::Misb,
+        "vldp" => L2PrefetcherChoice::Vldp,
+        other => {
+            eprintln!("unknown L2 prefetcher: {other}");
+            usage()
+        }
+    }
+}
+
+fn print_report(r: &Report) {
+    println!(
+        "{:<18} l1={}{} ipc={:.3} cycles={} l1mpki={:.1} l2mpki={:.1} llcmpki={:.1} acc={} late={} pf_issued={} dram_rd={} energy_mj={:.3}",
+        r.workload,
+        r.l1_prefetcher,
+        r.l2_prefetcher.map(|p| format!("+{p}")).unwrap_or_default(),
+        r.ipc(),
+        r.cycles,
+        r.l1d_mpki(),
+        r.l2_mpki(),
+        r.llc_mpki(),
+        r.l1d_accuracy()
+            .map(|a| format!("{:.1}%", a * 100.0))
+            .unwrap_or_else(|| "-".into()),
+        r.l1d_late_fraction()
+            .map(|a| format!("{:.1}%", a * 100.0))
+            .unwrap_or_else(|| "-".into()),
+        r.flow.pf_issued,
+        r.dram.reads,
+        r.energy.total_nj() / 1e6,
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut workloads: Vec<String> = vec!["lbm-like".into()];
+    let mut prefetcher = "berti".to_string();
+    let mut l2: Option<String> = None;
+    let mut instructions = 1_000_000u64;
+    let mut warmup = 200_000u64;
+    let mut cores = false;
+    let mut watermark = 0.70f64;
+
+    let mut i = 0;
+    while i < args.len() {
+        let next = |i: &mut usize| -> String {
+            *i += 1;
+            args.get(*i).cloned().unwrap_or_else(|| usage())
+        };
+        match args[i].as_str() {
+            "-w" | "--workload" => {
+                workloads = next(&mut i).split(',').map(str::to_string).collect()
+            }
+            "-p" | "--prefetcher" => prefetcher = next(&mut i),
+            "--l2" => l2 = Some(next(&mut i)),
+            "-n" | "--instructions" => {
+                instructions = next(&mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--warmup" => warmup = next(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--cores" => cores = true,
+            "--mshr-watermark" => watermark = next(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--list" => {
+                for w in all_workloads() {
+                    println!("{:<22} {}", w.name, w.suite);
+                }
+                return;
+            }
+            _ => usage(),
+        }
+        i += 1;
+    }
+
+    let pool = all_workloads();
+    let chosen: Vec<WorkloadDef> = workloads
+        .iter()
+        .map(|name| {
+            pool.iter()
+                .find(|w| w.name == name)
+                .unwrap_or_else(|| {
+                    eprintln!("unknown workload: {name} (try --list)");
+                    std::process::exit(2);
+                })
+                .clone()
+        })
+        .collect();
+
+    let cfg = SystemConfig::default();
+    let opts = SimOptions {
+        warmup_instructions: warmup,
+        sim_instructions: instructions,
+        max_cpi: 64,
+    };
+    let l1 = parse_prefetcher(&prefetcher, watermark);
+    let l2 = l2.map(|s| parse_l2(&s));
+
+    if cores {
+        let r = simulate_multicore(&cfg, l1, l2, &chosen, &opts);
+        for c in &r.cores {
+            print_report(c);
+        }
+    } else {
+        for w in &chosen {
+            let r = simulate_with_l2(&cfg, l1.clone(), l2, &mut w.trace(), &opts);
+            print_report(&r);
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! ChampSim-style simulation driver: wires a [`berti_cpu::Core`] to a
+//! [`berti_mem::Hierarchy`] per simulated core over a shared
+//! [`berti_mem::SharedMemory`], replays workload traces with a warm-up
+//! phase followed by a measurement phase (Sec. IV-A: 50 M warm-up +
+//! 200 M measured, scaled down by default for tractable runs), and
+//! reports IPC, MPKIs, prefetch accuracy/timeliness, traffic, and
+//! dynamic energy.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use berti_sim::{simulate, PrefetcherChoice, SimOptions};
+//! use berti_traces::spec::StridedLoops;
+//! use berti_types::SystemConfig;
+//!
+//! let opts = SimOptions {
+//!     warmup_instructions: 10_000,
+//!     sim_instructions: 50_000,
+//!     ..SimOptions::default()
+//! };
+//! let report = simulate(
+//!     &SystemConfig::default(),
+//!     PrefetcherChoice::Berti,
+//!     &mut StridedLoops::default().generator(),
+//!     &opts,
+//! );
+//! assert!(report.ipc() > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod choices;
+mod report;
+mod runner;
+
+pub use choices::{L2PrefetcherChoice, PrefetcherChoice};
+pub use report::{geometric_mean, MultiCoreReport, Report, SuiteSummary};
+pub use runner::{
+    simulate, simulate_multicore, simulate_suite, simulate_with_l2, SimOptions,
+};

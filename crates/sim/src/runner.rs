@@ -1,0 +1,343 @@
+//! The simulation loops: warm-up + measurement, single- and multi-core.
+
+use berti_cpu::{Core, DataPort, MemOpKind, PortResponse};
+use berti_mem::{DemandAccess, DemandOutcome, Hierarchy, SharedMemory};
+use berti_traces::{Trace, WorkloadDef};
+use berti_types::{AccessKind, Cycle, Ip, SystemConfig, VAddr};
+
+use crate::choices::{L2PrefetcherChoice, PrefetcherChoice};
+use crate::report::{MultiCoreReport, Report};
+
+/// Simulation phase lengths and limits.
+#[derive(Clone, Copy, Debug)]
+pub struct SimOptions {
+    /// Instructions executed to warm caches, TLBs, and prefetcher
+    /// state before statistics reset (the paper warms 50 M).
+    pub warmup_instructions: u64,
+    /// Instructions measured after warm-up (the paper measures 200 M).
+    pub sim_instructions: u64,
+    /// Hard cycle ceiling per phase as a multiple of the instruction
+    /// budget (guards against pathological stalls).
+    pub max_cpi: u64,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        Self {
+            warmup_instructions: 400_000,
+            sim_instructions: 2_000_000,
+            max_cpi: 64,
+        }
+    }
+}
+
+/// Adapts a hierarchy + shared back end to the core's [`DataPort`].
+struct Port<'a> {
+    hier: &'a mut Hierarchy,
+    shared: &'a mut SharedMemory,
+}
+
+impl DataPort for Port<'_> {
+    fn demand(&mut self, ip: Ip, addr: VAddr, kind: MemOpKind, at: Cycle) -> PortResponse {
+        let kind = match kind {
+            MemOpKind::Load => AccessKind::Load,
+            MemOpKind::Store => AccessKind::Rfo,
+        };
+        match self
+            .hier
+            .demand_access(self.shared, DemandAccess { ip, vaddr: addr, kind }, at)
+        {
+            DemandOutcome::Done { ready_at, .. } => PortResponse::Ready(ready_at),
+            DemandOutcome::MshrFull => PortResponse::Stall,
+        }
+    }
+}
+
+/// One simulated core with its private hierarchy and trace.
+struct CoreSlot {
+    core: Core,
+    hier: Hierarchy,
+    trace: Trace,
+    retired: u64,
+    /// Snapshot taken when this core crossed the instruction budget
+    /// (multi-core replay keeps it running afterwards).
+    snapshot: Option<Report>,
+}
+
+impl CoreSlot {
+    fn new(cfg: &SystemConfig, l1: &PrefetcherChoice, l2: Option<L2PrefetcherChoice>, trace: Trace) -> Self {
+        Self {
+            core: Core::new(cfg.core),
+            hier: Hierarchy::new(cfg, l1.build(), l2.map(|c| c.build())),
+            trace,
+            retired: 0,
+            snapshot: None,
+        }
+    }
+
+    fn cycle(&mut self, shared: &mut SharedMemory) {
+        let now = self.core.now();
+        self.hier.tick(shared, now);
+        let mut port = Port {
+            hier: &mut self.hier,
+            shared,
+        };
+        let trace = &mut self.trace;
+        self.retired += self.core.cycle(&mut port, || Some(trace.next_instr()));
+    }
+
+    fn reset_stats(&mut self) {
+        self.core.reset_stats();
+        self.hier.reset_stats();
+        self.retired = 0;
+    }
+
+    /// Builds a report from the current counters.
+    fn report(
+        &self,
+        shared: &SharedMemory,
+        l1: &PrefetcherChoice,
+        l2: Option<L2PrefetcherChoice>,
+    ) -> Report {
+        let storage = self.hier.l1_prefetcher().storage_bits()
+            + self.hier.l2_prefetcher().map_or(0, |p| p.storage_bits());
+        let mut r = Report {
+            workload: self.trace.name().to_string(),
+            l1_prefetcher: l1.name(),
+            l2_prefetcher: l2.map(|c| c.name()),
+            prefetcher_storage_bits: storage,
+            instructions: self.core.stats().instructions,
+            cycles: self.core.stats().cycles,
+            core: *self.core.stats(),
+            l1d: *self.hier.l1d().stats(),
+            l2: *self.hier.l2().stats(),
+            llc: *shared.llc.stats(),
+            dram: *shared.dram.stats(),
+            flow: *self.hier.flow_stats(),
+            counts: Default::default(),
+            energy: Default::default(),
+        };
+        r.compute_counts();
+        r
+    }
+}
+
+/// Runs one workload on a single core with an L1D prefetcher only.
+pub fn simulate(
+    cfg: &SystemConfig,
+    l1: PrefetcherChoice,
+    trace: &mut Trace,
+    opts: &SimOptions,
+) -> Report {
+    simulate_with_l2(cfg, l1, None, trace, opts)
+}
+
+/// Runs one workload on a single core with L1D and optional L2
+/// prefetchers.
+pub fn simulate_with_l2(
+    cfg: &SystemConfig,
+    l1: PrefetcherChoice,
+    l2: Option<L2PrefetcherChoice>,
+    trace: &mut Trace,
+    opts: &SimOptions,
+) -> Report {
+    let mut shared = SharedMemory::new(cfg, 1);
+    let mut slot = CoreSlot::new(cfg, &l1, l2, trace.restarted());
+    run_phase(&mut slot, &mut shared, opts.warmup_instructions, opts.max_cpi);
+    slot.reset_stats();
+    shared.reset_stats();
+    run_phase(&mut slot, &mut shared, opts.sim_instructions, opts.max_cpi);
+    slot.report(&shared, &l1, l2)
+}
+
+fn run_phase(slot: &mut CoreSlot, shared: &mut SharedMemory, instructions: u64, max_cpi: u64) {
+    let start_retired = slot.retired;
+    let deadline = instructions.saturating_mul(max_cpi);
+    let mut cycles = 0u64;
+    while slot.retired - start_retired < instructions && cycles < deadline {
+        slot.cycle(shared);
+        cycles += 1;
+    }
+}
+
+/// Runs a heterogeneous mix on `mix.len()` cores sharing the LLC and
+/// one DRAM channel (Sec. IV-I). Each core that finishes its budget is
+/// snapshotted and keeps running (replayed) until all cores finish.
+pub fn simulate_multicore(
+    cfg: &SystemConfig,
+    l1: PrefetcherChoice,
+    l2: Option<L2PrefetcherChoice>,
+    mix: &[WorkloadDef],
+    opts: &SimOptions,
+) -> MultiCoreReport {
+    let cores = mix.len();
+    let mut shared = SharedMemory::new(cfg, cores);
+    let mut slots: Vec<CoreSlot> = mix
+        .iter()
+        .map(|w| CoreSlot::new(cfg, &l1, l2, w.trace()))
+        .collect();
+    // Warm-up.
+    let warm_deadline = opts.warmup_instructions.saturating_mul(opts.max_cpi);
+    let mut cycles = 0u64;
+    while slots.iter().any(|s| s.retired < opts.warmup_instructions) && cycles < warm_deadline {
+        for s in slots.iter_mut() {
+            s.cycle(&mut shared);
+        }
+        cycles += 1;
+    }
+    for s in slots.iter_mut() {
+        s.reset_stats();
+    }
+    shared.reset_stats();
+    // Measurement with replay-until-all-finish.
+    let deadline = opts.sim_instructions.saturating_mul(opts.max_cpi);
+    let mut cycles = 0u64;
+    while slots.iter().any(|s| s.snapshot.is_none()) && cycles < deadline {
+        for slot in slots.iter_mut() {
+            slot.cycle(&mut shared);
+            if slot.snapshot.is_none() && slot.retired >= opts.sim_instructions {
+                let rep = slot.report(&shared, &l1, l2);
+                slot.snapshot = Some(rep);
+            }
+        }
+        cycles += 1;
+    }
+    let cores = slots
+        .into_iter()
+        .map(|mut s| {
+            s.snapshot
+                .take()
+                .unwrap_or_else(|| s.report(&shared, &l1, l2))
+        })
+        .collect();
+    MultiCoreReport { cores }
+}
+
+/// Runs every workload in `suite` under the given prefetcher
+/// configuration, in parallel across OS threads.
+pub fn simulate_suite(
+    cfg: &SystemConfig,
+    l1: PrefetcherChoice,
+    l2: Option<L2PrefetcherChoice>,
+    suite: &[WorkloadDef],
+    opts: &SimOptions,
+) -> Vec<Report> {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(suite.len().max(1));
+    let mut results: Vec<Option<Report>> = vec![None; suite.len()];
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let results_mx = std::sync::Mutex::new(&mut results);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let l1 = l1.clone();
+            let next = &next;
+            let results_mx = &results_mx;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= suite.len() {
+                    break;
+                }
+                let mut trace = suite[i].trace();
+                let r = simulate_with_l2(cfg, l1.clone(), l2, &mut trace, opts);
+                results_mx.lock().expect("no poisoned runs")[i] = Some(r);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("every workload simulated"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use berti_traces::spec;
+
+    fn tiny_opts() -> SimOptions {
+        SimOptions {
+            warmup_instructions: 20_000,
+            sim_instructions: 100_000,
+            max_cpi: 64,
+        }
+    }
+
+    #[test]
+    fn baseline_runs_and_reports() {
+        let cfg = SystemConfig::default();
+        let mut t = spec::suite()[0].trace(); // bwaves-like
+        let r = simulate(&cfg, PrefetcherChoice::IpStride, &mut t, &tiny_opts());
+        // May overshoot by less than one retire group.
+        assert!(r.instructions >= 100_000 && r.instructions < 100_004);
+        assert!(r.ipc() > 0.05 && r.ipc() < 6.0, "ipc {}", r.ipc());
+        // The baseline IP-stride covers the streams; misses may all be
+        // prefetch-covered, but data still moved through the hierarchy.
+        assert!(r.dram.reads > 0);
+        assert!(r.energy.total_nj() > 0.0);
+    }
+
+    #[test]
+    fn berti_beats_no_prefetching_on_streams() {
+        let cfg = SystemConfig::default();
+        let opts = tiny_opts();
+        let w = &spec::suite()[0]; // bwaves-like: pure streams
+        let base = simulate(&cfg, PrefetcherChoice::None, &mut w.trace(), &opts);
+        let berti = simulate(&cfg, PrefetcherChoice::Berti, &mut w.trace(), &opts);
+        assert!(
+            berti.speedup_over(&base) > 1.05,
+            "berti {} vs none {}",
+            berti.ipc(),
+            base.ipc()
+        );
+        assert!(berti.l1d_accuracy().unwrap_or(0.0) > 0.5);
+    }
+
+    #[test]
+    fn berti_covers_the_lbm_pattern_ip_stride_cannot() {
+        let cfg = SystemConfig::default();
+        let opts = tiny_opts();
+        let w = &spec::suite()[1]; // lbm-like: +1/+2 interleaved
+        let stride = simulate(&cfg, PrefetcherChoice::IpStride, &mut w.trace(), &opts);
+        let berti = simulate(&cfg, PrefetcherChoice::Berti, &mut w.trace(), &opts);
+        assert!(
+            berti.speedup_over(&stride) > 1.02,
+            "berti {} vs ip-stride {}",
+            berti.ipc(),
+            stride.ipc()
+        );
+    }
+
+    #[test]
+    fn multicore_reports_every_core() {
+        let cfg = SystemConfig::default();
+        let opts = SimOptions {
+            warmup_instructions: 5_000,
+            sim_instructions: 30_000,
+            max_cpi: 64,
+        };
+        let mix: Vec<_> = spec::suite().into_iter().take(2).collect();
+        let r = simulate_multicore(&cfg, PrefetcherChoice::IpStride, None, &mix, &opts);
+        assert_eq!(r.cores.len(), 2);
+        for c in &r.cores {
+            assert!(c.instructions >= 30_000);
+        }
+    }
+
+    #[test]
+    fn suite_runner_preserves_order() {
+        let cfg = SystemConfig::default();
+        let opts = SimOptions {
+            warmup_instructions: 2_000,
+            sim_instructions: 10_000,
+            max_cpi: 64,
+        };
+        let suite: Vec<_> = spec::suite().into_iter().take(3).collect();
+        let rs = simulate_suite(&cfg, PrefetcherChoice::None, None, &suite, &opts);
+        assert_eq!(rs.len(), 3);
+        for (r, w) in rs.iter().zip(&suite) {
+            assert_eq!(r.workload, w.name);
+        }
+    }
+}

@@ -1,0 +1,530 @@
+//! GAP benchmark-suite kernels executed over in-memory CSR graphs.
+//!
+//! The generators *run the real kernels* (BFS, PageRank, connected
+//! components, SSSP, betweenness centrality, triangle counting) over a
+//! Kronecker (RMAT) or uniform-random graph — the GAP inputs — and
+//! emit each kernel's virtual-address stream: sequential offset-array
+//! reads, streaming neighbor-array reads, and data-dependent property
+//! lookups (`prop[neighbor]`), which is where the irregular misses the
+//! paper measures come from (L1D MPKI of 83.6 on average, Sec. IV-G).
+
+use berti_types::{Instr, Ip, VAddr};
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::builder::TraceBuilder;
+use crate::trace::{Suite, WorkloadDef};
+
+/// Target unique instructions per trace.
+const TRACE_INSTRS: usize = 1_200_000;
+/// log2 of the vertex count (2^19 vertices: the property arrays are
+/// 4 MiB, twice the LLC, so bulk cache-warming cannot fake coverage).
+const SCALE: u32 = 19;
+/// Average degree (GAP uses 16 for kron/urand).
+const DEGREE: usize = 16;
+
+/// Virtual base of the CSR offsets array (4 B/vertex).
+const OFF_BASE: u64 = 0x10_0000_0000;
+/// Virtual base of the CSR neighbors array (4 B/edge).
+const NEI_BASE: u64 = 0x20_0000_0000;
+/// Virtual base of the primary property array (8 B/vertex).
+const PROP_BASE: u64 = 0x30_0000_0000;
+/// Virtual base of the secondary property array (8 B/vertex).
+const PROP2_BASE: u64 = 0x40_0000_0000;
+/// Virtual base of the frontier/worklist array (4 B/slot).
+const FRONTIER_BASE: u64 = 0x50_0000_0000;
+
+/// The GAP-like suite: six kernels × two graphs.
+pub fn suite() -> Vec<WorkloadDef> {
+    vec![
+        WorkloadDef::new("bfs-kron", Suite::Gap, || kernel(Kernel::Bfs, GraphKind::Kron)),
+        WorkloadDef::new("bfs-urand", Suite::Gap, || kernel(Kernel::Bfs, GraphKind::Urand)),
+        WorkloadDef::new("pr-kron", Suite::Gap, || kernel(Kernel::Pr, GraphKind::Kron)),
+        WorkloadDef::new("pr-urand", Suite::Gap, || kernel(Kernel::Pr, GraphKind::Urand)),
+        WorkloadDef::new("cc-kron", Suite::Gap, || kernel(Kernel::Cc, GraphKind::Kron)),
+        WorkloadDef::new("cc-urand", Suite::Gap, || kernel(Kernel::Cc, GraphKind::Urand)),
+        WorkloadDef::new("sssp-kron", Suite::Gap, || kernel(Kernel::Sssp, GraphKind::Kron)),
+        WorkloadDef::new("sssp-urand", Suite::Gap, || kernel(Kernel::Sssp, GraphKind::Urand)),
+        WorkloadDef::new("bc-kron", Suite::Gap, || kernel(Kernel::Bc, GraphKind::Kron)),
+        WorkloadDef::new("bc-urand", Suite::Gap, || kernel(Kernel::Bc, GraphKind::Urand)),
+        WorkloadDef::new("tc-kron", Suite::Gap, || kernel(Kernel::Tc, GraphKind::Kron)),
+        WorkloadDef::new("tc-urand", Suite::Gap, || kernel(Kernel::Tc, GraphKind::Urand)),
+    ]
+}
+
+/// Input graph generator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GraphKind {
+    /// Kronecker / RMAT (skewed degrees).
+    Kron,
+    /// Uniform random (Erdős–Rényi-like).
+    Urand,
+}
+
+/// GAP kernel selector.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Kernel {
+    /// Breadth-first search.
+    Bfs,
+    /// PageRank.
+    Pr,
+    /// Connected components (label propagation).
+    Cc,
+    /// Single-source shortest paths (Bellman-Ford sweeps).
+    Sssp,
+    /// Betweenness centrality (BFS + reverse accumulation).
+    Bc,
+    /// Triangle counting (sorted adjacency intersection).
+    Tc,
+}
+
+/// A CSR graph.
+#[derive(Clone, Debug)]
+pub struct Csr {
+    /// Per-vertex neighbor-range start; length `n + 1`.
+    pub offsets: Vec<u32>,
+    /// Concatenated adjacency lists.
+    pub neighbors: Vec<u32>,
+}
+
+impl Csr {
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of directed edges.
+    pub fn num_edges(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// The neighbor slice of `v`.
+    pub fn neighbors_of(&self, v: u32) -> &[u32] {
+        &self.neighbors[self.offsets[v as usize] as usize..self.offsets[v as usize + 1] as usize]
+    }
+
+    /// Builds a graph of 2^`scale` vertices with `degree` edges per
+    /// vertex from the given generator, deterministically.
+    pub fn build(kind: GraphKind, scale: u32, degree: usize, seed: u64) -> Csr {
+        let n = 1usize << scale;
+        let m = n * degree;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut edges: Vec<(u32, u32)> = Vec::with_capacity(m);
+        match kind {
+            GraphKind::Urand => {
+                for _ in 0..m {
+                    let u = rng.random_range(0..n as u32);
+                    let v = rng.random_range(0..n as u32);
+                    edges.push((u, v));
+                }
+            }
+            GraphKind::Kron => {
+                // RMAT with (a, b, c) = (0.57, 0.19, 0.19).
+                for _ in 0..m {
+                    let (mut u, mut v) = (0u32, 0u32);
+                    for _ in 0..scale {
+                        u <<= 1;
+                        v <<= 1;
+                        let r: f64 = rng.random();
+                        if r < 0.57 {
+                            // top-left
+                        } else if r < 0.76 {
+                            v |= 1;
+                        } else if r < 0.95 {
+                            u |= 1;
+                        } else {
+                            u |= 1;
+                            v |= 1;
+                        }
+                    }
+                    edges.push((u, v));
+                }
+            }
+        }
+        // Counting-sort into CSR by source.
+        let mut counts = vec![0u32; n + 1];
+        for &(u, _) in &edges {
+            counts[u as usize + 1] += 1;
+        }
+        for i in 1..=n {
+            counts[i] += counts[i - 1];
+        }
+        let offsets = counts.clone();
+        let mut cursor = counts;
+        let mut neighbors = vec![0u32; m];
+        for &(u, v) in &edges {
+            neighbors[cursor[u as usize] as usize] = v;
+            cursor[u as usize] += 1;
+        }
+        // Sorted adjacency lists (GAP sorts them; TC requires it).
+        for v in 0..n {
+            let (s, e) = (offsets[v] as usize, offsets[v + 1] as usize);
+            neighbors[s..e].sort_unstable();
+        }
+        Csr { offsets, neighbors }
+    }
+}
+
+/// IPs of the kernel loop's memory instructions.
+mod ips {
+    /// offsets[v] load.
+    pub const OFF: u64 = 0x420_000;
+    /// neighbors[e] load.
+    pub const NEI: u64 = 0x420_010;
+    /// prop[neighbor] dependent load.
+    pub const PROP: u64 = 0x420_020;
+    /// prop2 store.
+    pub const STORE: u64 = 0x420_030;
+    /// frontier/worklist load.
+    pub const FRONTIER: u64 = 0x420_040;
+    /// branch.
+    pub const BR: u64 = 0x420_050;
+    /// second adjacency stream (TC intersection).
+    pub const NEI2: u64 = 0x420_060;
+}
+
+/// Emits the address stream of one kernel over one graph.
+fn kernel(k: Kernel, g: GraphKind) -> Vec<Instr> {
+    let seed = match g {
+        GraphKind::Kron => 0x6b72,
+        GraphKind::Urand => 0x7572,
+    };
+    let graph = Csr::build(g, SCALE, DEGREE, seed);
+    let mut e = Emitter::new(&graph, seed ^ 0x1111);
+    match k {
+        Kernel::Bfs => e.bfs(),
+        Kernel::Pr => e.sweep(SweepKind::PageRank),
+        Kernel::Cc => e.sweep(SweepKind::Components),
+        Kernel::Sssp => e.sweep(SweepKind::ShortestPaths),
+        Kernel::Bc => e.bc(),
+        Kernel::Tc => e.tc(),
+    }
+    e.b.build()
+}
+
+/// Vertex-sweep flavours sharing one emission loop.
+enum SweepKind {
+    PageRank,
+    Components,
+    ShortestPaths,
+}
+
+struct Emitter<'g> {
+    g: &'g Csr,
+    b: TraceBuilder,
+}
+
+impl<'g> Emitter<'g> {
+    fn new(g: &'g Csr, seed: u64) -> Self {
+        Self {
+            g,
+            b: TraceBuilder::new(seed),
+        }
+    }
+
+    fn full(&self) -> bool {
+        self.b.len() >= TRACE_INSTRS
+    }
+
+    fn load_offsets(&mut self, v: u32) {
+        self.b
+            .push(Instr::load(Ip::new(ips::OFF), VAddr::new(OFF_BASE + u64::from(v) * 4)));
+    }
+
+    fn load_neighbor(&mut self, e: usize) {
+        self.b
+            .push(Instr::load(Ip::new(ips::NEI), VAddr::new(NEI_BASE + e as u64 * 4)));
+    }
+
+    fn load_prop(&mut self, v: u32, chain: u8) {
+        self.b.push(Instr::dependent_load(
+            Ip::new(ips::PROP),
+            VAddr::new(PROP_BASE + u64::from(v) * 8),
+            chain,
+        ));
+    }
+
+    fn store_prop2(&mut self, v: u32) {
+        self.b
+            .push(Instr::store(Ip::new(ips::STORE), VAddr::new(PROP2_BASE + u64::from(v) * 8)));
+    }
+
+    fn load_frontier(&mut self, slot: usize) {
+        self.b.push(Instr::load(
+            Ip::new(ips::FRONTIER),
+            VAddr::new(FRONTIER_BASE + slot as u64 * 4),
+        ));
+    }
+
+    /// PageRank / CC / SSSP share the edge-centric sweep shape:
+    /// stream offsets and neighbors, gather a property per neighbor,
+    /// write the vertex's result.
+    fn sweep(&mut self, kind: SweepKind) {
+        let n = self.g.num_vertices() as u32;
+        let (mispredict, pad) = match kind {
+            SweepKind::PageRank => (0.001, 6),
+            SweepKind::Components => (0.004, 4),
+            SweepKind::ShortestPaths => (0.01, 5),
+        };
+        'outer: loop {
+            for v in 0..n {
+                if self.full() {
+                    break 'outer;
+                }
+                self.load_offsets(v);
+                let (s, e) = (
+                    self.g.offsets[v as usize] as usize,
+                    self.g.offsets[v as usize + 1] as usize,
+                );
+                for idx in s..e {
+                    let u = self.g.neighbors[idx];
+                    self.load_neighbor(idx);
+                    self.load_prop(u, (idx % 6) as u8);
+                    self.b.alu(pad);
+                    if matches!(kind, SweepKind::ShortestPaths) {
+                        self.b.branch(ips::BR, mispredict);
+                    }
+                }
+                self.store_prop2(v);
+                self.b.alu(2);
+                if !matches!(kind, SweepKind::ShortestPaths) {
+                    self.b.branch(ips::BR, mispredict);
+                }
+            }
+        }
+    }
+
+    /// Top-down BFS from pseudo-random sources until the budget fills.
+    fn bfs(&mut self) {
+        let n = self.g.num_vertices();
+        let mut rng = SmallRng::seed_from_u64(0xbf5);
+        'outer: loop {
+            let mut visited = vec![false; n];
+            let mut frontier: Vec<u32> = vec![rng.random_range(0..n as u32)];
+            visited[frontier[0] as usize] = true;
+            while !frontier.is_empty() {
+                let mut next = Vec::new();
+                for (slot, &v) in frontier.iter().enumerate() {
+                    if self.full() {
+                        break 'outer;
+                    }
+                    self.load_frontier(slot);
+                    self.load_offsets(v);
+                    let (s, e) = (
+                        self.g.offsets[v as usize] as usize,
+                        self.g.offsets[v as usize + 1] as usize,
+                    );
+                    for idx in s..e {
+                        let u = self.g.neighbors[idx];
+                        self.load_neighbor(idx);
+                        // visited[u]: data-dependent.
+                        self.load_prop(u, (idx % 6) as u8);
+                        self.b.alu(4);
+                        self.b.branch(ips::BR, 0.02);
+                        if !visited[u as usize] {
+                            visited[u as usize] = true;
+                            self.store_prop2(u); // parent[u] = v
+                            next.push(u);
+                        }
+                    }
+                }
+                frontier = next;
+            }
+        }
+    }
+
+    /// Betweenness centrality: a BFS pass plus a reverse accumulation
+    /// sweep over the visited order.
+    fn bc(&mut self) {
+        let n = self.g.num_vertices();
+        let mut rng = SmallRng::seed_from_u64(0xbc);
+        'outer: loop {
+            // Forward BFS recording the visit order.
+            let mut visited = vec![false; n];
+            let root = rng.random_range(0..n as u32);
+            let mut order: Vec<u32> = vec![root];
+            visited[root as usize] = true;
+            let mut head = 0usize;
+            while head < order.len() {
+                if self.full() {
+                    break 'outer;
+                }
+                let v = order[head];
+                head += 1;
+                self.load_frontier(head);
+                self.load_offsets(v);
+                let (s, e) = (
+                    self.g.offsets[v as usize] as usize,
+                    self.g.offsets[v as usize + 1] as usize,
+                );
+                for idx in s..e {
+                    let u = self.g.neighbors[idx];
+                    self.load_neighbor(idx);
+                    self.load_prop(u, (idx % 6) as u8);
+                    self.b.alu(4);
+                    if !visited[u as usize] {
+                        visited[u as usize] = true;
+                        self.store_prop2(u); // sigma
+                        order.push(u);
+                    }
+                }
+                self.b.branch(ips::BR, 0.015);
+            }
+            // Reverse accumulation.
+            for &v in order.iter().rev() {
+                if self.full() {
+                    break 'outer;
+                }
+                self.load_offsets(v);
+                let (s, e) = (
+                    self.g.offsets[v as usize] as usize,
+                    self.g.offsets[v as usize + 1] as usize,
+                );
+                for idx in s..e {
+                    self.load_neighbor(idx);
+                    self.load_prop(self.g.neighbors[idx], (idx % 6) as u8);
+                    self.b.alu(5);
+                }
+                self.store_prop2(v);
+            }
+        }
+    }
+
+    /// Triangle counting: merge-intersect sorted adjacency lists —
+    /// two parallel neighbor streams, very little irregularity.
+    fn tc(&mut self) {
+        let n = self.g.num_vertices() as u32;
+        'outer: loop {
+            for v in 0..n {
+                if self.full() {
+                    break 'outer;
+                }
+                self.load_offsets(v);
+                let (vs, ve) = (
+                    self.g.offsets[v as usize] as usize,
+                    self.g.offsets[v as usize + 1] as usize,
+                );
+                for idx in vs..ve {
+                    let u = self.g.neighbors[idx];
+                    self.load_neighbor(idx);
+                    if u >= v {
+                        break;
+                    }
+                    // Merge-intersect N(v) and N(u).
+                    let (us, ue) = (
+                        self.g.offsets[u as usize] as usize,
+                        self.g.offsets[u as usize + 1] as usize,
+                    );
+                    let (mut i, mut j) = (vs, us);
+                    while i < ve && j < ue {
+                        if self.full() {
+                            break 'outer;
+                        }
+                        self.load_neighbor(i);
+                        self.b.push(Instr::load(
+                            Ip::new(ips::NEI2),
+                            VAddr::new(NEI_BASE + j as u64 * 4),
+                        ));
+                        self.b.alu(3);
+                        match self.g.neighbors[i].cmp(&self.g.neighbors[j]) {
+                            std::cmp::Ordering::Less => i += 1,
+                            std::cmp::Ordering::Greater => j += 1,
+                            std::cmp::Ordering::Equal => {
+                                i += 1;
+                                j += 1;
+                            }
+                        }
+                    }
+                }
+                self.b.branch(ips::BR, 0.002);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn csr_is_well_formed() {
+        let g = Csr::build(GraphKind::Urand, 10, 8, 42);
+        assert_eq!(g.num_vertices(), 1024);
+        assert_eq!(g.num_edges(), 1024 * 8);
+        assert_eq!(*g.offsets.last().expect("nonempty") as usize, g.num_edges());
+        for v in 0..g.num_vertices() as u32 {
+            let ns = g.neighbors_of(v);
+            assert!(ns.windows(2).all(|w| w[0] <= w[1]), "sorted adjacency");
+            assert!(ns.iter().all(|&u| (u as usize) < g.num_vertices()));
+        }
+    }
+
+    #[test]
+    fn kron_is_skewed_urand_is_not() {
+        let kron = Csr::build(GraphKind::Kron, 12, 8, 1);
+        let urand = Csr::build(GraphKind::Urand, 12, 8, 1);
+        let max_deg = |g: &Csr| {
+            (0..g.num_vertices() as u32)
+                .map(|v| g.neighbors_of(v).len())
+                .max()
+                .expect("nonempty")
+        };
+        assert!(
+            max_deg(&kron) > 4 * max_deg(&urand),
+            "RMAT must produce heavy-tailed degrees: {} vs {}",
+            max_deg(&kron),
+            max_deg(&urand)
+        );
+    }
+
+    #[test]
+    fn graph_build_is_deterministic() {
+        let a = Csr::build(GraphKind::Kron, 10, 8, 7);
+        let b = Csr::build(GraphKind::Kron, 10, 8, 7);
+        assert_eq!(a.neighbors, b.neighbors);
+    }
+
+    #[test]
+    fn suite_covers_six_kernels_times_two_graphs() {
+        let s = suite();
+        assert_eq!(s.len(), 12);
+        let names: HashSet<_> = s.iter().map(|w| w.name).collect();
+        assert_eq!(names.len(), 12);
+        assert!(s.iter().all(|w| w.suite == Suite::Gap));
+    }
+
+    #[test]
+    fn kernels_emit_dependent_property_loads() {
+        // Use a tiny generation to keep the test fast: the pr kernel on
+        // the real graph but truncated via the shared budget.
+        let t = kernel(Kernel::Pr, GraphKind::Urand);
+        assert!(t.len() >= TRACE_INSTRS);
+        let dep_loads = t.iter().filter(|i| i.dep_chain.is_some()).count();
+        assert!(
+            dep_loads * 10 > t.len(),
+            "property gathers must dominate: {dep_loads} of {}",
+            t.len()
+        );
+        // Property addresses span the whole property array (irregular).
+        let props: HashSet<u64> = t
+            .iter()
+            .filter(|i| i.ip == Ip::new(ips::PROP))
+            .filter_map(|i| i.loads[0])
+            .map(|a| a.raw() / 64)
+            .collect();
+        assert!(props.len() > 10_000, "only {} distinct lines", props.len());
+    }
+
+    #[test]
+    fn bfs_trace_reaches_budget_even_on_disconnected_graphs() {
+        let t = kernel(Kernel::Bfs, GraphKind::Kron);
+        assert!(t.len() >= TRACE_INSTRS);
+    }
+
+    #[test]
+    fn tc_streams_two_adjacency_cursors() {
+        let t = kernel(Kernel::Tc, GraphKind::Urand);
+        assert!(t.iter().any(|i| i.ip == Ip::new(ips::NEI2)));
+    }
+}

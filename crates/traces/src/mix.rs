@@ -1,0 +1,48 @@
+//! Multi-core heterogeneous mixes (Sec. IV-I: "200 random
+//! heterogeneous mixes from SPEC CPU2017 and GAP").
+
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::memory_intensive_suite;
+use crate::trace::WorkloadDef;
+
+/// Draws `count` random heterogeneous mixes of `cores` workloads each
+/// from the memory-intensive suite, deterministically from `seed`.
+pub fn random_mixes(count: usize, cores: usize, seed: u64) -> Vec<Vec<WorkloadDef>> {
+    let pool = memory_intensive_suite();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            (0..cores)
+                .map(|_| pool[rng.random_range(0..pool.len())].clone())
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn mixes_are_deterministic_and_sized() {
+        let a = random_mixes(10, 4, 42);
+        let b = random_mixes(10, 4, 42);
+        assert_eq!(a.len(), 10);
+        assert!(a.iter().all(|m| m.len() == 4));
+        for (x, y) in a.iter().zip(&b) {
+            let nx: Vec<_> = x.iter().map(|w| w.name).collect();
+            let ny: Vec<_> = y.iter().map(|w| w.name).collect();
+            assert_eq!(nx, ny);
+        }
+    }
+
+    #[test]
+    fn mixes_are_heterogeneous_overall() {
+        let mixes = random_mixes(20, 4, 7);
+        let names: HashSet<_> = mixes.iter().flatten().map(|w| w.name).collect();
+        assert!(names.len() > 10, "sampling should cover the pool");
+    }
+}

@@ -1,0 +1,147 @@
+//! Trace containers and workload definitions.
+
+use std::sync::Arc;
+
+use berti_types::Instr;
+
+/// Benchmark suite a workload belongs to (used for per-suite averages,
+/// matching the paper's SPEC/GAP/CloudSuite breakdowns).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Suite {
+    /// SPEC CPU2017-like single-threaded kernels.
+    Spec,
+    /// GAP graph kernels.
+    Gap,
+    /// CloudSuite-like scale-out services.
+    Cloud,
+}
+
+impl std::fmt::Display for Suite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Suite::Spec => f.write_str("SPEC"),
+            Suite::Gap => f.write_str("GAP"),
+            Suite::Cloud => f.write_str("CloudSuite"),
+        }
+    }
+}
+
+/// A named workload that can generate its trace on demand.
+#[derive(Clone)]
+pub struct WorkloadDef {
+    /// Display name (e.g. "mcf-1554-like", "bfs-kron").
+    pub name: &'static str,
+    /// Owning suite.
+    pub suite: Suite,
+    generate: fn() -> Vec<Instr>,
+}
+
+impl std::fmt::Debug for WorkloadDef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkloadDef")
+            .field("name", &self.name)
+            .field("suite", &self.suite)
+            .finish()
+    }
+}
+
+impl WorkloadDef {
+    /// Defines a workload from a deterministic generator function.
+    pub const fn new(name: &'static str, suite: Suite, generate: fn() -> Vec<Instr>) -> Self {
+        Self {
+            name,
+            suite,
+            generate,
+        }
+    }
+
+    /// Generates the trace (deterministic; safe to call repeatedly).
+    pub fn trace(&self) -> Trace {
+        Trace::new(self.name, (self.generate)())
+    }
+}
+
+/// A replayable instruction trace. Replays cyclically, as ChampSim
+/// replays SimPoint traces when a core needs more instructions.
+#[derive(Clone, Debug)]
+pub struct Trace {
+    name: &'static str,
+    instrs: Arc<Vec<Instr>>,
+    pos: usize,
+}
+
+impl Trace {
+    /// Wraps a generated instruction sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `instrs` is empty.
+    pub fn new(name: &'static str, instrs: Vec<Instr>) -> Self {
+        assert!(!instrs.is_empty(), "a trace needs instructions");
+        Self {
+            name,
+            instrs: Arc::new(instrs),
+            pos: 0,
+        }
+    }
+
+    /// The workload name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Unique instructions before the trace loops.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Whether the trace is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// The next instruction (cycling).
+    #[inline]
+    pub fn next_instr(&mut self) -> Instr {
+        let i = self.instrs[self.pos];
+        self.pos += 1;
+        if self.pos == self.instrs.len() {
+            self.pos = 0;
+        }
+        i
+    }
+
+    /// A fresh replay handle sharing the same underlying trace.
+    pub fn restarted(&self) -> Trace {
+        Trace {
+            name: self.name,
+            instrs: Arc::clone(&self.instrs),
+            pos: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use berti_types::Ip;
+
+    #[test]
+    fn trace_cycles() {
+        let mut t = Trace::new(
+            "t",
+            vec![Instr::alu(Ip::new(1)), Instr::alu(Ip::new(2))],
+        );
+        assert_eq!(t.next_instr().ip, Ip::new(1));
+        assert_eq!(t.next_instr().ip, Ip::new(2));
+        assert_eq!(t.next_instr().ip, Ip::new(1), "wraps around");
+        let mut fresh = t.restarted();
+        assert_eq!(fresh.next_instr().ip, Ip::new(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "needs instructions")]
+    fn empty_trace_rejected() {
+        let _ = Trace::new("t", vec![]);
+    }
+}

@@ -1,0 +1,489 @@
+//! Address-space newtypes.
+//!
+//! Virtual and physical addresses are deliberately distinct types: Berti
+//! trains on *virtual* addresses (Sec. III, "trained with virtual
+//! addresses, which helps in finding larger deltas and facilitates
+//! cross-page prefetching") while the caches below the L1D operate on
+//! physical addresses. Mixing the two spaces is a bug the type system
+//! should catch.
+
+use core::fmt;
+use core::ops::{Add, Neg, Sub};
+
+use crate::{LINE_SHIFT, PAGE_SHIFT};
+
+macro_rules! byte_addr {
+    ($(#[$doc:meta])* $name:ident, $line:ident, $page:ident) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(u64);
+
+        impl $name {
+            /// Wraps a raw byte address.
+            #[inline]
+            pub const fn new(raw: u64) -> Self {
+                Self(raw)
+            }
+
+            /// The raw byte address.
+            #[inline]
+            pub const fn raw(self) -> u64 {
+                self.0
+            }
+
+            /// The cache-line address containing this byte.
+            #[inline]
+            pub const fn line(self) -> $line {
+                $line(self.0 >> LINE_SHIFT)
+            }
+
+            /// The page number containing this byte.
+            #[inline]
+            pub const fn page(self) -> $page {
+                $page(self.0 >> PAGE_SHIFT)
+            }
+
+            /// Byte offset within the cache line.
+            #[inline]
+            pub const fn line_offset(self) -> u64 {
+                self.0 & ((1 << LINE_SHIFT) - 1)
+            }
+
+            /// Byte offset within the page.
+            #[inline]
+            pub const fn page_offset(self) -> u64 {
+                self.0 & ((1 << PAGE_SHIFT) - 1)
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!(stringify!($name), "({:#x})"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{:#x}", self.0)
+            }
+        }
+
+        impl fmt::LowerHex for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::LowerHex::fmt(&self.0, f)
+            }
+        }
+
+        impl From<u64> for $name {
+            fn from(raw: u64) -> Self {
+                Self::new(raw)
+            }
+        }
+
+        impl From<$name> for u64 {
+            fn from(a: $name) -> u64 {
+                a.raw()
+            }
+        }
+    };
+}
+
+macro_rules! line_addr {
+    ($(#[$doc:meta])* $name:ident, $byte:ident, $page:ident) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(u64);
+
+        impl $name {
+            /// Wraps a raw cache-line number (byte address >> 6).
+            #[inline]
+            pub const fn new(raw: u64) -> Self {
+                Self(raw)
+            }
+
+            /// The raw cache-line number.
+            #[inline]
+            pub const fn raw(self) -> u64 {
+                self.0
+            }
+
+            /// The byte address of the first byte of this line.
+            #[inline]
+            pub const fn base(self) -> $byte {
+                $byte::new(self.0 << LINE_SHIFT)
+            }
+
+            /// The page containing this line.
+            #[inline]
+            pub const fn page(self) -> $page {
+                $page(self.0 >> (PAGE_SHIFT - LINE_SHIFT))
+            }
+
+            /// Index of this line within its page (0..64 for 4 KiB pages).
+            #[inline]
+            pub const fn index_in_page(self) -> u64 {
+                self.0 & ((1 << (PAGE_SHIFT - LINE_SHIFT)) - 1)
+            }
+
+            /// The line `delta` lines away (wrapping on address-space
+            /// overflow, which cannot occur for realistic inputs).
+            #[inline]
+            pub const fn offset(self, delta: Delta) -> Self {
+                Self(self.0.wrapping_add_signed(delta.raw() as i64))
+            }
+
+            /// The delta from `earlier` to `self` (i.e. `self - earlier`),
+            /// saturated to the representable delta range.
+            #[inline]
+            pub fn diff(self, earlier: Self) -> Delta {
+                let d = self.0.wrapping_sub(earlier.0) as i64;
+                Delta::saturating(d)
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!(stringify!($name), "({:#x})"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{:#x}", self.0)
+            }
+        }
+
+        impl From<u64> for $name {
+            fn from(raw: u64) -> Self {
+                Self::new(raw)
+            }
+        }
+
+        impl From<$name> for u64 {
+            fn from(a: $name) -> u64 {
+                a.raw()
+            }
+        }
+
+        impl Add<Delta> for $name {
+            type Output = $name;
+            fn add(self, rhs: Delta) -> Self {
+                self.offset(rhs)
+            }
+        }
+
+        impl Sub for $name {
+            type Output = Delta;
+            fn sub(self, rhs: Self) -> Delta {
+                self.diff(rhs)
+            }
+        }
+    };
+}
+
+macro_rules! page_num {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Debug)]
+        pub struct $name(u64);
+
+        impl $name {
+            /// Wraps a raw page number (byte address >> 12).
+            #[inline]
+            pub const fn new(raw: u64) -> Self {
+                Self(raw)
+            }
+
+            /// The raw page number.
+            #[inline]
+            pub const fn raw(self) -> u64 {
+                self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{:#x}", self.0)
+            }
+        }
+
+        impl From<u64> for $name {
+            fn from(raw: u64) -> Self {
+                Self::new(raw)
+            }
+        }
+    };
+}
+
+byte_addr!(
+    /// A virtual byte address, as generated by the core and seen by the
+    /// L1D and the L1D prefetchers.
+    VAddr,
+    VLine,
+    Vpn
+);
+byte_addr!(
+    /// A physical byte address, as used by L2, LLC, and DRAM.
+    PAddr,
+    PLine,
+    Ppn
+);
+line_addr!(
+    /// A virtual cache-line address (virtual byte address >> 6).
+    VLine,
+    VAddr,
+    Vpn
+);
+line_addr!(
+    /// A physical cache-line address (physical byte address >> 6).
+    PLine,
+    PAddr,
+    Ppn
+);
+page_num!(
+    /// A virtual page number.
+    Vpn
+);
+page_num!(
+    /// A physical page number (frame number).
+    Ppn
+);
+
+impl Vpn {
+    /// The first virtual line of this page.
+    #[inline]
+    pub const fn first_line(self) -> VLine {
+        VLine::new(self.0 << (PAGE_SHIFT - LINE_SHIFT))
+    }
+}
+
+impl Ppn {
+    /// The first physical line of this page.
+    #[inline]
+    pub const fn first_line(self) -> PLine {
+        PLine::new(self.0 << (PAGE_SHIFT - LINE_SHIFT))
+    }
+}
+
+/// An instruction pointer (program counter) of a memory instruction.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Ip(u64);
+
+impl Ip {
+    /// Wraps a raw instruction address.
+    #[inline]
+    pub const fn new(raw: u64) -> Self {
+        Self(raw)
+    }
+
+    /// The raw instruction address.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// A simple xor-folded hash of the IP, used by tables that index or
+    /// tag with a reduced number of IP bits.
+    #[inline]
+    pub const fn fold(self, bits: u32) -> u64 {
+        let mask = (1u64 << bits) - 1;
+        let mut v = self.0;
+        let mut acc = 0u64;
+        while v != 0 {
+            acc ^= v & mask;
+            v >>= bits;
+        }
+        acc
+    }
+}
+
+impl fmt::Debug for Ip {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Ip({:#x})", self.0)
+    }
+}
+
+impl fmt::Display for Ip {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl From<u64> for Ip {
+    fn from(raw: u64) -> Self {
+        Self::new(raw)
+    }
+}
+
+/// A local delta: the difference between the cache-line addresses of two
+/// demand accesses issued by the same IP (Sec. I of the paper).
+///
+/// Berti stores deltas in 13 bits (sign + 12 magnitude bits, Table I);
+/// this type is wider but [`Delta::fits_bits`] checks the hardware range.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Delta(i32);
+
+impl Delta {
+    /// The zero delta.
+    pub const ZERO: Delta = Delta(0);
+
+    /// Wraps a raw line-count delta.
+    #[inline]
+    pub const fn new(raw: i32) -> Self {
+        Self(raw)
+    }
+
+    /// Builds a delta from an `i64`, saturating to the `i32` range.
+    #[inline]
+    pub fn saturating(raw: i64) -> Self {
+        Self(raw.clamp(i32::MIN as i64, i32::MAX as i64) as i32)
+    }
+
+    /// The raw signed line count.
+    #[inline]
+    pub const fn raw(self) -> i32 {
+        self.0
+    }
+
+    /// Whether the delta is representable in a signed field of `bits`
+    /// bits (e.g. Berti's 13-bit delta field holds −4096..=4095).
+    #[inline]
+    pub const fn fits_bits(self, bits: u32) -> bool {
+        let half = 1i32 << (bits - 1);
+        self.0 >= -half && self.0 < half
+    }
+
+    /// Absolute value in lines.
+    #[inline]
+    pub const fn magnitude(self) -> u32 {
+        self.0.unsigned_abs()
+    }
+}
+
+impl fmt::Debug for Delta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Delta({:+})", self.0)
+    }
+}
+
+impl fmt::Display for Delta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:+}", self.0)
+    }
+}
+
+impl From<i32> for Delta {
+    fn from(raw: i32) -> Self {
+        Self::new(raw)
+    }
+}
+
+impl Neg for Delta {
+    type Output = Delta;
+    fn neg(self) -> Delta {
+        Delta(-self.0)
+    }
+}
+
+impl Add for Delta {
+    type Output = Delta;
+    fn add(self, rhs: Delta) -> Delta {
+        Delta(self.0 + rhs.0)
+    }
+}
+
+impl Sub for Delta {
+    type Output = Delta;
+    fn sub(self, rhs: Delta) -> Delta {
+        Delta(self.0 - rhs.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LINES_PER_PAGE, PAGE_BYTES};
+
+    #[test]
+    fn byte_to_line_and_page() {
+        let a = VAddr::new(0x1234);
+        assert_eq!(a.line().raw(), 0x1234 >> 6);
+        assert_eq!(a.page().raw(), 0x1234 >> 12);
+        assert_eq!(a.line_offset(), 0x34);
+        assert_eq!(a.page_offset(), 0x234);
+    }
+
+    #[test]
+    fn line_base_roundtrip() {
+        let l = VLine::new(77);
+        assert_eq!(l.base().line(), l);
+        assert_eq!(l.base().raw(), 77 * 64);
+    }
+
+    #[test]
+    fn line_offset_and_diff_are_inverses() {
+        let l = VLine::new(1000);
+        for d in [-5i32, -1, 0, 1, 10, 63] {
+            let d = Delta::new(d);
+            assert_eq!(l.offset(d).diff(l), d);
+        }
+    }
+
+    #[test]
+    fn negative_delta_crosses_page() {
+        let page_first = Vpn::new(5).first_line();
+        let prev = page_first.offset(Delta::new(-1));
+        assert_eq!(prev.page().raw(), 4);
+        assert_eq!(prev.index_in_page(), LINES_PER_PAGE - 1);
+    }
+
+    #[test]
+    fn lines_per_page_matches_constants() {
+        assert_eq!(LINES_PER_PAGE, PAGE_BYTES / 64);
+        let a = VAddr::new(PAGE_BYTES - 1);
+        let b = VAddr::new(PAGE_BYTES);
+        assert_ne!(a.page(), b.page());
+        assert_eq!(b.line().index_in_page(), 0);
+    }
+
+    #[test]
+    fn delta_fits_bits_matches_berti_field() {
+        assert!(Delta::new(4095).fits_bits(13));
+        assert!(Delta::new(-4096).fits_bits(13));
+        assert!(!Delta::new(4096).fits_bits(13));
+        assert!(!Delta::new(-4097).fits_bits(13));
+    }
+
+    #[test]
+    fn delta_saturates() {
+        assert_eq!(Delta::saturating(i64::MAX).raw(), i32::MAX);
+        assert_eq!(Delta::saturating(i64::MIN).raw(), i32::MIN);
+        assert_eq!(Delta::saturating(42).raw(), 42);
+    }
+
+    #[test]
+    fn ip_fold_is_stable_and_bounded() {
+        let ip = Ip::new(0xdead_beef_1234);
+        let f = ip.fold(10);
+        assert!(f < 1024);
+        assert_eq!(f, ip.fold(10));
+    }
+
+    #[test]
+    fn operators_match_methods() {
+        let l = VLine::new(500);
+        assert_eq!(l + Delta::new(7), l.offset(Delta::new(7)));
+        assert_eq!(l.offset(Delta::new(7)) - l, Delta::new(7));
+        assert_eq!(-Delta::new(3), Delta::new(-3));
+        assert_eq!(Delta::new(3) + Delta::new(4), Delta::new(7));
+        assert_eq!(Delta::new(3) - Delta::new(4), Delta::new(-1));
+    }
+
+    #[test]
+    fn debug_formats_are_nonempty() {
+        assert!(!format!("{:?}", VAddr::new(0)).is_empty());
+        assert!(!format!("{:?}", PLine::new(0)).is_empty());
+        assert!(!format!("{:?}", Ip::new(0)).is_empty());
+        assert!(!format!("{:?}", Delta::ZERO).is_empty());
+    }
+}

@@ -1,0 +1,114 @@
+//! The trace instruction record consumed by the core model.
+//!
+//! The format carries what ChampSim traces carry — IP, memory source/
+//! destination operands, branch outcome — plus an explicit *dependence
+//! chain* id. ChampSim infers load-to-load dependencies from register
+//! numbers; our synthetic traces declare them directly (a load in chain
+//! `c` cannot issue before the previous load in chain `c` completed),
+//! which is what serializes pointer chasing in mcf- and GAP-like
+//! workloads.
+
+use crate::{Ip, VAddr};
+
+/// Maximum independent dependence chains tracked by the core.
+pub const MAX_DEP_CHAINS: usize = 8;
+
+/// One traced instruction.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Instr {
+    /// Instruction pointer.
+    pub ip: Ip,
+    /// Up to two load operands.
+    pub loads: [Option<VAddr>; 2],
+    /// Store operand (issues a read-for-ownership).
+    pub store: Option<VAddr>,
+    /// A conditional branch that the predictor got wrong: the front
+    /// end stalls for the mispredict penalty.
+    pub mispredicted_branch: bool,
+    /// Dependence chain: this instruction's loads wait for the chain's
+    /// previous load (pointer chasing). `None` = independent.
+    pub dep_chain: Option<u8>,
+}
+
+impl Instr {
+    /// A non-memory instruction.
+    pub fn alu(ip: Ip) -> Self {
+        Self {
+            ip,
+            ..Self::default()
+        }
+    }
+
+    /// A load of `addr`.
+    pub fn load(ip: Ip, addr: VAddr) -> Self {
+        Self {
+            ip,
+            loads: [Some(addr), None],
+            ..Self::default()
+        }
+    }
+
+    /// A dependent load of `addr` in chain `chain` (pointer chasing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chain >= MAX_DEP_CHAINS`.
+    pub fn dependent_load(ip: Ip, addr: VAddr, chain: u8) -> Self {
+        assert!((chain as usize) < MAX_DEP_CHAINS);
+        Self {
+            ip,
+            loads: [Some(addr), None],
+            dep_chain: Some(chain),
+            ..Self::default()
+        }
+    }
+
+    /// A store to `addr`.
+    pub fn store(ip: Ip, addr: VAddr) -> Self {
+        Self {
+            ip,
+            store: Some(addr),
+            ..Self::default()
+        }
+    }
+
+    /// A mispredicted branch.
+    pub fn mispredicted_branch(ip: Ip) -> Self {
+        Self {
+            ip,
+            mispredicted_branch: true,
+            ..Self::default()
+        }
+    }
+
+    /// Whether the instruction touches memory.
+    pub fn is_memory(&self) -> bool {
+        self.loads[0].is_some() || self.loads[1].is_some() || self.store.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_the_right_operands() {
+        let ip = Ip::new(0x400);
+        assert!(!Instr::alu(ip).is_memory());
+        let l = Instr::load(ip, VAddr::new(64));
+        assert!(l.is_memory());
+        assert_eq!(l.loads[0], Some(VAddr::new(64)));
+        assert!(l.store.is_none());
+        let s = Instr::store(ip, VAddr::new(128));
+        assert_eq!(s.store, Some(VAddr::new(128)));
+        assert!(Instr::mispredicted_branch(ip).mispredicted_branch);
+        let d = Instr::dependent_load(ip, VAddr::new(64), 3);
+        assert_eq!(d.dep_chain, Some(3));
+    }
+
+    #[test]
+    #[should_panic]
+    fn chain_bounds_checked() {
+        let _ = Instr::dependent_load(Ip::new(1), VAddr::new(1), MAX_DEP_CHAINS as u8);
+    }
+}

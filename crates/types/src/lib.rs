@@ -1,0 +1,45 @@
+//! Common newtypes, enums, and system configuration shared by every crate
+//! in the Berti reproduction workspace.
+//!
+//! The types here encode the vocabulary of the paper: virtual/physical
+//! byte addresses, cache-line addresses, instruction pointers, cycles,
+//! and *deltas* (differences between cache-line addresses of two demand
+//! accesses issued by the same IP, Sec. I of the paper).
+//!
+//! # Examples
+//!
+//! ```
+//! use berti_types::{VAddr, Delta};
+//!
+//! let a = VAddr::new(0x1000);
+//! let line = a.line();
+//! let next = line.offset(Delta::new(3));
+//! assert_eq!(next.diff(line), Delta::new(3));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod addr;
+mod config;
+mod instr;
+mod kinds;
+
+pub use addr::{Delta, Ip, PAddr, PLine, Ppn, VAddr, VLine, Vpn};
+pub use instr::{Instr, MAX_DEP_CHAINS};
+pub use config::{
+    CacheGeometry, CoreConfig, DramConfig, SystemConfig, TlbConfig, DDR3_1600, DDR4_3200,
+    DDR5_6400,
+};
+pub use kinds::{AccessKind, Cycle, FillLevel, ReplacementKind};
+
+/// Bytes per cache line (64 B, as in ChampSim and the paper).
+pub const LINE_BYTES: u64 = 64;
+/// log2 of [`LINE_BYTES`].
+pub const LINE_SHIFT: u32 = 6;
+/// Bytes per OS page (4 KiB, Sec. IV-J "OS page boundary of 4 KB").
+pub const PAGE_BYTES: u64 = 4096;
+/// log2 of [`PAGE_BYTES`].
+pub const PAGE_SHIFT: u32 = 12;
+/// Cache lines per OS page.
+pub const LINES_PER_PAGE: u64 = PAGE_BYTES / LINE_BYTES;

@@ -1,0 +1,52 @@
+//! Property-based tests of the address newtypes.
+
+use berti_types::{Cycle, Delta, Ip, VAddr, VLine, LINES_PER_PAGE};
+use proptest::prelude::*;
+
+proptest! {
+    /// offset/diff are inverses for any line and representable delta.
+    #[test]
+    fn offset_diff_roundtrip(line in 0u64..1u64 << 40, d in -1_000_000i32..1_000_000) {
+        let l = VLine::new(line);
+        let d = Delta::new(d);
+        prop_assert_eq!(l.offset(d).diff(l), d);
+    }
+
+    /// Byte -> line -> page decomposition is consistent.
+    #[test]
+    fn addr_decomposition(raw in 0u64..1u64 << 46) {
+        let a = VAddr::new(raw);
+        prop_assert_eq!(a.line().page(), a.page());
+        prop_assert_eq!(a.line().base().raw(), raw & !63);
+        prop_assert!(a.line().index_in_page() < LINES_PER_PAGE);
+        prop_assert!(a.line_offset() < 64);
+        prop_assert!(a.page_offset() < 4096);
+    }
+
+    /// Truncated timestamps match modular arithmetic.
+    #[test]
+    fn cycle_truncation(raw in any::<u64>(), bits in 1u32..64) {
+        let c = Cycle::new(raw);
+        prop_assert_eq!(c.truncated(bits), raw % (1u64 << bits));
+    }
+
+    /// `since` is saturating subtraction.
+    #[test]
+    fn cycle_since(a in any::<u64>(), b in any::<u64>()) {
+        prop_assert_eq!(Cycle::new(a).since(Cycle::new(b)), a.saturating_sub(b));
+    }
+
+    /// IP folding stays within the requested width.
+    #[test]
+    fn ip_fold_bounded(raw in any::<u64>(), bits in 1u32..32) {
+        prop_assert!(Ip::new(raw).fold(bits) < (1u64 << bits));
+    }
+
+    /// Delta field-width checks match two's-complement ranges.
+    #[test]
+    fn delta_fits(v in -100_000i32..100_000, bits in 2u32..31) {
+        let fits = Delta::new(v).fits_bits(bits);
+        let half = 1i64 << (bits - 1);
+        prop_assert_eq!(fits, (v as i64) >= -half && (v as i64) < half);
+    }
+}

@@ -1,0 +1,88 @@
+//! Extensibility: implement your own prefetcher against the
+//! [`berti::mem::Prefetcher`] trait and race it against Berti inside
+//! the full simulator.
+
+use berti::mem::{AccessEvent, PrefetchDecision, Prefetcher, SharedMemory};
+use berti::mem::{DemandAccess, DemandOutcome, Hierarchy};
+use berti::cpu::{Core, DataPort, MemOpKind, PortResponse};
+use berti::types::{AccessKind, Cycle, Delta, FillLevel, Ip, SystemConfig, VAddr};
+
+/// A toy "sequitur" prefetcher: next line on every miss, two lines on
+/// a prefetched hit (it trusts its own momentum).
+struct Sequitur;
+
+impl Prefetcher for Sequitur {
+    fn name(&self) -> &'static str {
+        "sequitur"
+    }
+    fn storage_bits(&self) -> u64 {
+        0
+    }
+    fn on_access(&mut self, ev: &AccessEvent, out: &mut Vec<PrefetchDecision>) {
+        if !ev.kind.is_demand() {
+            return;
+        }
+        let depth = if ev.timely_prefetch_hit { 2 } else if !ev.hit { 1 } else { 0 };
+        for k in 1..=depth {
+            out.push(PrefetchDecision {
+                target: ev.line + Delta::new(k),
+                fill_level: FillLevel::L1,
+            });
+        }
+    }
+}
+
+struct Port<'a> {
+    hier: &'a mut Hierarchy,
+    shared: &'a mut SharedMemory,
+}
+
+impl DataPort for Port<'_> {
+    fn demand(&mut self, ip: Ip, addr: VAddr, kind: MemOpKind, at: Cycle) -> PortResponse {
+        let kind = match kind {
+            MemOpKind::Load => AccessKind::Load,
+            MemOpKind::Store => AccessKind::Rfo,
+        };
+        match self.hier.demand_access(
+            self.shared,
+            DemandAccess { ip, vaddr: addr, kind },
+            at,
+        ) {
+            DemandOutcome::Done { ready_at, .. } => PortResponse::Ready(ready_at),
+            DemandOutcome::MshrFull => PortResponse::Stall,
+        }
+    }
+}
+
+fn run(prefetcher: Box<dyn Prefetcher>) -> (u64, u64) {
+    let cfg = SystemConfig::default();
+    let mut shared = SharedMemory::new(&cfg, 1);
+    let mut hier = Hierarchy::new(&cfg, prefetcher, None);
+    let mut core = Core::new(cfg.core);
+    let mut trace = berti::traces::spec::StridedLoops.generator();
+    let mut retired = 0;
+    while retired < 200_000 {
+        let now = core.now();
+        hier.tick(&mut shared, now);
+        let mut port = Port {
+            hier: &mut hier,
+            shared: &mut shared,
+        };
+        retired += core.cycle(&mut port, || Some(trace.next_instr()));
+    }
+    (core.stats().instructions, core.stats().cycles)
+}
+
+fn main() {
+    println!("Racing a custom trait implementation against Berti:");
+    for (name, p) in [
+        ("sequitur (custom)", Box::new(Sequitur) as Box<dyn Prefetcher>),
+        (
+            "berti",
+            Box::new(berti::core_prefetcher::Berti::new(Default::default())),
+        ),
+    ] {
+        let (instr, cycles) = run(p);
+        println!("{:<20} IPC {:.3}", name, instr as f64 / cycles as f64);
+    }
+}

@@ -1,0 +1,50 @@
+//! Domain scenario: graph analytics (the paper's GAP suite). Runs the
+//! PageRank kernel over a Kronecker graph under every L1D prefetcher
+//! and shows why accuracy matters for irregular workloads.
+
+use berti::sim::{simulate, PrefetcherChoice, SimOptions};
+use berti::types::SystemConfig;
+
+fn main() {
+    let cfg = SystemConfig::default();
+    let opts = SimOptions {
+        warmup_instructions: 100_000,
+        sim_instructions: 300_000,
+        ..SimOptions::default()
+    };
+    let workload = berti::traces::gap::suite()
+        .into_iter()
+        .find(|w| w.name == "pr-kron")
+        .expect("suite contains pr-kron");
+    println!("PageRank over a 2^19-vertex Kronecker graph (CSR address stream)");
+    println!();
+    println!(
+        "{:<12} {:>8} {:>10} {:>10} {:>14}",
+        "prefetcher", "IPC", "accuracy", "L1D MPKI", "DRAM traffic"
+    );
+    let base = simulate(&cfg, PrefetcherChoice::IpStride, &mut workload.trace(), &opts);
+    for choice in [
+        PrefetcherChoice::IpStride,
+        PrefetcherChoice::Mlop,
+        PrefetcherChoice::Ipcp,
+        PrefetcherChoice::Berti,
+    ] {
+        let r = simulate(&cfg, choice.clone(), &mut workload.trace(), &opts);
+        let (_, _, dram) = r.traffic();
+        println!(
+            "{:<12} {:>8.3} {:>9.0}% {:>10.1} {:>13}  (speedup {:+.1}%)",
+            choice.name(),
+            r.ipc(),
+            r.l1d_accuracy().unwrap_or(f64::NAN) * 100.0,
+            r.l1d_mpki(),
+            dram,
+            (r.speedup_over(&base) - 1.0) * 100.0
+        );
+    }
+    println!();
+    println!(
+        "Low-accuracy prefetchers inflate DRAM traffic on the irregular \
+         property gathers;\nBerti's high-confidence deltas keep traffic near \
+         the baseline (paper Secs. IV-C/IV-E)."
+    );
+}

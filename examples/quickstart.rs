@@ -1,0 +1,59 @@
+//! Quickstart: simulate one workload with and without Berti and print
+//! the headline numbers.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use berti::sim::{simulate, PrefetcherChoice, SimOptions};
+use berti::types::SystemConfig;
+
+fn main() {
+    let cfg = SystemConfig::default();
+    let opts = SimOptions {
+        warmup_instructions: 100_000,
+        sim_instructions: 400_000,
+        ..SimOptions::default()
+    };
+    // lbm-like: interleaved +1/+2 strides per IP — the Sec. II-B
+    // pattern an IP-stride prefetcher cannot cover.
+    let workload = berti::traces::spec::suite()
+        .into_iter()
+        .find(|w| w.name == "lbm-like")
+        .expect("suite contains lbm-like");
+
+    println!("workload: {} ({} unique instructions)", workload.name, workload.trace().len());
+    println!();
+    println!(
+        "{:<12} {:>8} {:>10} {:>10} {:>10}",
+        "prefetcher", "IPC", "L1D MPKI", "accuracy", "energy nJ"
+    );
+    let mut baseline_ipc = None;
+    for choice in [
+        PrefetcherChoice::None,
+        PrefetcherChoice::IpStride,
+        PrefetcherChoice::Berti,
+    ] {
+        let report = simulate(&cfg, choice.clone(), &mut workload.trace(), &opts);
+        if choice == PrefetcherChoice::IpStride {
+            baseline_ipc = Some(report.ipc());
+        }
+        println!(
+            "{:<12} {:>8.3} {:>10.1} {:>9.0}% {:>10.2e}",
+            choice.name(),
+            report.ipc(),
+            report.l1d_mpki(),
+            report.l1d_accuracy().unwrap_or(f64::NAN) * 100.0,
+            report.energy.total_nj()
+        );
+        if choice.name() == "berti" {
+            if let Some(base) = baseline_ipc {
+                println!();
+                println!(
+                    "Berti speedup over the IP-stride baseline: {:.1}%",
+                    (report.ipc() / base - 1.0) * 100.0
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! # berti
+//!
+//! A Rust reproduction of **"Berti: an Accurate Local-Delta Data
+//! Prefetcher"** (Navarro-Torres et al., MICRO 2022): the Berti L1D
+//! prefetcher, a ChampSim-style trace-driven simulator, every baseline
+//! prefetcher the paper compares against, synthetic workload generators
+//! standing in for the SPEC CPU2017 / GAP / CloudSuite traces, a
+//! dynamic-energy model, and an experiment harness that regenerates the
+//! paper's tables and figures.
+//!
+//! This crate is a façade that re-exports the workspace crates:
+//!
+//! - [`types`] — address/IP/cycle/delta newtypes and the Table II
+//!   system configuration.
+//! - [`mem`] — caches, MSHRs, prefetch queues, TLBs, and DRAM.
+//! - [`core_prefetcher`] — the Berti prefetcher itself.
+//! - [`prefetchers`] — IP-stride, BOP, MLOP, IPCP, SPP(-PPF), Bingo,
+//!   VLDP, MISB, next-line, and stream baselines.
+//! - [`cpu`] — the trace-driven out-of-order core model.
+//! - [`traces`] — synthetic SPEC-like, GAP graph-kernel, and
+//!   CloudSuite-like workloads.
+//! - [`energy`] — the dynamic-energy model of the hierarchy.
+//! - [`sim`] — the simulation driver, statistics, and reports.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use berti::sim::{simulate, SimOptions};
+//! use berti::sim::PrefetcherChoice;
+//! use berti::traces::spec::StridedLoops;
+//! use berti::types::SystemConfig;
+//!
+//! # fn main() {
+//! let opts = SimOptions {
+//!     warmup_instructions: 10_000,
+//!     sim_instructions: 50_000,
+//!     ..SimOptions::default()
+//! };
+//! let report = simulate(
+//!     &SystemConfig::default(),
+//!     PrefetcherChoice::Berti,
+//!     &mut StridedLoops::default().generator(),
+//!     &opts,
+//! );
+//! assert!(report.ipc() > 0.0);
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use berti_core as core_prefetcher;
+pub use berti_cpu as cpu;
+pub use berti_energy as energy;
+pub use berti_mem as mem;
+pub use berti_prefetchers as prefetchers;
+pub use berti_sim as sim;
+pub use berti_traces as traces;
+pub use berti_types as types;

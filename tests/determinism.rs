@@ -1,0 +1,50 @@
+//! Reproducibility: everything — trace generation, graph construction,
+//! simulation — is deterministic, so every figure regenerates exactly.
+
+use berti::sim::{simulate, simulate_multicore, PrefetcherChoice, SimOptions};
+use berti::traces::{gap, mix, spec};
+use berti::types::SystemConfig;
+
+fn opts() -> SimOptions {
+    SimOptions {
+        warmup_instructions: 10_000,
+        sim_instructions: 50_000,
+        max_cpi: 64,
+    }
+}
+
+#[test]
+fn single_core_runs_are_bit_identical() {
+    let cfg = SystemConfig::default();
+    let w = &spec::suite()[1];
+    let a = simulate(&cfg, PrefetcherChoice::Berti, &mut w.trace(), &opts());
+    let b = simulate(&cfg, PrefetcherChoice::Berti, &mut w.trace(), &opts());
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.instructions, b.instructions);
+    assert_eq!(format!("{:?}", a.l1d), format!("{:?}", b.l1d));
+    assert_eq!(format!("{:?}", a.flow), format!("{:?}", b.flow));
+}
+
+#[test]
+fn graph_kernels_are_deterministic() {
+    let w = &gap::suite()[2]; // pr-kron
+    let a = w.trace();
+    let b = w.trace();
+    assert_eq!(a.len(), b.len());
+}
+
+#[test]
+fn multicore_runs_are_deterministic() {
+    let cfg = SystemConfig::default();
+    let mixes = mix::random_mixes(1, 2, 99);
+    let o = SimOptions {
+        warmup_instructions: 2_000,
+        sim_instructions: 20_000,
+        max_cpi: 64,
+    };
+    let a = simulate_multicore(&cfg, PrefetcherChoice::Ipcp, None, &mixes[0], &o);
+    let b = simulate_multicore(&cfg, PrefetcherChoice::Ipcp, None, &mixes[0], &o);
+    for (x, y) in a.cores.iter().zip(&b.cores) {
+        assert_eq!(x.cycles, y.cycles);
+    }
+}

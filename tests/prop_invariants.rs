@@ -1,0 +1,131 @@
+//! Property-based tests: the hierarchy and Berti stay self-consistent
+//! under arbitrary access streams.
+
+use berti::core_prefetcher::{Berti, BertiConfig, DeltaTable, HistoryTable};
+use berti::mem::{
+    AccessEvent, DemandAccess, DemandOutcome, Hierarchy, Prefetcher, SharedMemory,
+};
+use berti::types::{AccessKind, Cycle, Delta, Ip, SystemConfig, VAddr, VLine};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary demand streams never panic, never return data before
+    /// the request, and keep hit/miss accounting consistent.
+    #[test]
+    fn hierarchy_handles_arbitrary_streams(
+        addrs in prop::collection::vec((0u64..1u64 << 34, 0u64..64u64, any::<bool>()), 1..300)
+    ) {
+        let cfg = SystemConfig::default();
+        let mut h = Hierarchy::new(&cfg, Box::new(Berti::new(BertiConfig::default())), None);
+        let mut s = SharedMemory::new(&cfg, 1);
+        let mut now = Cycle::ZERO;
+        let mut done = 0u64;
+        for (base, ip, is_store) in addrs {
+            now += 3;
+            h.tick(&mut s, now);
+            let req = DemandAccess {
+                ip: Ip::new(0x400_000 + ip * 4),
+                vaddr: VAddr::new(base),
+                kind: if is_store { AccessKind::Rfo } else { AccessKind::Load },
+            };
+            match h.demand_access(&mut s, req, now) {
+                DemandOutcome::Done { ready_at, .. } => {
+                    prop_assert!(ready_at > now, "data cannot be ready instantly");
+                    done += 1;
+                }
+                DemandOutcome::MshrFull => now += 50,
+            }
+        }
+        let st = h.l1d().stats();
+        prop_assert_eq!(st.demand_accesses(), done);
+        prop_assert!(st.pf_useful_timely + st.pf_useful_late <= st.pf_fills);
+    }
+
+    /// The history search only returns deltas whose source access is
+    /// old enough to have been timely, youngest first.
+    #[test]
+    fn history_search_respects_the_cutoff(
+        entries in prop::collection::vec((1u64..1_000_000, 0u64..10_000), 1..64),
+        latency in 1u64..4000,
+        target in 1u64..1_000_000,
+    ) {
+        let mut h = HistoryTable::new(8, 16, 16);
+        const IP: Ip = Ip::new(0x1234);
+        for (line, t) in &entries {
+            h.insert(IP, VLine::new(*line), Cycle::new(*t));
+        }
+        let demand_at = Cycle::new(12_000);
+        let hits = h.search_timely(IP, VLine::new(target), demand_at, latency, 8);
+        prop_assert!(hits.len() <= 8);
+        for w in hits.windows(2) {
+            prop_assert!(w[0].at >= w[1].at, "youngest first");
+        }
+        for hit in &hits {
+            prop_assert!(hit.at.raw() <= demand_at.raw() - latency);
+            prop_assert!(hit.delta != Delta::ZERO);
+        }
+    }
+
+    /// The delta table never selects more than the configured number of
+    /// prefetch deltas and never emits a NoPref delta.
+    #[test]
+    fn delta_table_selection_is_bounded(
+        searches in prop::collection::vec(
+            prop::collection::vec(-100i32..100, 0..10), 1..200),
+    ) {
+        let cfg = BertiConfig::default();
+        let mut t = DeltaTable::new(&cfg);
+        const IP: Ip = Ip::new(0x777);
+        for ds in &searches {
+            let deltas: Vec<Delta> = ds.iter().map(|&d| Delta::new(d)).collect();
+            t.record_search(IP, &deltas);
+        }
+        let mut out = Vec::new();
+        t.prefetch_deltas(IP, &mut out);
+        prop_assert!(out.len() <= cfg.max_prefetch_deltas);
+        for (d, status) in &out {
+            prop_assert!(status.prefetches());
+            prop_assert!(*d != Delta::ZERO);
+        }
+    }
+
+    /// Berti never prefetches across a page when the ablation disables
+    /// it, for any access stream.
+    #[test]
+    fn cross_page_ablation_is_airtight(
+        lines in prop::collection::vec(0u64..10_000, 1..500),
+    ) {
+        let mut cfg = BertiConfig::default();
+        cfg.cross_page = false;
+        let mut b = Berti::new(cfg);
+        let mut out = Vec::new();
+        for (i, line) in lines.iter().enumerate() {
+            let t = i as u64 * 40;
+            let ev = AccessEvent {
+                ip: Ip::new(0x400_100),
+                line: VLine::new(*line),
+                at: Cycle::new(t),
+                kind: AccessKind::Load,
+                hit: false,
+                timely_prefetch_hit: false,
+                late_prefetch_hit: false,
+                stored_latency: 0,
+                mshr_occupancy: 0.0,
+            };
+            out.clear();
+            b.on_access(&ev, &mut out);
+            for d in &out {
+                prop_assert_eq!(d.target.page(), VLine::new(*line).page());
+            }
+            b.on_fill(&berti::mem::FillEvent {
+                line: VLine::new(*line),
+                ip: Ip::new(0x400_100),
+                at: Cycle::new(t + 100),
+                latency: 100,
+                was_prefetch: false,
+            });
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Pathological-input stress tests: degenerate traces that historically
+//! break trace-driven simulators (single-line spins, page-boundary
+//! walks, MSHR storms, branch storms) must neither panic nor deadlock,
+//! and must keep the accounting sane.
+
+use berti::sim::{simulate, PrefetcherChoice, SimOptions};
+use berti::traces::Trace;
+use berti::types::{Instr, Ip, SystemConfig, VAddr};
+
+fn opts() -> SimOptions {
+    SimOptions {
+        warmup_instructions: 2_000,
+        sim_instructions: 30_000,
+        max_cpi: 64,
+    }
+}
+
+fn run_all_prefetchers(trace: &Trace) {
+    let cfg = SystemConfig::default();
+    for choice in [
+        PrefetcherChoice::None,
+        PrefetcherChoice::IpStride,
+        PrefetcherChoice::NextLine,
+        PrefetcherChoice::Stream,
+        PrefetcherChoice::Bop,
+        PrefetcherChoice::Mlop,
+        PrefetcherChoice::Ipcp,
+        PrefetcherChoice::Vldp,
+        PrefetcherChoice::Berti,
+    ] {
+        let r = simulate(&cfg, choice.clone(), &mut trace.restarted(), &opts());
+        assert!(
+            r.instructions >= opts().sim_instructions,
+            "{}: did not finish",
+            choice.name()
+        );
+        assert!(r.ipc() > 0.0 && r.ipc() <= 6.0, "{}: ipc {}", choice.name(), r.ipc());
+    }
+}
+
+#[test]
+fn single_line_spin() {
+    // Every load hits the same line: delta 0 everywhere.
+    let t = Trace::new(
+        "spin",
+        (0..1000)
+            .map(|_| Instr::load(Ip::new(0x400), VAddr::new(0x1000)))
+            .collect(),
+    );
+    run_all_prefetchers(&t);
+}
+
+#[test]
+fn page_boundary_walk() {
+    // Loads exactly at page boundaries, ascending: every access walks.
+    let t = Trace::new(
+        "pages",
+        (0..2000u64)
+            .map(|i| Instr::load(Ip::new(0x400), VAddr::new(i * 4096)))
+            .collect(),
+    );
+    run_all_prefetchers(&t);
+}
+
+#[test]
+fn descending_into_address_zero() {
+    // A descending stream that underflows toward address zero.
+    let t = Trace::new(
+        "down",
+        (0..1000u64)
+            .map(|i| Instr::load(Ip::new(0x400), VAddr::new((1000 - i) * 64)))
+            .collect(),
+    );
+    run_all_prefetchers(&t);
+}
+
+#[test]
+fn mshr_storm() {
+    // Bursts of independent misses far beyond the 16-entry MSHR.
+    let t = Trace::new(
+        "storm",
+        (0..4000u64)
+            .map(|i| Instr::load(Ip::new(0x400 + (i % 3) * 8), VAddr::new(i * 64 * 131)))
+            .collect(),
+    );
+    run_all_prefetchers(&t);
+}
+
+#[test]
+fn branch_storm() {
+    // Every other instruction is a mispredicted branch.
+    let t = Trace::new(
+        "branches",
+        (0..2000u64)
+            .map(|i| {
+                if i % 2 == 0 {
+                    Instr::mispredicted_branch(Ip::new(0x500))
+                } else {
+                    Instr::load(Ip::new(0x400), VAddr::new(i * 64))
+                }
+            })
+            .collect(),
+    );
+    let cfg = SystemConfig::default();
+    let r = simulate(&cfg, PrefetcherChoice::Berti, &mut t.restarted(), &opts());
+    assert!(r.core.mispredicts > 1000);
+    assert!(r.ipc() < 0.5, "branch storms must be slow: {}", r.ipc());
+}
+
+#[test]
+fn dependent_chain_saturation() {
+    // One serial chain of misses: IPC collapses but nothing wedges.
+    let t = Trace::new(
+        "chain",
+        (0..2000u64)
+            .map(|i| Instr::dependent_load(Ip::new(0x400), VAddr::new(i * 64 * 131), 0))
+            .collect(),
+    );
+    let cfg = SystemConfig::default();
+    let r = simulate(&cfg, PrefetcherChoice::None, &mut t.restarted(), &opts());
+    // The run hits the max_cpi guard or crawls — either way it returns.
+    assert!(r.cycles >= r.instructions, "serial chain cannot be fast");
+}
+
+#[test]
+fn store_only_trace() {
+    let t = Trace::new(
+        "stores",
+        (0..2000u64)
+            .map(|i| Instr::store(Ip::new(0x400), VAddr::new(i * 64)))
+            .collect(),
+    );
+    run_all_prefetchers(&t);
+    // Stores produce writebacks eventually.
+    let cfg = SystemConfig::default();
+    let r = simulate(&cfg, PrefetcherChoice::None, &mut t.restarted(), &opts());
+    assert!(r.l1d.rfo_misses + r.l1d.rfo_hits > 0);
+}
+
+#[test]
+fn huge_random_footprint() {
+    // Uniform random over 64 GiB of virtual space: TLB + page-walk storm.
+    let mut x = 0x2545F4914F6CDD1Du64;
+    let t = Trace::new(
+        "random",
+        (0..4000)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                Instr::load(Ip::new(0x400), VAddr::new(x % (1u64 << 36)))
+            })
+            .collect(),
+    );
+    run_all_prefetchers(&t);
+}
