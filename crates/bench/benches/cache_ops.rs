@@ -11,7 +11,15 @@ fn bench_cache(c: &mut Criterion) {
     c.bench_function("cache_access_hit", |b| {
         let mut cache = Cache::new("L1D", cfg.l1d);
         for l in 0..768u64 {
-            cache.fill(l, AccessKind::Load, Cycle::ZERO, Cycle::ZERO, 1, Ip::new(1), l);
+            cache.fill(
+                l,
+                AccessKind::Load,
+                Cycle::ZERO,
+                Cycle::ZERO,
+                1,
+                Ip::new(1),
+                l,
+            );
         }
         let mut i = 0u64;
         b.iter(|| {
@@ -24,7 +32,15 @@ fn bench_cache(c: &mut Criterion) {
         let mut cache = Cache::new("L1D", cfg.l1d);
         let mut i = 0u64;
         b.iter(|| {
-            let ev = cache.fill(i, AccessKind::Load, Cycle::new(i), Cycle::new(i), 1, Ip::new(1), i);
+            let ev = cache.fill(
+                i,
+                AccessKind::Load,
+                Cycle::new(i),
+                Cycle::new(i),
+                1,
+                Ip::new(1),
+                i,
+            );
             i += 1;
             black_box(ev)
         });

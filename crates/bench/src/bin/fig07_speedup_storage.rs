@@ -11,10 +11,7 @@ fn main() {
     let opts = experiment_options();
     let workloads = memory_intensive_suite();
     let baseline = run_baseline(&workloads, &opts);
-    println!(
-        "{:<16} {:>10} {:>10}  kind",
-        "config", "storage", "speedup"
-    );
+    println!("{:<16} {:>10} {:>10}  kind", "config", "storage", "speedup");
     let mut rows: Vec<(String, f64, f64, &str)> = Vec::new();
     for l1 in l1d_contenders() {
         let cfg = run_config(l1, None, &workloads, &opts);

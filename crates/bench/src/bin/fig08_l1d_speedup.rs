@@ -2,6 +2,7 @@
 //! IP-stride baseline, per suite and overall.
 
 use berti_bench::*;
+use berti_sim::PrefetcherChoice;
 use berti_traces::{memory_intensive_suite, Suite};
 
 fn main() {
@@ -11,13 +12,16 @@ fn main() {
     );
     let opts = experiment_options();
     let workloads = memory_intensive_suite();
-    let baseline = run_baseline(&workloads, &opts);
+    // One campaign for the whole figure: baseline + contenders.
+    let mut configs = vec![(PrefetcherChoice::IpStride, None)];
+    configs.extend(l1d_contenders().into_iter().map(|p| (p, None)));
+    let mut grid = run_grid("fig08", &configs, &workloads, &opts);
+    let baseline = grid.remove(0).runs;
     println!(
         "{:<12} {:>10} {:>10} {:>10}",
         "prefetcher", "SPEC", "GAP", "overall"
     );
-    for l1 in l1d_contenders() {
-        let cfg = run_config(l1, None, &workloads, &opts);
+    for cfg in &grid {
         let spec = geomean_speedup(&workloads, &cfg.runs, &baseline, Some(Suite::Spec));
         let gap = geomean_speedup(&workloads, &cfg.runs, &baseline, Some(Suite::Gap));
         let all = geomean_speedup(&workloads, &cfg.runs, &baseline, None);

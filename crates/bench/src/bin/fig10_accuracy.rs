@@ -11,12 +11,13 @@ fn main() {
     );
     let opts = experiment_options();
     let workloads = memory_intensive_suite();
+    let configs: Vec<_> = l1d_contenders().into_iter().map(|p| (p, None)).collect();
+    let grid = run_grid("fig10", &configs, &workloads, &opts);
     println!(
         "{:<12} {:>12} {:>12} {:>12} {:>12}",
         "prefetcher", "acc(SPEC)", "acc(GAP)", "acc(all)", "late frac"
     );
-    for l1 in l1d_contenders() {
-        let cfg = run_config(l1, None, &workloads, &opts);
+    for cfg in &grid {
         let acc = |s| suite_mean(&workloads, &cfg.runs, s, |r| r.l1d_accuracy());
         let late = suite_mean(&workloads, &cfg.runs, None, |r| r.l1d_late_fraction());
         println!(

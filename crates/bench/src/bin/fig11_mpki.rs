@@ -15,10 +15,10 @@ fn main() {
         "{:<12} {:>22} {:>22}",
         "", "SPEC (L1D/L2/LLC)", "GAP (L1D/L2/LLC)"
     );
-    let mut choices = vec![PrefetcherChoice::IpStride];
-    choices.extend(l1d_contenders());
-    for l1 in choices {
-        let cfg = run_config(l1, None, &workloads, &opts);
+    let mut configs = vec![(PrefetcherChoice::IpStride, None)];
+    configs.extend(l1d_contenders().into_iter().map(|p| (p, None)));
+    let grid = run_grid("fig11", &configs, &workloads, &opts);
+    for cfg in &grid {
         let spec = Some(Suite::Spec);
         let gap = Some(Suite::Gap);
         println!(

@@ -11,17 +11,19 @@ fn main() {
     );
     let opts = experiment_options();
     let workloads = memory_intensive_suite();
-    let baseline = run_baseline(&workloads, &opts);
+    // One campaign: baseline, Berti alone, then the combinations.
+    let mut configs = vec![
+        (PrefetcherChoice::IpStride, None),
+        (PrefetcherChoice::Berti, None),
+    ];
+    configs.extend(multilevel_contenders());
+    let mut grid = run_grid("fig12", &configs, &workloads, &opts);
+    let baseline = grid.remove(0).runs;
     println!(
         "{:<16} {:>10} {:>10} {:>10}",
         "config", "SPEC", "GAP", "overall"
     );
-    let berti_alone = run_config(PrefetcherChoice::Berti, None, &workloads, &opts);
-    let mut all = vec![berti_alone];
-    for (l1, l2) in multilevel_contenders() {
-        all.push(run_config(l1, l2, &workloads, &opts));
-    }
-    for cfg in &all {
+    for cfg in &grid {
         let s = |suite| geomean_speedup(&workloads, &cfg.runs, &baseline, suite);
         println!(
             "{:<16} {:>9.1}% {:>9.1}% {:>9.1}%",

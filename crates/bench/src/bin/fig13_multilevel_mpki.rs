@@ -16,14 +16,13 @@ fn main() {
         "config", "SPEC (L2/LLC)", "GAP (L2/LLC)"
     );
     let mut configs = vec![
-        run_config(PrefetcherChoice::Mlop, None, &workloads, &opts),
-        run_config(PrefetcherChoice::Ipcp, None, &workloads, &opts),
-        run_config(PrefetcherChoice::Berti, None, &workloads, &opts),
+        (PrefetcherChoice::Mlop, None),
+        (PrefetcherChoice::Ipcp, None),
+        (PrefetcherChoice::Berti, None),
     ];
-    for (l1, l2) in multilevel_contenders() {
-        configs.push(run_config(l1, l2, &workloads, &opts));
-    }
-    for cfg in &configs {
+    configs.extend(multilevel_contenders());
+    let grid = run_grid("fig13", &configs, &workloads, &opts);
+    for cfg in &grid {
         let spec = Some(Suite::Spec);
         let gap = Some(Suite::Gap);
         println!(

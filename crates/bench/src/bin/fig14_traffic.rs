@@ -17,7 +17,12 @@ fn main() {
         "{:<16} {:>12} {:>12} {:>12}",
         "config", "L1D->L2", "L2->LLC", "LLC<->DRAM"
     );
-    let mut configs = vec![run_config(PrefetcherChoice::IpStride, None, &workloads, &opts)];
+    let mut configs = vec![run_config(
+        PrefetcherChoice::IpStride,
+        None,
+        &workloads,
+        &opts,
+    )];
     for l1 in l1d_contenders() {
         configs.push(run_config(l1, None, &workloads, &opts));
     }

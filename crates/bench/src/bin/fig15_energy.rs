@@ -14,7 +14,12 @@ fn main() {
     let workloads = memory_intensive_suite();
     let none = run_config(PrefetcherChoice::None, None, &workloads, &opts);
     println!("{:<16} {:>12} {:>12}", "config", "SPEC", "GAP");
-    let mut configs = vec![run_config(PrefetcherChoice::IpStride, None, &workloads, &opts)];
+    let mut configs = vec![run_config(
+        PrefetcherChoice::IpStride,
+        None,
+        &workloads,
+        &opts,
+    )];
     for l1 in l1d_contenders() {
         configs.push(run_config(l1, None, &workloads, &opts));
     }

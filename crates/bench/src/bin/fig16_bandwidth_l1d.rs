@@ -13,20 +13,29 @@ fn main() {
     );
     let opts = experiment_options();
     let workloads = memory_intensive_suite();
-    println!("{:<12} {:>10} {:>10} {:>10}", "prefetcher", "6400", "3200", "1600");
+    println!(
+        "{:<12} {:>10} {:>10} {:>10}",
+        "prefetcher", "6400", "3200", "1600"
+    );
     // One baseline per bandwidth, shared by every contender.
     let bands = [DDR5_6400, DDR4_3200, DDR3_1600];
     let baselines: Vec<_> = bands
         .iter()
         .map(|&dram| {
-            let cfg = SystemConfig { dram, ..SystemConfig::default() };
+            let cfg = SystemConfig {
+                dram,
+                ..SystemConfig::default()
+            };
             simulate_suite(&cfg, PrefetcherChoice::IpStride, None, &workloads, &opts)
         })
         .collect();
     for l1 in l1d_contenders() {
         print!("{:<12}", l1.name());
         for (dram, base) in bands.iter().zip(&baselines) {
-            let cfg = SystemConfig { dram: *dram, ..SystemConfig::default() };
+            let cfg = SystemConfig {
+                dram: *dram,
+                ..SystemConfig::default()
+            };
             let runs = simulate_suite(&cfg, l1.clone(), None, &workloads, &opts);
             print!(" {:>9.3}", geomean_speedup(&workloads, &runs, base, None));
         }

@@ -13,12 +13,18 @@ fn main() {
     );
     let opts = experiment_options();
     let workloads = memory_intensive_suite();
-    println!("{:<16} {:>10} {:>10} {:>10}", "config", "6400", "3200", "1600");
+    println!(
+        "{:<16} {:>10} {:>10} {:>10}",
+        "config", "6400", "3200", "1600"
+    );
     let bands = [DDR5_6400, DDR4_3200, DDR3_1600];
     let baselines: Vec<_> = bands
         .iter()
         .map(|&dram| {
-            let cfg = SystemConfig { dram, ..SystemConfig::default() };
+            let cfg = SystemConfig {
+                dram,
+                ..SystemConfig::default()
+            };
             simulate_suite(&cfg, PrefetcherChoice::IpStride, None, &workloads, &opts)
         })
         .collect();
@@ -31,7 +37,10 @@ fn main() {
         };
         print!("{:<16}", label);
         for (dram, base) in bands.iter().zip(&baselines) {
-            let cfg = SystemConfig { dram: *dram, ..SystemConfig::default() };
+            let cfg = SystemConfig {
+                dram: *dram,
+                ..SystemConfig::default()
+            };
             let runs = simulate_suite(&cfg, l1.clone(), l2, &workloads, &opts);
             print!(" {:>9.3}", geomean_speedup(&workloads, &runs, base, None));
         }

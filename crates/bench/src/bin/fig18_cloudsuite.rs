@@ -1,6 +1,7 @@
 //! Fig. 18: speedup on CloudSuite-like services.
 
 use berti_bench::*;
+use berti_sim::PrefetcherChoice;
 use berti_traces::cloud;
 
 fn main() {
@@ -10,11 +11,11 @@ fn main() {
     );
     let opts = experiment_options();
     let workloads = cloud::suite();
-    let baseline = run_baseline(&workloads, &opts);
-    let configs: Vec<SuiteRuns> = l1d_contenders()
-        .into_iter()
-        .map(|l1| run_config(l1, None, &workloads, &opts))
-        .collect();
+    let mut grid_configs = vec![(PrefetcherChoice::IpStride, None)];
+    grid_configs.extend(l1d_contenders().into_iter().map(|p| (p, None)));
+    let mut grid = run_grid("fig18", &grid_configs, &workloads, &opts);
+    let baseline = grid.remove(0).runs;
+    let configs = grid;
     print!("{:<22}", "service");
     for c in &configs {
         print!(" {:>8}", c.label);
@@ -29,7 +30,10 @@ fn main() {
     }
     print!("{:<22}", "geomean");
     for c in &configs {
-        print!(" {:>8.3}", geomean_speedup(&workloads, &c.runs, &baseline, None));
+        print!(
+            " {:>8.3}",
+            geomean_speedup(&workloads, &c.runs, &baseline, None)
+        );
     }
     println!();
 }

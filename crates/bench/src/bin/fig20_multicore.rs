@@ -18,7 +18,11 @@ fn main() {
         .unwrap_or(8);
     let mixes = random_mixes(n_mixes, 4, 0xF1620);
     println!("{:<12} {:>14}", "prefetcher", "geomean speedup");
-    let mut choices = vec![PrefetcherChoice::Mlop, PrefetcherChoice::Ipcp, PrefetcherChoice::Berti];
+    let mut choices = vec![
+        PrefetcherChoice::Mlop,
+        PrefetcherChoice::Ipcp,
+        PrefetcherChoice::Berti,
+    ];
     if std::env::var("BERTI_QUICK").is_ok() {
         choices.truncate(1);
     }
@@ -35,5 +39,8 @@ fn main() {
             (geometric_mean(&speedups) - 1.0) * 100.0
         );
     }
-    println!("({} mixes of 4 workloads; set BERTI_MIXES to widen)", n_mixes);
+    println!(
+        "({} mixes of 4 workloads; set BERTI_MIXES to widen)",
+        n_mixes
+    );
 }

@@ -33,12 +33,7 @@ fn main() {
                 low_watermark: l2,
                 ..BertiConfig::default()
             };
-            let runs = run_config(
-                PrefetcherChoice::BertiWith(cfg),
-                None,
-                &workloads,
-                &opts,
-            );
+            let runs = run_config(PrefetcherChoice::BertiWith(cfg), None, &workloads, &opts);
             let s = geomean_speedup(&workloads, &runs.runs, &baseline, None);
             print!(" {:>8.3}", s);
         }

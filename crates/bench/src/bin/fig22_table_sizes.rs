@@ -36,7 +36,10 @@ fn main() {
                 }
             }
             let runs = run_config(PrefetcherChoice::BertiWith(cfg), None, &workloads, &opts);
-            print!(" {:>8.3}", geomean_speedup(&workloads, &runs.runs, &baseline, None));
+            print!(
+                " {:>8.3}",
+                geomean_speedup(&workloads, &runs.runs, &baseline, None)
+            );
         }
         println!();
     }

@@ -47,7 +47,5 @@ fn main() {
         c.dram.write_watermark_num,
         c.dram.write_watermark_den
     );
-    println!(
-        "Baseline  24-entry fully-associative IP-stride prefetcher at the L1D"
-    );
+    println!("Baseline  24-entry fully-associative IP-stride prefetcher at the L1D");
 }

@@ -14,8 +14,14 @@ fn main() {
         (PrefetcherChoice::IpStride.build(), "baseline L1D"),
         (PrefetcherChoice::NextLine.build(), "fallback class"),
         (PrefetcherChoice::Stream.build(), "classic streams"),
-        (PrefetcherChoice::Bop.build(), "DPC-2 winner (global offset)"),
-        (PrefetcherChoice::Mlop.build(), "DPC-3 3rd (multi-lookahead)"),
+        (
+            PrefetcherChoice::Bop.build(),
+            "DPC-2 winner (global offset)",
+        ),
+        (
+            PrefetcherChoice::Mlop.build(),
+            "DPC-3 3rd (multi-lookahead)",
+        ),
         (PrefetcherChoice::Ipcp.build(), "DPC-3 winner (IP classes)"),
         (PrefetcherChoice::Vldp.build(), "variable-length deltas"),
         (PrefetcherChoice::Berti.build(), "this paper"),

@@ -5,15 +5,22 @@
 //! synthetic workload suites standing in for SPEC CPU2017 / GAP /
 //! CloudSuite. Run lengths default to a laptop-scale budget and can be
 //! raised via `BERTI_WARMUP` and `BERTI_INSTR` (instructions).
+//!
+//! All simulations route through the `berti-harness` campaign engine,
+//! so figure binaries run their cells on a worker pool (`BERTI_JOBS`,
+//! default: available parallelism) and share one content-addressed
+//! result cache (`BERTI_CACHE_DIR`, default `results/cache`;
+//! `BERTI_NO_CACHE=1` disables it). Re-running a figure — or another
+//! figure that shares cells — is answered from cache.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use berti_sim::{
-    simulate_suite, L2PrefetcherChoice, PrefetcherChoice, Report, SimOptions,
-};
+use std::io::IsTerminal;
+
+use berti_harness::{Campaign, JobOutcome, RunOptions};
+use berti_sim::{L2PrefetcherChoice, PrefetcherChoice, Report, SimOptions};
 use berti_traces::{Suite, WorkloadDef};
-use berti_types::SystemConfig;
 
 /// Simulation options from the environment (`BERTI_WARMUP`,
 /// `BERTI_INSTR`), with defaults sized for minutes-scale full runs.
@@ -31,25 +38,34 @@ pub fn experiment_options() -> SimOptions {
     }
 }
 
+/// Campaign-engine options from the environment (`BERTI_JOBS`,
+/// `BERTI_CACHE_DIR`, `BERTI_NO_CACHE`, `BERTI_EVENTS`).
+pub fn harness_options() -> RunOptions {
+    let no_cache = std::env::var("BERTI_NO_CACHE").is_ok_and(|v| v == "1");
+    RunOptions {
+        jobs: std::env::var("BERTI_JOBS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0),
+        cache_dir: (!no_cache).then(|| {
+            std::env::var("BERTI_CACHE_DIR")
+                .unwrap_or_else(|_| "results/cache".to_string())
+                .into()
+        }),
+        events_path: std::env::var("BERTI_EVENTS").ok().map(Into::into),
+        progress: std::io::stderr().is_terminal(),
+    }
+}
+
 /// The L1D prefetchers of Fig. 8/10/11 (the baseline IP-stride is the
 /// denominator of every speedup).
 pub fn l1d_contenders() -> Vec<PrefetcherChoice> {
-    vec![
-        PrefetcherChoice::Mlop,
-        PrefetcherChoice::Ipcp,
-        PrefetcherChoice::Berti,
-    ]
+    berti_harness::registry::l1d_contenders()
 }
 
 /// The multi-level combinations of Fig. 12/13 (L1D + L2).
 pub fn multilevel_contenders() -> Vec<(PrefetcherChoice, Option<L2PrefetcherChoice>)> {
-    vec![
-        (PrefetcherChoice::Mlop, Some(L2PrefetcherChoice::Bingo)),
-        (PrefetcherChoice::Mlop, Some(L2PrefetcherChoice::SppPpf)),
-        (PrefetcherChoice::Ipcp, Some(L2PrefetcherChoice::Ipcp)),
-        (PrefetcherChoice::Berti, Some(L2PrefetcherChoice::Bingo)),
-        (PrefetcherChoice::Berti, Some(L2PrefetcherChoice::SppPpf)),
-    ]
+    berti_harness::registry::multilevel_contenders()
 }
 
 /// One prefetcher configuration's results over a workload list, plus
@@ -61,15 +77,64 @@ pub struct SuiteRuns {
     pub runs: Vec<Report>,
 }
 
+/// Declares and executes a grid campaign: every configuration ×
+/// every workload, on the shared worker pool and result cache.
+/// Returns one [`SuiteRuns`] per configuration, in order.
+///
+/// # Panics
+///
+/// Panics if any cell fails both of its attempts (figure binaries
+/// need every report to print their tables).
+pub fn run_grid(
+    name: &str,
+    configs: &[(PrefetcherChoice, Option<L2PrefetcherChoice>)],
+    workloads: &[WorkloadDef],
+    opts: &SimOptions,
+) -> Vec<SuiteRuns> {
+    let campaign = Campaign::grid(name)
+        .workloads(workloads)
+        .configs(configs.iter().cloned())
+        .opts(*opts)
+        .build();
+    let result = berti_harness::run_campaign(&campaign, &harness_options());
+    // The builder lays cells out configuration-major, so job index
+    // ci * W + wi is configuration ci on workload wi.
+    let w = workloads.len();
+    configs
+        .iter()
+        .enumerate()
+        .map(|(ci, _)| {
+            let runs: Vec<Report> = (0..w)
+                .map(|wi| {
+                    let job = &result.jobs[ci * w + wi];
+                    match &job.outcome {
+                        JobOutcome::Done { report, .. } => report.clone(),
+                        JobOutcome::Failed { error, attempts } => panic!(
+                            "campaign `{name}`: cell {}/{} failed after {attempts} attempts: {error}",
+                            job.spec.workload,
+                            job.spec.label()
+                        ),
+                    }
+                })
+                .collect();
+            SuiteRuns {
+                label: result.jobs[ci * w].spec.label(),
+                runs,
+            }
+        })
+        .collect()
+}
+
 /// Runs the IP-stride baseline over `workloads`.
 pub fn run_baseline(workloads: &[WorkloadDef], opts: &SimOptions) -> Vec<Report> {
-    simulate_suite(
-        &SystemConfig::default(),
-        PrefetcherChoice::IpStride,
-        None,
+    run_grid(
+        "baseline",
+        &[(PrefetcherChoice::IpStride, None)],
         workloads,
         opts,
     )
+    .remove(0)
+    .runs
 }
 
 /// Runs one L1D(+L2) configuration over `workloads`.
@@ -79,14 +144,7 @@ pub fn run_config(
     workloads: &[WorkloadDef],
     opts: &SimOptions,
 ) -> SuiteRuns {
-    let label = match l2 {
-        Some(l2c) => format!("{}+{}", l1.name(), l2c.name()),
-        None => l1.name().to_string(),
-    };
-    SuiteRuns {
-        label,
-        runs: simulate_suite(&SystemConfig::default(), l1, l2, workloads, opts),
-    }
+    run_grid("config", &[(l1, l2)], workloads, opts).remove(0)
 }
 
 /// Geometric-mean speedup of `runs` over `baseline` restricted to one
@@ -148,5 +206,36 @@ mod tests {
     fn contender_lists_are_nonempty() {
         assert_eq!(l1d_contenders().len(), 3);
         assert_eq!(multilevel_contenders().len(), 5);
+    }
+
+    #[test]
+    fn grid_runs_come_back_in_workload_order() {
+        let workloads = &berti_traces::spec::suite()[..2];
+        let opts = SimOptions {
+            warmup_instructions: 1_000,
+            sim_instructions: 4_000,
+            max_cpi: 64,
+        };
+        // No cache: unit tests must not write into results/.
+        std::env::set_var("BERTI_NO_CACHE", "1");
+        let grid = run_grid(
+            "bench-test",
+            &[
+                (PrefetcherChoice::IpStride, None),
+                (PrefetcherChoice::Berti, None),
+            ],
+            workloads,
+            &opts,
+        );
+        std::env::remove_var("BERTI_NO_CACHE");
+        assert_eq!(grid.len(), 2);
+        assert_eq!(grid[0].label, "ip-stride");
+        assert_eq!(grid[1].label, "berti");
+        for sr in &grid {
+            assert_eq!(sr.runs.len(), workloads.len());
+            for (w, r) in workloads.iter().zip(&sr.runs) {
+                assert_eq!(r.workload, w.name);
+            }
+        }
     }
 }

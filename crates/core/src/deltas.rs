@@ -138,9 +138,7 @@ impl DeltaTable {
 
     fn find(&self, ip: Ip) -> Option<usize> {
         let tag = Self::tag_of(ip);
-        self.entries
-            .iter()
-            .position(|e| e.valid && e.tag == tag)
+        self.entries.iter().position(|e| e.valid && e.tag == tag)
     }
 
     fn find_or_allocate(&mut self, ip: Ip) -> usize {

@@ -43,7 +43,7 @@ mod page_variant;
 mod storage;
 
 pub use berti::Berti;
-pub use page_variant::BertiPage;
 pub use deltas::{DeltaStatus, DeltaTable, LearnedDelta};
 pub use history::{HistoryHit, HistoryTable};
+pub use page_variant::BertiPage;
 pub use storage::{BertiConfig, StorageBreakdown};

@@ -194,8 +194,12 @@ mod tests {
             p.on_access(&miss(0x400, 64 * 900 - 2 * i, t + 300), &mut out);
             p.on_fill(&fill(64 * 900 - 2 * i, t + 400, 100));
         }
-        let a = p.deltas.snapshot(BertiPage::context(VLine::new(64 * 500 + 39)));
-        let b = p.deltas.snapshot(BertiPage::context(VLine::new(64 * 900 - 78)));
+        let a = p
+            .deltas
+            .snapshot(BertiPage::context(VLine::new(64 * 500 + 39)));
+        let b = p
+            .deltas
+            .snapshot(BertiPage::context(VLine::new(64 * 900 - 78)));
         assert!(a.iter().any(|d| d.delta.raw() > 0), "{a:?}");
         assert!(b.iter().any(|d| d.delta.raw() < 0), "{b:?}");
     }

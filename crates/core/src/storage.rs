@@ -7,7 +7,7 @@
 /// [`history_sets`](Self::history_sets)/[`history_ways`](Self::history_ways)
 /// (Fig. 22), the watermarks (Fig. 21), the latency-field width, and
 /// cross-page prefetching.
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct BertiConfig {
     /// History-table sets (8).
     pub history_sets: usize,
@@ -148,10 +148,26 @@ mod tests {
     fn table_i_storage_matches_paper() {
         let s = BertiConfig::default().storage();
         let kb = |b: u64| b as f64 / 8.0 / 1024.0;
-        assert!((kb(s.history_bits) - 0.74).abs() < 0.01, "{}", kb(s.history_bits));
-        assert!((kb(s.delta_table_bits) - 0.62).abs() < 0.01, "{}", kb(s.delta_table_bits));
-        assert!((kb(s.queue_bits) - 0.06).abs() < 0.01, "{}", kb(s.queue_bits));
-        assert!((kb(s.shadow_bits) - 1.13).abs() < 0.01, "{}", kb(s.shadow_bits));
+        assert!(
+            (kb(s.history_bits) - 0.74).abs() < 0.01,
+            "{}",
+            kb(s.history_bits)
+        );
+        assert!(
+            (kb(s.delta_table_bits) - 0.62).abs() < 0.01,
+            "{}",
+            kb(s.delta_table_bits)
+        );
+        assert!(
+            (kb(s.queue_bits) - 0.06).abs() < 0.01,
+            "{}",
+            kb(s.queue_bits)
+        );
+        assert!(
+            (kb(s.shadow_bits) - 1.13).abs() < 0.01,
+            "{}",
+            kb(s.shadow_bits)
+        );
         assert!((s.total_kb() - 2.55).abs() < 0.02, "{}", s.total_kb());
     }
 
@@ -169,8 +185,14 @@ mod tests {
     #[test]
     fn scaling_changes_capacity_monotonically() {
         let base = BertiConfig::default().storage().total_bits();
-        let quarter = BertiConfig::default().scaled_tables(0.25).storage().total_bits();
-        let quadruple = BertiConfig::default().scaled_tables(4.0).storage().total_bits();
+        let quarter = BertiConfig::default()
+            .scaled_tables(0.25)
+            .storage()
+            .total_bits();
+        let quadruple = BertiConfig::default()
+            .scaled_tables(4.0)
+            .storage()
+            .total_bits();
         assert!(quarter < base);
         assert!(quadruple > base);
     }

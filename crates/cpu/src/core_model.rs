@@ -31,7 +31,7 @@ pub trait DataPort {
 }
 
 /// Retired-work counters.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, serde::Serialize, serde::Deserialize)]
 pub struct CoreStats {
     /// Cycles simulated.
     pub cycles: u64,
@@ -171,8 +171,7 @@ impl Core {
                         self.rob.push_back(RobEntry { complete_at });
                         if instr.mispredicted_branch {
                             self.stats.mispredicts += 1;
-                            self.fetch_resume_at =
-                                complete_at + self.cfg.mispredict_penalty;
+                            self.fetch_resume_at = complete_at + self.cfg.mispredict_penalty;
                             break;
                         }
                     }
@@ -314,7 +313,11 @@ mod tests {
         let mut prog = Vec::new();
         for i in 0..50u64 {
             prog.push(Instr::dependent_load(Ip::new(1), VAddr::new(i * 64), 0));
-            prog.push(Instr::dependent_load(Ip::new(2), VAddr::new((1000 + i) * 64), 1));
+            prog.push(Instr::dependent_load(
+                Ip::new(2),
+                VAddr::new((1000 + i) * 64),
+                1,
+            ));
         }
         run(&mut core, &mut m, prog, 100_000);
         // Two independent chains: same wall clock as one chain.
@@ -332,7 +335,11 @@ mod tests {
             .collect();
         run(&mut core, &mut m, prog, 1_000_000);
         // 64 loads / 8-entry window ≈ 8 serialized batches of 500.
-        assert!(core.stats().cycles >= 7 * 500, "cycles {}", core.stats().cycles);
+        assert!(
+            core.stats().cycles >= 7 * 500,
+            "cycles {}",
+            core.stats().cycles
+        );
     }
 
     #[test]

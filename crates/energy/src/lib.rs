@@ -13,7 +13,7 @@
 
 /// Access counts consumed by the model, gathered from the simulator's
 /// cache and DRAM statistics.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct AccessCounts {
     /// L1D lookups (demand + prefetch probes).
     pub l1d_reads: u64,
@@ -84,7 +84,7 @@ impl Default for EnergyModel {
 }
 
 /// Dynamic energy per level, in nanojoules.
-#[derive(Clone, Copy, Debug, Default, PartialEq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct EnergyBreakdown {
     /// L1D array energy.
     pub l1d_nj: f64,

@@ -4,15 +4,20 @@
 //! bertisim --list                                   # available workloads
 //! bertisim -w lbm-like -p berti
 //! bertisim -w pr-kron  -p mlop --l2 spp-ppf -n 2000000
-//! bertisim -w mcf-1554-like,bfs-kron -p berti --cores 2
+//! bertisim -w mcf-1554-like,bfs-kron -p berti --cores
+//! bertisim -w lbm-like,mcf-1554-like,bfs-kron -p berti --jobs 4
 //! ```
+//!
+//! Multi-workload single-core runs go through the `berti-harness`
+//! worker pool (and its result cache), so `--jobs N` parallelizes
+//! them and repeated invocations are answered from cache.
 
 use berti_core::BertiConfig;
+use berti_harness::{run_campaign, Campaign, JobOutcome, RunOptions};
 use berti_sim::{
-    simulate_multicore, simulate_with_l2, L2PrefetcherChoice, PrefetcherChoice, Report,
-    SimOptions,
+    simulate_multicore, simulate_with_l2, L2PrefetcherChoice, PrefetcherChoice, Report, SimOptions,
 };
-use berti_traces::{cloud, memory_intensive_suite, WorkloadDef};
+use berti_traces::WorkloadDef;
 use berti_types::SystemConfig;
 
 fn usage() -> ! {
@@ -25,63 +30,40 @@ USAGE:
 OPTIONS:
     -w, --workload <names>   comma-separated workload names (see --list)
     -p, --prefetcher <name>  none|ip-stride|next-line|stream|bop|mlop|ipcp|vldp|berti|berti-page
-        --l2 <name>          spp-ppf|bingo|ipcp|misb|vldp (L2 prefetcher)
+        --l2 <name>          spp-ppf|bingo|ipcp|misb|vldp|sms (L2 prefetcher)
     -n, --instructions <N>   measured instructions per core [default: 1000000]
         --warmup <N>         warm-up instructions [default: 200000]
-        --cores              run the workload list as a multi-core mix
+        --cores              run the workload list as a multi-core mix (takes no value)
+    -j, --jobs <N>           worker threads for multi-workload runs [default: 1]
+        --no-cache           bypass the harness result cache
         --mshr-watermark <f> Berti MSHR occupancy watermark [default: 0.70]
         --list               list workloads and exit
-    -h, --help               this help"
+    -h, --help               this help
+
+Multi-workload runs honor BERTI_CACHE_DIR (default results/cache),
+BERTI_NO_CACHE=1, and BERTI_EVENTS like the figure binaries."
     );
     std::process::exit(2);
 }
 
-fn all_workloads() -> Vec<WorkloadDef> {
-    let mut v = memory_intensive_suite();
-    v.extend(cloud::suite());
-    v
-}
-
 fn parse_prefetcher(name: &str, watermark: f64) -> PrefetcherChoice {
-    match name {
-        "none" => PrefetcherChoice::None,
-        "ip-stride" => PrefetcherChoice::IpStride,
-        "next-line" => PrefetcherChoice::NextLine,
-        "stream" => PrefetcherChoice::Stream,
-        "bop" => PrefetcherChoice::Bop,
-        "mlop" => PrefetcherChoice::Mlop,
-        "ipcp" => PrefetcherChoice::Ipcp,
-        "vldp" => PrefetcherChoice::Vldp,
-        "berti-page" => PrefetcherChoice::BertiPage,
-        "berti" => {
-            if (watermark - 0.70).abs() < 1e-9 {
-                PrefetcherChoice::Berti
-            } else {
-                PrefetcherChoice::BertiWith(BertiConfig {
-                    mshr_watermark: watermark,
-                    ..BertiConfig::default()
-                })
-            }
-        }
-        other => {
-            eprintln!("unknown prefetcher: {other}");
-            usage()
-        }
+    if name == "berti" && (watermark - 0.70).abs() >= 1e-9 {
+        return PrefetcherChoice::BertiWith(BertiConfig {
+            mshr_watermark: watermark,
+            ..BertiConfig::default()
+        });
     }
+    PrefetcherChoice::parse(name).unwrap_or_else(|| {
+        eprintln!("unknown prefetcher: {name}");
+        usage()
+    })
 }
 
 fn parse_l2(name: &str) -> L2PrefetcherChoice {
-    match name {
-        "spp-ppf" => L2PrefetcherChoice::SppPpf,
-        "bingo" => L2PrefetcherChoice::Bingo,
-        "ipcp" => L2PrefetcherChoice::Ipcp,
-        "misb" => L2PrefetcherChoice::Misb,
-        "vldp" => L2PrefetcherChoice::Vldp,
-        other => {
-            eprintln!("unknown L2 prefetcher: {other}");
-            usage()
-        }
-    }
+    L2PrefetcherChoice::parse(name).unwrap_or_else(|| {
+        eprintln!("unknown L2 prefetcher: {name}");
+        usage()
+    })
 }
 
 fn print_report(r: &Report) {
@@ -89,7 +71,10 @@ fn print_report(r: &Report) {
         "{:<18} l1={}{} ipc={:.3} cycles={} l1mpki={:.1} l2mpki={:.1} llcmpki={:.1} acc={} late={} pf_issued={} dram_rd={} energy_mj={:.3}",
         r.workload,
         r.l1_prefetcher,
-        r.l2_prefetcher.map(|p| format!("+{p}")).unwrap_or_default(),
+        r.l2_prefetcher
+            .as_ref()
+            .map(|p| format!("+{p}"))
+            .unwrap_or_default(),
         r.ipc(),
         r.cycles,
         r.l1d_mpki(),
@@ -115,6 +100,8 @@ fn main() {
     let mut instructions = 1_000_000u64;
     let mut warmup = 200_000u64;
     let mut cores = false;
+    let mut jobs = 1usize;
+    let mut no_cache = false;
     let mut watermark = 0.70f64;
 
     let mut i = 0;
@@ -134,9 +121,11 @@ fn main() {
             }
             "--warmup" => warmup = next(&mut i).parse().unwrap_or_else(|_| usage()),
             "--cores" => cores = true,
+            "-j" | "--jobs" => jobs = next(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--no-cache" => no_cache = true,
             "--mshr-watermark" => watermark = next(&mut i).parse().unwrap_or_else(|_| usage()),
             "--list" => {
-                for w in all_workloads() {
+                for w in berti_traces::all_workloads() {
                     println!("{:<22} {}", w.name, w.suite);
                 }
                 return;
@@ -146,17 +135,13 @@ fn main() {
         i += 1;
     }
 
-    let pool = all_workloads();
     let chosen: Vec<WorkloadDef> = workloads
         .iter()
         .map(|name| {
-            pool.iter()
-                .find(|w| w.name == name)
-                .unwrap_or_else(|| {
-                    eprintln!("unknown workload: {name} (try --list)");
-                    std::process::exit(2);
-                })
-                .clone()
+            berti_traces::workload_by_name(name).unwrap_or_else(|| {
+                eprintln!("unknown workload: {name} (try --list)");
+                std::process::exit(2);
+            })
         })
         .collect();
 
@@ -173,6 +158,49 @@ fn main() {
         let r = simulate_multicore(&cfg, l1, l2, &chosen, &opts);
         for c in &r.cores {
             print_report(c);
+        }
+    } else if chosen.len() > 1 {
+        // Multi-workload single-core runs are a one-configuration
+        // campaign: parallel under --jobs, resumable via the cache.
+        let campaign = Campaign {
+            name: "bertisim".to_string(),
+            cells: chosen
+                .iter()
+                .map(|w| berti_harness::JobSpec {
+                    workload: w.name.to_string(),
+                    l1: l1.clone(),
+                    l2,
+                    opts,
+                    config: cfg,
+                })
+                .collect(),
+        };
+        let no_cache = no_cache || std::env::var("BERTI_NO_CACHE").is_ok_and(|v| v == "1");
+        let cache_dir = std::env::var("BERTI_CACHE_DIR")
+            .map(Into::into)
+            .unwrap_or_else(|_| std::path::PathBuf::from("results/cache"));
+        let run_opts = RunOptions {
+            jobs,
+            cache_dir: (!no_cache).then_some(cache_dir),
+            events_path: std::env::var("BERTI_EVENTS").ok().map(Into::into),
+            progress: false,
+        };
+        let result = run_campaign(&campaign, &run_opts);
+        let mut failed = false;
+        for job in &result.jobs {
+            match &job.outcome {
+                JobOutcome::Done { report, .. } => print_report(report),
+                JobOutcome::Failed { error, attempts } => {
+                    eprintln!(
+                        "{}: FAILED after {attempts} attempts: {error}",
+                        job.spec.workload
+                    );
+                    failed = true;
+                }
+            }
+        }
+        if failed {
+            std::process::exit(1);
         }
     } else {
         for w in &chosen {

@@ -1,0 +1,244 @@
+//! `campaign` — run, inspect, and clean experiment campaigns.
+//!
+//! ```text
+//! campaign list
+//! campaign run <name> [--jobs N] [--cache DIR] [--no-cache]
+//!                     [--events FILE] [--out FILE]
+//!                     [--warmup N] [--instr N] [--quiet]
+//! campaign status <name> [--cache DIR] [--warmup N] [--instr N]
+//! campaign clean [--cache DIR]
+//! ```
+//!
+//! `run` executes a built-in campaign on the worker pool, prints a
+//! per-cell summary table, and exits nonzero if any cell failed.
+//! `status` shows how many of a campaign's cells are already cached.
+//! The default cache directory is `results/cache/`; phase lengths
+//! default to `BERTI_WARMUP` / `BERTI_INSTR` (or the harness
+//! defaults), so `status` agrees with what `run` would execute.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use berti_harness::{registry, run_campaign, JobOutcome, RunOptions};
+use berti_sim::SimOptions;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: campaign <command> [options]\n\
+         \n\
+         commands:\n\
+         \x20 list                     list built-in campaigns\n\
+         \x20 run <name>               execute a campaign\n\
+         \x20 status <name>            show cached/total cells for a campaign\n\
+         \x20 clean                    delete all cached results\n\
+         \n\
+         options (run/status):\n\
+         \x20 --jobs <N>               worker threads (default: available parallelism)\n\
+         \x20 --cache <DIR>            result-cache directory (default: results/cache)\n\
+         \x20 --no-cache               run without reading or writing the cache\n\
+         \x20 --events <FILE>          append JSONL events to FILE\n\
+         \x20 --out <FILE>             write deterministic aggregated JSON to FILE\n\
+         \x20 --warmup <N>             warm-up instructions (default: $BERTI_WARMUP or 100000)\n\
+         \x20 --instr <N>              measured instructions (default: $BERTI_INSTR or 400000)\n\
+         \x20 --quiet                  no stderr progress line"
+    );
+    std::process::exit(2)
+}
+
+struct Args {
+    command: String,
+    name: Option<String>,
+    jobs: usize,
+    cache_dir: PathBuf,
+    no_cache: bool,
+    events: Option<PathBuf>,
+    out: Option<PathBuf>,
+    warmup: Option<u64>,
+    instr: Option<u64>,
+    quiet: bool,
+}
+
+fn value(args: &mut impl Iterator<Item = String>, flag: &str) -> String {
+    args.next().unwrap_or_else(|| {
+        eprintln!("error: {flag} needs a value");
+        std::process::exit(2)
+    })
+}
+
+fn parse_args() -> Args {
+    let mut args = std::env::args().skip(1);
+    let Some(command) = args.next() else { usage() };
+    let mut parsed = Args {
+        command,
+        name: None,
+        jobs: 0,
+        cache_dir: PathBuf::from("results/cache"),
+        no_cache: false,
+        events: None,
+        out: None,
+        warmup: None,
+        instr: None,
+        quiet: false,
+    };
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--jobs" => {
+                parsed.jobs = value(&mut args, "--jobs").parse().unwrap_or_else(|_| {
+                    eprintln!("error: --jobs needs a number");
+                    std::process::exit(2)
+                })
+            }
+            "--cache" => parsed.cache_dir = PathBuf::from(value(&mut args, "--cache")),
+            "--no-cache" => parsed.no_cache = true,
+            "--events" => parsed.events = Some(PathBuf::from(value(&mut args, "--events"))),
+            "--out" => parsed.out = Some(PathBuf::from(value(&mut args, "--out"))),
+            "--warmup" => parsed.warmup = value(&mut args, "--warmup").parse().ok(),
+            "--instr" => parsed.instr = value(&mut args, "--instr").parse().ok(),
+            "--quiet" => parsed.quiet = true,
+            _ if parsed.name.is_none() && !a.starts_with('-') => parsed.name = Some(a),
+            _ => {
+                eprintln!("error: unknown argument `{a}`");
+                usage()
+            }
+        }
+    }
+    parsed
+}
+
+fn sim_options(args: &Args) -> SimOptions {
+    let env_num = |k: &str, default: u64| {
+        std::env::var(k)
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    };
+    SimOptions {
+        warmup_instructions: args
+            .warmup
+            .unwrap_or_else(|| env_num("BERTI_WARMUP", 100_000)),
+        sim_instructions: args
+            .instr
+            .unwrap_or_else(|| env_num("BERTI_INSTR", 400_000)),
+        max_cpi: 64,
+    }
+}
+
+fn campaign_or_exit(args: &Args) -> berti_harness::Campaign {
+    let Some(name) = &args.name else {
+        eprintln!("error: `{}` needs a campaign name", args.command);
+        usage()
+    };
+    registry::builtin(name, sim_options(args)).unwrap_or_else(|| {
+        eprintln!("error: no built-in campaign `{name}` (try `campaign list`)");
+        std::process::exit(2)
+    })
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    match args.command.as_str() {
+        "list" => {
+            println!("built-in campaigns:");
+            for (name, desc) in registry::builtin_campaigns() {
+                let cells = registry::builtin(name, SimOptions::default())
+                    .map(|c| c.cells.len())
+                    .unwrap_or(0);
+                println!("  {name:<12} {desc} [{cells} cells]");
+            }
+            ExitCode::SUCCESS
+        }
+        "run" => {
+            let campaign = campaign_or_exit(&args);
+            let opts = RunOptions {
+                jobs: args.jobs,
+                cache_dir: (!args.no_cache).then(|| args.cache_dir.clone()),
+                events_path: args.events.clone(),
+                progress: !args.quiet,
+            };
+            let result = run_campaign(&campaign, &opts);
+            println!(
+                "{:<16} {:<16} {:>8} {:>9} {:>7}",
+                "workload", "config", "ipc", "l1d-mpki", "cached"
+            );
+            for job in &result.jobs {
+                match &job.outcome {
+                    JobOutcome::Done { report, cached } => println!(
+                        "{:<16} {:<16} {:>8.3} {:>9.2} {:>7}",
+                        job.spec.workload,
+                        job.spec.label(),
+                        report.ipc(),
+                        report.l1d_mpki(),
+                        if *cached { "yes" } else { "no" }
+                    ),
+                    JobOutcome::Failed { error, attempts } => println!(
+                        "{:<16} {:<16} FAILED after {attempts} attempts: {error}",
+                        job.spec.workload,
+                        job.spec.label(),
+                    ),
+                }
+            }
+            println!(
+                "\n{}: {} cells, {} completed ({} cached), {} failed, {:.1}s",
+                result.name,
+                result.jobs.len(),
+                result.completed(),
+                result.cache_hits(),
+                result.failed(),
+                result.wall_ms as f64 / 1000.0
+            );
+            if let Some(out) = &args.out {
+                if let Some(parent) = out.parent() {
+                    let _ = std::fs::create_dir_all(parent);
+                }
+                match std::fs::write(out, result.aggregated_json()) {
+                    Ok(()) => println!("aggregated results written to {}", out.display()),
+                    Err(e) => {
+                        eprintln!("error: writing {}: {e}", out.display());
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            if result.failed() > 0 {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        "status" => {
+            let campaign = campaign_or_exit(&args);
+            let cache = berti_harness::ResultCache::open(&args.cache_dir).unwrap_or_else(|e| {
+                eprintln!("error: opening cache {}: {e}", args.cache_dir.display());
+                std::process::exit(1)
+            });
+            let cached = campaign
+                .cells
+                .iter()
+                .filter(|s| cache.lookup(s).is_some())
+                .count();
+            println!(
+                "{}: {}/{} cells cached in {}",
+                campaign.name,
+                cached,
+                campaign.cells.len(),
+                cache.dir().display()
+            );
+            ExitCode::SUCCESS
+        }
+        "clean" => {
+            match berti_harness::ResultCache::open(&args.cache_dir).and_then(|c| c.clear()) {
+                Ok(removed) => {
+                    println!(
+                        "removed {removed} cached results from {}",
+                        args.cache_dir.display()
+                    );
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("error: cleaning {}: {e}", args.cache_dir.display());
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,196 @@
+//! Content-addressed on-disk result cache.
+//!
+//! Each completed cell is stored as `<dir>/<key>.json`, where `key` is
+//! [`JobSpec::key`] — a stable hash of the spec's canonical JSON. A
+//! campaign re-run (or an overlapping campaign) skips any cell whose
+//! file exists and still matches its spec, which is what makes
+//! campaigns resumable after a crash or Ctrl-C.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use berti_sim::Report;
+use serde::{Deserialize, Serialize};
+
+use crate::campaign::JobSpec;
+
+/// Bump when the cached file layout (or anything that invalidates old
+/// results wholesale) changes; mismatched entries are treated as
+/// misses.
+pub const CACHE_SCHEMA_VERSION: u32 = 1;
+
+/// One cached cell: the spec it answers plus its report.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CachedResult {
+    /// Layout version ([`CACHE_SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// The spec this result answers (stored in full so hash collisions
+    /// and hand-edited files are detected, not trusted).
+    pub spec: JobSpec,
+    /// The simulation report.
+    pub report: Report,
+}
+
+/// Handle on a cache directory.
+#[derive(Clone, Debug)]
+pub struct ResultCache {
+    dir: PathBuf,
+}
+
+impl ResultCache {
+    /// Opens (creating if needed) the cache at `dir`.
+    pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<ResultCache> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(ResultCache { dir })
+    }
+
+    /// The directory this cache lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn path_for(&self, key: &str) -> PathBuf {
+        self.dir.join(format!("{key}.json"))
+    }
+
+    /// Looks up `spec`; returns its report only if a valid entry with a
+    /// matching spec exists. Corrupt, stale-schema, or mismatched
+    /// entries read as misses.
+    pub fn lookup(&self, spec: &JobSpec) -> Option<Report> {
+        let text = fs::read_to_string(self.path_for(&spec.key())).ok()?;
+        let cached: CachedResult = serde::json::from_str(&text).ok()?;
+        if cached.schema_version != CACHE_SCHEMA_VERSION || cached.spec != *spec {
+            return None;
+        }
+        Some(cached.report)
+    }
+
+    /// Stores a completed cell. The write goes to a temporary file
+    /// first and is renamed into place, so an interrupted run never
+    /// leaves a torn entry behind.
+    pub fn store(&self, spec: &JobSpec, report: &Report) -> std::io::Result<()> {
+        let cached = CachedResult {
+            schema_version: CACHE_SCHEMA_VERSION,
+            spec: spec.clone(),
+            report: report.clone(),
+        };
+        let key = spec.key();
+        let tmp = self.dir.join(format!(".{key}.tmp"));
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(serde::json::to_string_pretty(&cached).as_bytes())?;
+            f.write_all(b"\n")?;
+        }
+        fs::rename(&tmp, self.path_for(&key))
+    }
+
+    /// Number of entries currently cached.
+    pub fn len(&self) -> usize {
+        self.entry_keys().len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Keys of all entries on disk.
+    pub fn entry_keys(&self) -> Vec<String> {
+        let mut keys = Vec::new();
+        let Ok(entries) = fs::read_dir(&self.dir) else {
+            return keys;
+        };
+        for e in entries.flatten() {
+            let name = e.file_name();
+            let name = name.to_string_lossy();
+            if let Some(key) = name.strip_suffix(".json") {
+                if !key.starts_with('.') {
+                    keys.push(key.to_string());
+                }
+            }
+        }
+        keys.sort();
+        keys
+    }
+
+    /// Deletes every entry (and stray temp file); returns how many
+    /// entries were removed.
+    pub fn clear(&self) -> std::io::Result<usize> {
+        let mut removed = 0;
+        for e in fs::read_dir(&self.dir)?.flatten() {
+            let name = e.file_name();
+            let name = name.to_string_lossy();
+            if name.ends_with(".json") || name.ends_with(".tmp") {
+                fs::remove_file(e.path())?;
+                if name.ends_with(".json") {
+                    removed += 1;
+                }
+            }
+        }
+        Ok(removed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use berti_sim::{PrefetcherChoice, SimOptions};
+    use berti_types::SystemConfig;
+
+    fn spec(workload: &str) -> JobSpec {
+        JobSpec {
+            workload: workload.to_string(),
+            l1: PrefetcherChoice::Berti,
+            l2: None,
+            opts: SimOptions {
+                warmup_instructions: 1_000,
+                sim_instructions: 5_000,
+                max_cpi: 64,
+            },
+            config: SystemConfig::default(),
+        }
+    }
+
+    fn tiny_report(spec: &JobSpec) -> Report {
+        let mut t = berti_traces::workload_by_name(&spec.workload)
+            .expect("workload exists")
+            .trace();
+        berti_sim::simulate_with_l2(&spec.config, spec.l1.clone(), spec.l2, &mut t, &spec.opts)
+    }
+
+    #[test]
+    fn store_then_lookup_roundtrips() {
+        let dir = std::env::temp_dir().join(format!("berti-cache-test-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let cache = ResultCache::open(&dir).expect("open");
+        let s = spec("lbm-like");
+        assert!(cache.lookup(&s).is_none(), "cold cache misses");
+        let r = tiny_report(&s);
+        cache.store(&s, &r).expect("store");
+        let hit = cache.lookup(&s).expect("warm cache hits");
+        assert_eq!(
+            serde::json::to_string(&hit),
+            serde::json::to_string(&r),
+            "cached report is byte-identical"
+        );
+        // A different spec must not alias this entry.
+        assert!(cache.lookup(&spec("mcf-1554-like")).is_none());
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.clear().expect("clear"), 1);
+        assert!(cache.is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_entries_read_as_misses() {
+        let dir = std::env::temp_dir().join(format!("berti-cache-corrupt-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let cache = ResultCache::open(&dir).expect("open");
+        let s = spec("lbm-like");
+        fs::write(cache.dir().join(format!("{}.json", s.key())), b"{ not json").expect("write");
+        assert!(cache.lookup(&s).is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

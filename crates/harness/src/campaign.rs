@@ -1,0 +1,214 @@
+//! The declarative campaign model: grids of simulation cells.
+
+use berti_sim::{L2PrefetcherChoice, PrefetcherChoice, SimOptions};
+use berti_traces::WorkloadDef;
+use berti_types::SystemConfig;
+use serde::{Deserialize, Serialize};
+
+/// One simulation cell: everything needed to run (and cache) a single
+/// (workload × prefetcher × options × system) simulation.
+///
+/// The serialized form of a `JobSpec` is its identity: the result
+/// cache keys on a hash of [`JobSpec::canonical_json`], so any change
+/// to any field yields a different cache entry.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct JobSpec {
+    /// Workload name (resolved against the trace registry at run
+    /// time).
+    pub workload: String,
+    /// L1D prefetcher.
+    pub l1: PrefetcherChoice,
+    /// Optional L2 prefetcher.
+    pub l2: Option<L2PrefetcherChoice>,
+    /// Phase lengths.
+    pub opts: SimOptions,
+    /// System configuration (Table II plus any overrides).
+    pub config: SystemConfig,
+}
+
+impl JobSpec {
+    /// Configuration label, e.g. `berti` or `mlop+bingo`.
+    pub fn label(&self) -> String {
+        match self.l2 {
+            Some(l2) => format!("{}+{}", self.l1.name(), l2.name()),
+            None => self.l1.name().to_string(),
+        }
+    }
+
+    /// The canonical serialized form this spec is identified by.
+    pub fn canonical_json(&self) -> String {
+        serde::json::to_string(self)
+    }
+
+    /// Stable content hash of the spec (32 hex chars, FNV-1a 128 over
+    /// the canonical JSON): the result cache's file name.
+    pub fn key(&self) -> String {
+        const OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+        const PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013B;
+        let mut h = OFFSET;
+        for b in self.canonical_json().bytes() {
+            h ^= b as u128;
+            h = h.wrapping_mul(PRIME);
+        }
+        format!("{h:032x}")
+    }
+}
+
+/// A named grid of simulation cells.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Campaign {
+    /// Campaign name (used for event/log labeling).
+    pub name: String,
+    /// The cells, in declaration order.
+    pub cells: Vec<JobSpec>,
+}
+
+impl Campaign {
+    /// Starts a grid builder.
+    pub fn grid(name: impl Into<String>) -> CampaignBuilder {
+        CampaignBuilder {
+            name: name.into(),
+            workloads: Vec::new(),
+            configs: Vec::new(),
+            opts: SimOptions::default(),
+            system: SystemConfig::default(),
+        }
+    }
+}
+
+/// Builds a campaign as the cross product of workloads × prefetcher
+/// configurations, sharing one `SimOptions` and one `SystemConfig`.
+#[derive(Clone, Debug)]
+pub struct CampaignBuilder {
+    name: String,
+    workloads: Vec<String>,
+    configs: Vec<(PrefetcherChoice, Option<L2PrefetcherChoice>)>,
+    opts: SimOptions,
+    system: SystemConfig,
+}
+
+impl CampaignBuilder {
+    /// Adds workloads by definition.
+    pub fn workloads(mut self, defs: &[WorkloadDef]) -> Self {
+        self.workloads
+            .extend(defs.iter().map(|w| w.name.to_string()));
+        self
+    }
+
+    /// Adds a workload by name.
+    pub fn workload(mut self, name: impl Into<String>) -> Self {
+        self.workloads.push(name.into());
+        self
+    }
+
+    /// Adds an L1-only prefetcher configuration.
+    pub fn l1(mut self, l1: PrefetcherChoice) -> Self {
+        self.configs.push((l1, None));
+        self
+    }
+
+    /// Adds an L1+L2 prefetcher configuration.
+    pub fn config(mut self, l1: PrefetcherChoice, l2: Option<L2PrefetcherChoice>) -> Self {
+        self.configs.push((l1, l2));
+        self
+    }
+
+    /// Adds several configurations at once.
+    pub fn configs(
+        mut self,
+        cfgs: impl IntoIterator<Item = (PrefetcherChoice, Option<L2PrefetcherChoice>)>,
+    ) -> Self {
+        self.configs.extend(cfgs);
+        self
+    }
+
+    /// Sets the phase lengths for every cell.
+    pub fn opts(mut self, opts: SimOptions) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// Sets the system configuration for every cell.
+    pub fn system(mut self, system: SystemConfig) -> Self {
+        self.system = system;
+        self
+    }
+
+    /// Materializes the cross product (configuration-major order, so
+    /// all workloads of one configuration are contiguous).
+    pub fn build(self) -> Campaign {
+        let mut cells = Vec::with_capacity(self.configs.len() * self.workloads.len());
+        for (l1, l2) in &self.configs {
+            for w in &self.workloads {
+                cells.push(JobSpec {
+                    workload: w.clone(),
+                    l1: l1.clone(),
+                    l2: *l2,
+                    opts: self.opts,
+                    config: self.system,
+                });
+            }
+        }
+        Campaign {
+            name: self.name,
+            cells,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(workload: &str, l1: PrefetcherChoice) -> JobSpec {
+        JobSpec {
+            workload: workload.to_string(),
+            l1,
+            l2: None,
+            opts: SimOptions::default(),
+            config: SystemConfig::default(),
+        }
+    }
+
+    #[test]
+    fn keys_are_stable_and_distinct() {
+        let a = spec("lbm-like", PrefetcherChoice::Berti);
+        assert_eq!(a.key(), a.clone().key(), "same spec, same key");
+        assert_eq!(a.key().len(), 32);
+        let b = spec("lbm-like", PrefetcherChoice::Mlop);
+        assert_ne!(a.key(), b.key(), "different prefetcher, different key");
+        let mut c = a.clone();
+        c.opts.sim_instructions += 1;
+        assert_ne!(a.key(), c.key(), "different budget, different key");
+        let mut d = a.clone();
+        d.config.l1d.ways = 8;
+        assert_ne!(a.key(), d.key(), "different geometry, different key");
+    }
+
+    #[test]
+    fn spec_roundtrips() {
+        let a = spec("pr-kron", PrefetcherChoice::Ipcp);
+        let back: JobSpec = serde::json::from_str(&a.canonical_json()).expect("parses");
+        assert_eq!(back, a);
+        assert_eq!(back.key(), a.key());
+    }
+
+    #[test]
+    fn grid_is_the_cross_product() {
+        let c = Campaign::grid("t")
+            .workload("a")
+            .workload("b")
+            .l1(PrefetcherChoice::IpStride)
+            .l1(PrefetcherChoice::Berti)
+            .config(
+                PrefetcherChoice::Berti,
+                Some(berti_sim::L2PrefetcherChoice::Bingo),
+            )
+            .build();
+        assert_eq!(c.cells.len(), 6);
+        assert_eq!(c.cells[0].label(), "ip-stride");
+        assert_eq!(c.cells[0].workload, "a");
+        assert_eq!(c.cells[1].workload, "b");
+        assert_eq!(c.cells[5].label(), "berti+bingo");
+    }
+}

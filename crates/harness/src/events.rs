@@ -1,0 +1,313 @@
+//! Campaign observability: a JSONL event stream plus a live stderr
+//! progress line.
+//!
+//! Every event is one JSON object per line with an `"event"` tag, so
+//! the stream is trivially greppable / `jq`-able:
+//!
+//! ```text
+//! {"event":"campaign_started","campaign":"l1d","cells":32,"jobs":4}
+//! {"event":"job_started","key":"9f...","workload":"lbm-like","label":"berti"}
+//! {"event":"job_finished","key":"9f...","workload":"lbm-like","label":"berti",
+//!  "wall_ms":412,"instructions":2000000,"mips":4.85,"ipc":1.93}
+//! {"event":"job_cache_hit","key":"ab...","workload":"bfs-kron","label":"mlop"}
+//! {"event":"job_failed","key":"cd...","workload":"cc-uni","label":"ipcp",
+//!  "attempt":1,"will_retry":true,"error":"..."}
+//! {"event":"campaign_finished","campaign":"l1d","completed":30,"failed":2,
+//!  "cache_hits":12,"wall_ms":98021}
+//! ```
+
+use std::io::Write;
+
+use serde::{Serialize, Value};
+
+/// One campaign lifecycle event.
+#[derive(Clone, Debug)]
+pub enum Event {
+    /// The campaign began executing.
+    CampaignStarted {
+        /// Campaign name.
+        campaign: String,
+        /// Total number of cells.
+        cells: usize,
+        /// Worker-pool size.
+        jobs: usize,
+    },
+    /// A worker picked up a cell (cache miss: it will simulate).
+    JobStarted {
+        /// Cache key of the cell.
+        key: String,
+        /// Workload name.
+        workload: String,
+        /// Prefetcher-configuration label.
+        label: String,
+    },
+    /// A cell was answered from the result cache.
+    JobCacheHit {
+        /// Cache key of the cell.
+        key: String,
+        /// Workload name.
+        workload: String,
+        /// Prefetcher-configuration label.
+        label: String,
+    },
+    /// A simulation completed.
+    JobFinished {
+        /// Cache key of the cell.
+        key: String,
+        /// Workload name.
+        workload: String,
+        /// Prefetcher-configuration label.
+        label: String,
+        /// Wall time of the simulation, milliseconds.
+        wall_ms: u64,
+        /// Instructions simulated in the measurement phase.
+        instructions: u64,
+        /// Simulation throughput, million instructions per wall second.
+        mips: f64,
+        /// Measured IPC (the headline result).
+        ipc: f64,
+    },
+    /// A simulation attempt panicked.
+    JobFailed {
+        /// Cache key of the cell.
+        key: String,
+        /// Workload name.
+        workload: String,
+        /// Prefetcher-configuration label.
+        label: String,
+        /// 1-based attempt number.
+        attempt: u32,
+        /// Whether the harness will retry this cell.
+        will_retry: bool,
+        /// Captured panic message.
+        error: String,
+    },
+    /// The campaign drained its queue.
+    CampaignFinished {
+        /// Campaign name.
+        campaign: String,
+        /// Cells that produced a report (fresh or cached).
+        completed: usize,
+        /// Cells that failed both attempts.
+        failed: usize,
+        /// Cells answered from cache.
+        cache_hits: usize,
+        /// End-to-end campaign wall time, milliseconds.
+        wall_ms: u64,
+    },
+}
+
+impl Serialize for Event {
+    fn to_value(&self) -> Value {
+        let obj = |tag: &str, fields: Vec<(&str, Value)>| {
+            let mut o = vec![("event".to_string(), Value::Str(tag.to_string()))];
+            o.extend(fields.into_iter().map(|(k, v)| (k.to_string(), v)));
+            Value::Object(o)
+        };
+        let s = |s: &str| Value::Str(s.to_string());
+        match self {
+            Event::CampaignStarted {
+                campaign,
+                cells,
+                jobs,
+            } => obj(
+                "campaign_started",
+                vec![
+                    ("campaign", s(campaign)),
+                    ("cells", Value::U64(*cells as u64)),
+                    ("jobs", Value::U64(*jobs as u64)),
+                ],
+            ),
+            Event::JobStarted {
+                key,
+                workload,
+                label,
+            } => obj(
+                "job_started",
+                vec![
+                    ("key", s(key)),
+                    ("workload", s(workload)),
+                    ("label", s(label)),
+                ],
+            ),
+            Event::JobCacheHit {
+                key,
+                workload,
+                label,
+            } => obj(
+                "job_cache_hit",
+                vec![
+                    ("key", s(key)),
+                    ("workload", s(workload)),
+                    ("label", s(label)),
+                ],
+            ),
+            Event::JobFinished {
+                key,
+                workload,
+                label,
+                wall_ms,
+                instructions,
+                mips,
+                ipc,
+            } => obj(
+                "job_finished",
+                vec![
+                    ("key", s(key)),
+                    ("workload", s(workload)),
+                    ("label", s(label)),
+                    ("wall_ms", Value::U64(*wall_ms)),
+                    ("instructions", Value::U64(*instructions)),
+                    ("mips", Value::F64(*mips)),
+                    ("ipc", Value::F64(*ipc)),
+                ],
+            ),
+            Event::JobFailed {
+                key,
+                workload,
+                label,
+                attempt,
+                will_retry,
+                error,
+            } => obj(
+                "job_failed",
+                vec![
+                    ("key", s(key)),
+                    ("workload", s(workload)),
+                    ("label", s(label)),
+                    ("attempt", Value::U64(*attempt as u64)),
+                    ("will_retry", Value::Bool(*will_retry)),
+                    ("error", s(error)),
+                ],
+            ),
+            Event::CampaignFinished {
+                campaign,
+                completed,
+                failed,
+                cache_hits,
+                wall_ms,
+            } => obj(
+                "campaign_finished",
+                vec![
+                    ("campaign", s(campaign)),
+                    ("completed", Value::U64(*completed as u64)),
+                    ("failed", Value::U64(*failed as u64)),
+                    ("cache_hits", Value::U64(*cache_hits as u64)),
+                    ("wall_ms", Value::U64(*wall_ms)),
+                ],
+            ),
+        }
+    }
+}
+
+/// Receives events on the collector thread: appends JSONL and repaints
+/// the stderr progress line.
+pub struct EventSink {
+    jsonl: Option<std::io::BufWriter<std::fs::File>>,
+    progress: bool,
+    total: usize,
+    done: usize,
+    cache_hits: usize,
+    failed: usize,
+}
+
+impl EventSink {
+    /// Creates a sink writing JSONL to `jsonl_path` (if given) and a
+    /// progress line to stderr (if `progress`).
+    pub fn new(jsonl_path: Option<&std::path::Path>, progress: bool, total: usize) -> Self {
+        let jsonl = jsonl_path.and_then(|p| {
+            if let Some(parent) = p.parent() {
+                let _ = std::fs::create_dir_all(parent);
+            }
+            std::fs::File::create(p).ok().map(std::io::BufWriter::new)
+        });
+        EventSink {
+            jsonl,
+            progress,
+            total,
+            done: 0,
+            cache_hits: 0,
+            failed: 0,
+        }
+    }
+
+    /// Records one event.
+    pub fn record(&mut self, event: &Event) {
+        if let Some(w) = &mut self.jsonl {
+            let _ = writeln!(w, "{}", serde::json::to_string(event));
+        }
+        match event {
+            Event::JobFinished { .. } => self.done += 1,
+            Event::JobCacheHit { .. } => {
+                self.done += 1;
+                self.cache_hits += 1;
+            }
+            Event::JobFailed {
+                will_retry: false, ..
+            } => {
+                self.done += 1;
+                self.failed += 1;
+            }
+            _ => {}
+        }
+        if self.progress {
+            match event {
+                Event::JobFinished { .. }
+                | Event::JobCacheHit { .. }
+                | Event::JobFailed {
+                    will_retry: false, ..
+                } => {
+                    eprint!(
+                        "\r[{}/{}] {} cached, {} failed",
+                        self.done, self.total, self.cache_hits, self.failed
+                    );
+                    let _ = std::io::stderr().flush();
+                }
+                Event::CampaignFinished { wall_ms, .. } => {
+                    eprintln!(
+                        "\r[{}/{}] {} cached, {} failed — {:.1}s",
+                        self.done,
+                        self.total,
+                        self.cache_hits,
+                        self.failed,
+                        *wall_ms as f64 / 1000.0
+                    );
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Flushes the JSONL stream.
+    pub fn finish(mut self) {
+        if let Some(w) = &mut self.jsonl {
+            let _ = w.flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_serialize_with_tags() {
+        let e = Event::JobFinished {
+            key: "abc".to_string(),
+            workload: "lbm-like".to_string(),
+            label: "berti".to_string(),
+            wall_ms: 412,
+            instructions: 2_000_000,
+            mips: 4.85,
+            ipc: 1.93,
+        };
+        let json = serde::json::to_string(&e);
+        let v = serde::json::parse(&json).expect("parses");
+        assert_eq!(
+            v.get("event").and_then(|v| v.as_str()),
+            Some("job_finished")
+        );
+        assert_eq!(v.get("wall_ms").and_then(|v| v.as_u64()), Some(412));
+        assert_eq!(v.get("ipc").and_then(|v| v.as_f64()), Some(1.93));
+    }
+}

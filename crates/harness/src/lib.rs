@@ -1,0 +1,49 @@
+//! `berti-harness`: a parallel, resumable experiment-campaign engine.
+//!
+//! Turns "run the paper's evaluation" into a declarative campaign: a
+//! [`Campaign`] names a grid of [`JobSpec`] cells (workload ×
+//! prefetcher configuration × [`berti_sim::SimOptions`] × system
+//! config); [`run_campaign`] executes the grid on a fixed worker pool
+//! and returns every cell's [`Report`](berti_sim::Report).
+//!
+//! What the engine guarantees:
+//!
+//! - **Parallelism** — a fixed-size pool of OS threads drains a shared
+//!   work queue (`--jobs N`; default = available parallelism).
+//! - **Isolation** — each cell runs under `catch_unwind`; a panicking
+//!   cell is retried once, then reported failed, and never takes its
+//!   siblings or the campaign down.
+//! - **Resumability** — completed cells persist in a content-addressed
+//!   cache (`results/cache/<hash-of-spec>.json`); re-running a
+//!   campaign skips everything already answered, so an interrupted
+//!   campaign continues where it stopped.
+//! - **Determinism** — simulations are seed-deterministic and
+//!   [`CampaignResult::aggregated_json`] orders cells by content hash
+//!   and excludes wall-clock data, so the same campaign produces
+//!   byte-identical aggregates at any worker count, scheduling order,
+//!   or cache temperature.
+//! - **Observability** — a JSONL event stream (job started / finished
+//!   / failed / cache-hit, with wall time and simulation throughput)
+//!   plus an optional live stderr progress line.
+//!
+//! The `campaign` binary exposes the built-in grids
+//! ([`registry::builtin_campaigns`]) on the command line; the
+//! `berti-bench` figure binaries declare their grids through the same
+//! engine.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+mod campaign;
+mod events;
+mod pool;
+
+pub mod registry;
+
+pub use cache::{CachedResult, ResultCache, CACHE_SCHEMA_VERSION};
+pub use campaign::{Campaign, CampaignBuilder, JobSpec};
+pub use events::{Event, EventSink};
+pub use pool::{
+    run_campaign, run_campaign_with, CampaignResult, JobOutcome, JobResult, RunOptions,
+};

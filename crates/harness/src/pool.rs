@@ -1,0 +1,395 @@
+//! The campaign executor: a fixed worker pool over a shared work
+//! queue, with per-job panic isolation, one bounded retry, and the
+//! result cache in front of the simulator.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::mpsc;
+use std::sync::Mutex;
+use std::time::Instant;
+
+use berti_sim::Report;
+use serde::Value;
+
+use crate::cache::ResultCache;
+use crate::campaign::{Campaign, JobSpec};
+use crate::events::{Event, EventSink};
+
+/// How a campaign should be executed.
+#[derive(Clone, Debug)]
+pub struct RunOptions {
+    /// Worker-pool size (`--jobs N`); 0 means "available parallelism".
+    pub jobs: usize,
+    /// Result-cache directory; `None` disables caching entirely.
+    pub cache_dir: Option<PathBuf>,
+    /// JSONL event-stream path; `None` disables the stream.
+    pub events_path: Option<PathBuf>,
+    /// Paint a live progress line on stderr.
+    pub progress: bool,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            jobs: 0,
+            cache_dir: Some(PathBuf::from("results/cache")),
+            events_path: None,
+            progress: false,
+        }
+    }
+}
+
+impl RunOptions {
+    /// The effective worker count.
+    pub fn effective_jobs(&self) -> usize {
+        if self.jobs > 0 {
+            self.jobs
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
+}
+
+/// Terminal state of one cell.
+// A Report is much bigger than a failure record, but there is exactly
+// one outcome per cell and almost all of them carry reports — boxing
+// would cost an allocation per cell for no measurable saving.
+#[allow(clippy::large_enum_variant)]
+#[derive(Clone, Debug)]
+pub enum JobOutcome {
+    /// The cell has a report.
+    Done {
+        /// The simulation report.
+        report: Report,
+        /// Whether it came from the result cache.
+        cached: bool,
+    },
+    /// Both attempts panicked.
+    Failed {
+        /// Captured panic message of the last attempt.
+        error: String,
+        /// Attempts made (always 2: initial + one retry).
+        attempts: u32,
+    },
+}
+
+/// One cell's spec, key, and outcome.
+#[derive(Clone, Debug)]
+pub struct JobResult {
+    /// The cell that ran.
+    pub spec: JobSpec,
+    /// Its cache key.
+    pub key: String,
+    /// What happened.
+    pub outcome: JobOutcome,
+}
+
+/// All results of one campaign run, in campaign (declaration) order.
+#[derive(Clone, Debug)]
+pub struct CampaignResult {
+    /// Campaign name.
+    pub name: String,
+    /// Per-cell results, ordered as the campaign declared its cells.
+    pub jobs: Vec<JobResult>,
+    /// End-to-end wall time, milliseconds.
+    pub wall_ms: u64,
+}
+
+impl CampaignResult {
+    /// Cells that produced a report.
+    pub fn completed(&self) -> usize {
+        self.jobs
+            .iter()
+            .filter(|j| matches!(j.outcome, JobOutcome::Done { .. }))
+            .count()
+    }
+
+    /// Cells answered from the cache.
+    pub fn cache_hits(&self) -> usize {
+        self.jobs
+            .iter()
+            .filter(|j| matches!(j.outcome, JobOutcome::Done { cached: true, .. }))
+            .count()
+    }
+
+    /// Cells that failed both attempts.
+    pub fn failed(&self) -> usize {
+        self.jobs.len() - self.completed()
+    }
+
+    /// The report for a cell, if it completed.
+    pub fn report(&self, workload: &str, label: &str) -> Option<&Report> {
+        self.jobs.iter().find_map(|j| match &j.outcome {
+            JobOutcome::Done { report, .. }
+                if j.spec.workload == workload && j.spec.label() == label =>
+            {
+                Some(report)
+            }
+            _ => None,
+        })
+    }
+
+    /// Reports of all completed cells with the given configuration
+    /// label, in campaign order.
+    pub fn reports_for_label(&self, label: &str) -> Vec<&Report> {
+        self.jobs
+            .iter()
+            .filter(|j| j.spec.label() == label)
+            .filter_map(|j| match &j.outcome {
+                JobOutcome::Done { report, .. } => Some(report),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Deterministic aggregated JSON of the whole campaign: cells
+    /// sorted by cache key, wall-clock data excluded, so the same
+    /// campaign serializes byte-identically regardless of worker
+    /// count, scheduling, or cache temperature.
+    pub fn aggregated_json(&self) -> String {
+        let mut cells: Vec<&JobResult> = self.jobs.iter().collect();
+        cells.sort_by(|a, b| a.key.cmp(&b.key));
+        let cells: Vec<Value> = cells
+            .into_iter()
+            .map(|j| {
+                let mut o = vec![
+                    ("key".to_string(), Value::Str(j.key.clone())),
+                    ("spec".to_string(), serde::Serialize::to_value(&j.spec)),
+                ];
+                match &j.outcome {
+                    JobOutcome::Done { report, .. } => {
+                        o.push(("report".to_string(), serde::Serialize::to_value(report)));
+                    }
+                    JobOutcome::Failed { error, attempts } => {
+                        o.push(("error".to_string(), Value::Str(error.clone())));
+                        o.push(("attempts".to_string(), Value::U64(*attempts as u64)));
+                    }
+                }
+                Value::Object(o)
+            })
+            .collect();
+        let root = Value::Object(vec![
+            ("campaign".to_string(), Value::Str(self.name.clone())),
+            ("cells".to_string(), Value::Array(cells)),
+        ]);
+        let mut s = serde::json::to_string_pretty(&root);
+        s.push('\n');
+        s
+    }
+}
+
+/// Runs a campaign with the real simulator.
+pub fn run_campaign(campaign: &Campaign, opts: &RunOptions) -> CampaignResult {
+    run_campaign_with(campaign, opts, |spec| {
+        let workload = berti_traces::workload_by_name(&spec.workload)
+            .unwrap_or_else(|| panic!("unknown workload `{}`", spec.workload));
+        let mut trace = workload.trace();
+        berti_sim::simulate_with_l2(
+            &spec.config,
+            spec.l1.clone(),
+            spec.l2,
+            &mut trace,
+            &spec.opts,
+        )
+    })
+}
+
+/// Runs a campaign with an arbitrary executor (tests inject failing or
+/// instant executors here).
+///
+/// Scheduling: all cells go into a shared queue; `jobs` workers drain
+/// it. Each cell is first tried against the result cache; on a miss
+/// the executor runs under [`catch_unwind`], and a panicking attempt
+/// is retried once before the cell is marked failed. A failing or
+/// panicking cell never takes its siblings down.
+pub fn run_campaign_with<F>(campaign: &Campaign, opts: &RunOptions, exec: F) -> CampaignResult
+where
+    F: Fn(&JobSpec) -> Report + Sync,
+{
+    let started = Instant::now();
+    let cache = opts
+        .cache_dir
+        .as_ref()
+        .and_then(|d| ResultCache::open(d).ok());
+    let jobs = opts.effective_jobs();
+
+    let (event_tx, event_rx) = mpsc::channel::<Event>();
+    let (work_tx, work_rx) = mpsc::channel::<usize>();
+    for i in 0..campaign.cells.len() {
+        let _ = work_tx.send(i);
+    }
+    drop(work_tx);
+    let work_rx = Mutex::new(work_rx);
+
+    let slots: Vec<Mutex<Option<JobResult>>> =
+        campaign.cells.iter().map(|_| Mutex::new(None)).collect();
+
+    let _ = event_tx.send(Event::CampaignStarted {
+        campaign: campaign.name.clone(),
+        cells: campaign.cells.len(),
+        jobs,
+    });
+
+    // The collector outlives the worker scope so the campaign summary
+    // (which needs the joined results) flows through the same sink.
+    let mut sink = EventSink::new(
+        opts.events_path.as_deref(),
+        opts.progress,
+        campaign.cells.len(),
+    );
+    let collector = std::thread::spawn(move || {
+        while let Ok(e) = event_rx.recv() {
+            sink.record(&e);
+        }
+        sink.finish();
+    });
+
+    std::thread::scope(|scope| {
+        for _ in 0..jobs.min(campaign.cells.len()).max(1) {
+            let event_tx = event_tx.clone();
+            let work_rx = &work_rx;
+            let slots = &slots;
+            let cache = cache.as_ref();
+            let exec = &exec;
+            scope.spawn(move || loop {
+                let Some(idx) = next_index(work_rx) else {
+                    return;
+                };
+                let spec = &campaign.cells[idx];
+                let result = run_cell(spec, cache, exec, &event_tx);
+                *slots[idx].lock().expect("result slot poisoned") = Some(result);
+            });
+        }
+    });
+
+    let jobs_out: Vec<JobResult> = slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner()
+                .expect("result slot poisoned")
+                .expect("every queued cell produces a result")
+        })
+        .collect();
+
+    let wall_ms = started.elapsed().as_millis() as u64;
+    let result = CampaignResult {
+        name: campaign.name.clone(),
+        jobs: jobs_out,
+        wall_ms,
+    };
+
+    let _ = event_tx.send(Event::CampaignFinished {
+        campaign: result.name.clone(),
+        completed: result.completed(),
+        failed: result.failed(),
+        cache_hits: result.cache_hits(),
+        wall_ms,
+    });
+    drop(event_tx);
+    let _ = collector.join();
+    result
+}
+
+fn next_index(work_rx: &Mutex<mpsc::Receiver<usize>>) -> Option<usize> {
+    work_rx.lock().expect("work queue poisoned").recv().ok()
+}
+
+fn run_cell<F>(
+    spec: &JobSpec,
+    cache: Option<&ResultCache>,
+    exec: &F,
+    events: &mpsc::Sender<Event>,
+) -> JobResult
+where
+    F: Fn(&JobSpec) -> Report + Sync,
+{
+    let key = spec.key();
+    let workload = spec.workload.clone();
+    let label = spec.label();
+
+    if let Some(report) = cache.and_then(|c| c.lookup(spec)) {
+        let _ = events.send(Event::JobCacheHit {
+            key: key.clone(),
+            workload,
+            label,
+        });
+        return JobResult {
+            spec: spec.clone(),
+            key,
+            outcome: JobOutcome::Done {
+                report,
+                cached: true,
+            },
+        };
+    }
+
+    let _ = events.send(Event::JobStarted {
+        key: key.clone(),
+        workload: workload.clone(),
+        label: label.clone(),
+    });
+
+    const MAX_ATTEMPTS: u32 = 2;
+    let mut last_error = String::new();
+    for attempt in 1..=MAX_ATTEMPTS {
+        let started = Instant::now();
+        match catch_unwind(AssertUnwindSafe(|| exec(spec))) {
+            Ok(report) => {
+                if let Some(c) = cache {
+                    let _ = c.store(spec, &report);
+                }
+                let wall_ms = started.elapsed().as_millis() as u64;
+                let wall_s = (wall_ms as f64 / 1000.0).max(1e-9);
+                let _ = events.send(Event::JobFinished {
+                    key: key.clone(),
+                    workload,
+                    label,
+                    wall_ms,
+                    instructions: report.instructions,
+                    mips: report.instructions as f64 / 1e6 / wall_s,
+                    ipc: report.ipc(),
+                });
+                return JobResult {
+                    spec: spec.clone(),
+                    key,
+                    outcome: JobOutcome::Done {
+                        report,
+                        cached: false,
+                    },
+                };
+            }
+            Err(payload) => {
+                last_error = panic_message(payload);
+                let _ = events.send(Event::JobFailed {
+                    key: key.clone(),
+                    workload: workload.clone(),
+                    label: label.clone(),
+                    attempt,
+                    will_retry: attempt < MAX_ATTEMPTS,
+                    error: last_error.clone(),
+                });
+            }
+        }
+    }
+
+    JobResult {
+        spec: spec.clone(),
+        key,
+        outcome: JobOutcome::Failed {
+            error: last_error,
+            attempts: MAX_ATTEMPTS,
+        },
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}

@@ -1,0 +1,106 @@
+//! Built-in campaigns: the paper's evaluation grids, by name.
+//!
+//! The contender lists here are the single source of truth — the
+//! `berti-bench` figure binaries and the `campaign` CLI both build
+//! their grids from them.
+
+use berti_sim::{L2PrefetcherChoice, PrefetcherChoice, SimOptions};
+
+use crate::campaign::Campaign;
+
+/// The L1D prefetchers of Fig. 8/10/11 (the baseline IP-stride is the
+/// denominator of every speedup).
+pub fn l1d_contenders() -> Vec<PrefetcherChoice> {
+    vec![
+        PrefetcherChoice::Mlop,
+        PrefetcherChoice::Ipcp,
+        PrefetcherChoice::Berti,
+    ]
+}
+
+/// The multi-level combinations of Fig. 12/13 (L1D + L2).
+pub fn multilevel_contenders() -> Vec<(PrefetcherChoice, Option<L2PrefetcherChoice>)> {
+    vec![
+        (PrefetcherChoice::Mlop, Some(L2PrefetcherChoice::Bingo)),
+        (PrefetcherChoice::Mlop, Some(L2PrefetcherChoice::SppPpf)),
+        (PrefetcherChoice::Ipcp, Some(L2PrefetcherChoice::Ipcp)),
+        (PrefetcherChoice::Berti, Some(L2PrefetcherChoice::Bingo)),
+        (PrefetcherChoice::Berti, Some(L2PrefetcherChoice::SppPpf)),
+    ]
+}
+
+/// Names of all built-in campaigns, with a one-line description each.
+pub fn builtin_campaigns() -> Vec<(&'static str, &'static str)> {
+    vec![
+        (
+            "quick",
+            "2 workloads × {ip-stride, berti} smoke grid (4 cells)",
+        ),
+        (
+            "l1d",
+            "memory-intensive suite × {ip-stride, mlop, ipcp, berti} (Fig. 8/10/11)",
+        ),
+        (
+            "multilevel",
+            "memory-intensive suite × multi-level combinations (Fig. 12/13)",
+        ),
+        (
+            "cloud",
+            "CloudSuite-like workloads × {ip-stride, mlop, ipcp, berti} (Sec. IV-G)",
+        ),
+    ]
+}
+
+/// Builds a built-in campaign by name.
+pub fn builtin(name: &str, opts: SimOptions) -> Option<Campaign> {
+    let c = match name {
+        "quick" => Campaign::grid("quick")
+            .workload("lbm-like")
+            .workload("bfs-kron")
+            .l1(PrefetcherChoice::IpStride)
+            .l1(PrefetcherChoice::Berti),
+        "l1d" => Campaign::grid("l1d")
+            .workloads(&berti_traces::memory_intensive_suite())
+            .l1(PrefetcherChoice::IpStride)
+            .configs(l1d_contenders().into_iter().map(|p| (p, None))),
+        "multilevel" => Campaign::grid("multilevel")
+            .workloads(&berti_traces::memory_intensive_suite())
+            .l1(PrefetcherChoice::IpStride)
+            .configs(multilevel_contenders()),
+        "cloud" => Campaign::grid("cloud")
+            .workloads(&berti_traces::cloud::suite())
+            .l1(PrefetcherChoice::IpStride)
+            .configs(l1d_contenders().into_iter().map(|p| (p, None))),
+        _ => return None,
+    };
+    Some(c.opts(opts).build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_builtin_builds_and_resolves() {
+        for (name, _) in builtin_campaigns() {
+            let c = builtin(name, SimOptions::default()).expect("builtin exists");
+            assert!(!c.cells.is_empty(), "{name} has cells");
+            for cell in &c.cells {
+                assert!(
+                    berti_traces::workload_by_name(&cell.workload).is_some(),
+                    "{name}: workload `{}` resolves",
+                    cell.workload
+                );
+            }
+        }
+        assert!(builtin("no-such-campaign", SimOptions::default()).is_none());
+    }
+
+    #[test]
+    fn quick_campaign_is_the_expected_grid() {
+        let c = builtin("quick", SimOptions::default()).expect("exists");
+        assert_eq!(c.cells.len(), 4);
+        let labels: std::collections::HashSet<String> = c.cells.iter().map(|s| s.label()).collect();
+        assert!(labels.contains("ip-stride") && labels.contains("berti"));
+    }
+}

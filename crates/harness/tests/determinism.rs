@@ -1,0 +1,122 @@
+//! End-to-end determinism of campaign aggregates: worker count,
+//! scheduling order, and cache temperature must not change a byte of
+//! the aggregated JSON.
+
+use berti_harness::{Campaign, RunOptions};
+use berti_sim::{PrefetcherChoice, SimOptions};
+
+fn small_campaign() -> Campaign {
+    Campaign::grid("determinism-test")
+        .workload("lbm-like")
+        .workload("roms-like")
+        .l1(PrefetcherChoice::IpStride)
+        .l1(PrefetcherChoice::Berti)
+        .opts(SimOptions {
+            warmup_instructions: 500,
+            sim_instructions: 2_000,
+            max_cpi: 64,
+        })
+        .build()
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("berti-harness-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn cold_then_warm_cache_is_byte_identical() {
+    let campaign = small_campaign();
+    let cache = temp_dir("det-cache");
+    let opts = RunOptions {
+        jobs: 2,
+        cache_dir: Some(cache.clone()),
+        events_path: None,
+        progress: false,
+    };
+
+    let cold = berti_harness::run_campaign(&campaign, &opts);
+    assert_eq!(cold.completed(), 4);
+    assert_eq!(cold.cache_hits(), 0, "first run simulates everything");
+
+    let warm = berti_harness::run_campaign(&campaign, &opts);
+    assert_eq!(warm.completed(), 4);
+    assert_eq!(warm.cache_hits(), 4, "second run is answered from cache");
+
+    assert_eq!(
+        cold.aggregated_json(),
+        warm.aggregated_json(),
+        "cache replay reproduces the aggregate byte-for-byte"
+    );
+    let _ = std::fs::remove_dir_all(&cache);
+}
+
+#[test]
+fn worker_count_does_not_change_the_aggregate() {
+    let campaign = small_campaign();
+    let serial = berti_harness::run_campaign(
+        &campaign,
+        &RunOptions {
+            jobs: 1,
+            cache_dir: None,
+            events_path: None,
+            progress: false,
+        },
+    );
+    let parallel = berti_harness::run_campaign(
+        &campaign,
+        &RunOptions {
+            jobs: 4,
+            cache_dir: None,
+            events_path: None,
+            progress: false,
+        },
+    );
+    assert_eq!(serial.completed(), 4);
+    assert_eq!(parallel.completed(), 4);
+    assert_eq!(
+        serial.aggregated_json(),
+        parallel.aggregated_json(),
+        "--jobs 1 and --jobs 4 agree byte-for-byte"
+    );
+}
+
+#[test]
+fn events_stream_is_written_as_jsonl() {
+    let campaign = small_campaign();
+    let cache = temp_dir("det-events-cache");
+    let events = temp_dir("det-events").join("events.jsonl");
+    let opts = RunOptions {
+        jobs: 2,
+        cache_dir: Some(cache.clone()),
+        events_path: Some(events.clone()),
+        progress: false,
+    };
+    let result = berti_harness::run_campaign(&campaign, &opts);
+    assert_eq!(result.completed(), 4);
+
+    let text = std::fs::read_to_string(&events).expect("event stream exists");
+    let lines: Vec<&str> = text.lines().collect();
+    // campaign_started + 4×(job_started + job_finished) + campaign_finished
+    assert_eq!(lines.len(), 10, "unexpected event count:\n{text}");
+    let mut tags = Vec::new();
+    for line in &lines {
+        let v = serde::json::parse(line).expect("each line is one JSON object");
+        tags.push(
+            v.get("event")
+                .and_then(|e| e.as_str())
+                .expect("tagged event")
+                .to_string(),
+        );
+    }
+    assert_eq!(tags[0], "campaign_started");
+    assert_eq!(tags[lines.len() - 1], "campaign_finished");
+    assert_eq!(tags.iter().filter(|t| *t == "job_finished").count(), 4);
+    let last = serde::json::parse(lines[lines.len() - 1]).unwrap();
+    assert_eq!(last.get("completed").and_then(|v| v.as_u64()), Some(4));
+    assert_eq!(last.get("failed").and_then(|v| v.as_u64()), Some(0));
+
+    let _ = std::fs::remove_dir_all(&cache);
+    let _ = std::fs::remove_dir_all(events.parent().unwrap());
+}

@@ -86,7 +86,7 @@ pub enum AccessOutcome {
 }
 
 /// Per-cache event counters.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, serde::Serialize, serde::Deserialize)]
 pub struct CacheStats {
     /// Demand-load hits (including merges into in-flight lines).
     pub load_hits: u64,
@@ -276,9 +276,7 @@ impl Cache {
                         let fill_ip = line.ip;
                         self.repl.on_hit(set, way);
                         match kind {
-                            AccessKind::Load | AccessKind::Translation => {
-                                self.stats.load_hits += 1
-                            }
+                            AccessKind::Load | AccessKind::Translation => self.stats.load_hits += 1,
                             AccessKind::Rfo => self.stats.rfo_hits += 1,
                             _ => unreachable!(),
                         }
@@ -463,9 +461,20 @@ mod tests {
     fn miss_then_fill_then_hit() {
         let mut c = tiny();
         let now = Cycle::new(0);
-        assert!(matches!(c.access(100, AccessKind::Load, now), AccessOutcome::Miss));
+        assert!(matches!(
+            c.access(100, AccessKind::Load, now),
+            AccessOutcome::Miss
+        ));
         c.track_miss(100, AccessKind::Load, now, Cycle::new(50));
-        c.fill(100, AccessKind::Load, now, Cycle::new(50), 50, Ip::new(1), 100);
+        c.fill(
+            100,
+            AccessKind::Load,
+            now,
+            Cycle::new(50),
+            50,
+            Ip::new(1),
+            100,
+        );
         match c.access(100, AccessKind::Load, Cycle::new(60)) {
             AccessOutcome::Hit(h) => assert_eq!(h.ready_at, Cycle::new(65)),
             other => panic!("expected hit, got {other:?}"),
@@ -478,7 +487,15 @@ mod tests {
     #[test]
     fn in_flight_demand_merges() {
         let mut c = tiny();
-        c.fill(100, AccessKind::Load, Cycle::new(0), Cycle::new(80), 80, Ip::new(1), 100);
+        c.fill(
+            100,
+            AccessKind::Load,
+            Cycle::new(0),
+            Cycle::new(80),
+            80,
+            Ip::new(1),
+            100,
+        );
         // A second demand at cycle 10 must wait for the fill, not hit at 15.
         match c.access(100, AccessKind::Load, Cycle::new(10)) {
             AccessOutcome::Hit(h) => assert_eq!(h.ready_at, Cycle::new(80)),
@@ -490,7 +507,15 @@ mod tests {
     fn timely_and_late_prefetch_accounting() {
         let mut c = tiny();
         // Timely: prefetch fills at 50; demand arrives at 100.
-        c.fill(1, AccessKind::Prefetch, Cycle::new(0), Cycle::new(50), 50, Ip::new(1), 1);
+        c.fill(
+            1,
+            AccessKind::Prefetch,
+            Cycle::new(0),
+            Cycle::new(50),
+            50,
+            Ip::new(1),
+            1,
+        );
         match c.access(1, AccessKind::Load, Cycle::new(100)) {
             AccessOutcome::Hit(h) => {
                 assert!(h.timely_prefetch_hit);
@@ -500,7 +525,15 @@ mod tests {
             other => panic!("{other:?}"),
         }
         // Late: prefetch fills at 500; demand arrives at 100.
-        c.fill(2, AccessKind::Prefetch, Cycle::new(0), Cycle::new(500), 500, Ip::new(1), 2);
+        c.fill(
+            2,
+            AccessKind::Prefetch,
+            Cycle::new(0),
+            Cycle::new(500),
+            500,
+            Ip::new(1),
+            2,
+        );
         match c.access(2, AccessKind::Load, Cycle::new(100)) {
             AccessOutcome::Hit(h) => {
                 assert!(!h.timely_prefetch_hit);
@@ -529,9 +562,33 @@ mod tests {
     fn useless_prefetch_counted_on_eviction() {
         let mut c = tiny();
         // Set 0 holds even addresses: 0, 2, 4 map to set 0 (2 sets).
-        c.fill(0, AccessKind::Prefetch, Cycle::new(0), Cycle::new(1), 1, Ip::new(1), 0);
-        c.fill(2, AccessKind::Load, Cycle::new(0), Cycle::new(1), 1, Ip::new(1), 2);
-        c.fill(4, AccessKind::Load, Cycle::new(0), Cycle::new(1), 1, Ip::new(1), 4);
+        c.fill(
+            0,
+            AccessKind::Prefetch,
+            Cycle::new(0),
+            Cycle::new(1),
+            1,
+            Ip::new(1),
+            0,
+        );
+        c.fill(
+            2,
+            AccessKind::Load,
+            Cycle::new(0),
+            Cycle::new(1),
+            1,
+            Ip::new(1),
+            2,
+        );
+        c.fill(
+            4,
+            AccessKind::Load,
+            Cycle::new(0),
+            Cycle::new(1),
+            1,
+            Ip::new(1),
+            4,
+        );
         assert_eq!(c.stats().pf_useless, 1);
         assert_eq!(c.stats().prefetch_accuracy(), Some(0.0));
     }
@@ -539,9 +596,25 @@ mod tests {
     #[test]
     fn latency_overflow_stores_zero() {
         let mut c = tiny();
-        c.fill(1, AccessKind::Prefetch, Cycle::new(0), Cycle::new(1), 4096, Ip::new(1), 1);
+        c.fill(
+            1,
+            AccessKind::Prefetch,
+            Cycle::new(0),
+            Cycle::new(1),
+            4096,
+            Ip::new(1),
+            1,
+        );
         assert_eq!(c.peek_latency(1), Some(0));
-        c.fill(3, AccessKind::Prefetch, Cycle::new(0), Cycle::new(1), 4095, Ip::new(1), 3);
+        c.fill(
+            3,
+            AccessKind::Prefetch,
+            Cycle::new(0),
+            Cycle::new(1),
+            4095,
+            Ip::new(1),
+            3,
+        );
         assert_eq!(c.peek_latency(3), Some(4095));
     }
 
@@ -550,7 +623,10 @@ mod tests {
         let mut c = tiny();
         let now = Cycle::new(0);
         for a in [10, 12] {
-            assert!(matches!(c.access(a, AccessKind::Load, now), AccessOutcome::Miss));
+            assert!(matches!(
+                c.access(a, AccessKind::Load, now),
+                AccessOutcome::Miss
+            ));
             c.track_miss(a, AccessKind::Load, now, Cycle::new(1000));
         }
         assert!(matches!(
@@ -567,9 +643,33 @@ mod tests {
     #[test]
     fn dirty_eviction_returns_writeback() {
         let mut c = tiny();
-        c.fill(0, AccessKind::Rfo, Cycle::new(0), Cycle::new(1), 1, Ip::new(1), 900);
-        c.fill(2, AccessKind::Load, Cycle::new(0), Cycle::new(1), 1, Ip::new(1), 902);
-        let ev = c.fill(4, AccessKind::Load, Cycle::new(0), Cycle::new(1), 1, Ip::new(1), 904);
+        c.fill(
+            0,
+            AccessKind::Rfo,
+            Cycle::new(0),
+            Cycle::new(1),
+            1,
+            Ip::new(1),
+            900,
+        );
+        c.fill(
+            2,
+            AccessKind::Load,
+            Cycle::new(0),
+            Cycle::new(1),
+            1,
+            Ip::new(1),
+            902,
+        );
+        let ev = c.fill(
+            4,
+            AccessKind::Load,
+            Cycle::new(0),
+            Cycle::new(1),
+            1,
+            Ip::new(1),
+            904,
+        );
         let ev = ev.expect("dirty victim");
         assert_eq!(ev.addr, 0);
         assert_eq!(ev.xlat, 900);
@@ -580,21 +680,53 @@ mod tests {
     #[test]
     fn writeback_into_present_line_sets_dirty() {
         let mut c = tiny();
-        c.fill(6, AccessKind::Load, Cycle::new(0), Cycle::new(1), 1, Ip::new(1), 6);
+        c.fill(
+            6,
+            AccessKind::Load,
+            Cycle::new(0),
+            Cycle::new(1),
+            1,
+            Ip::new(1),
+            6,
+        );
         assert!(matches!(
             c.access(6, AccessKind::Writeback, Cycle::new(5)),
             AccessOutcome::Hit(_)
         ));
         // Evicting it now must produce a writeback (set 0: 6%2==0 -> set 0).
-        c.fill(8, AccessKind::Load, Cycle::new(0), Cycle::new(1), 1, Ip::new(1), 8);
-        let ev = c.fill(10, AccessKind::Load, Cycle::new(0), Cycle::new(1), 1, Ip::new(1), 10);
+        c.fill(
+            8,
+            AccessKind::Load,
+            Cycle::new(0),
+            Cycle::new(1),
+            1,
+            Ip::new(1),
+            8,
+        );
+        let ev = c.fill(
+            10,
+            AccessKind::Load,
+            Cycle::new(0),
+            Cycle::new(1),
+            1,
+            Ip::new(1),
+            10,
+        );
         assert!(ev.expect("victim").dirty);
     }
 
     #[test]
     fn prefetch_probe_does_not_consume_usefulness() {
         let mut c = tiny();
-        c.fill(1, AccessKind::Prefetch, Cycle::new(0), Cycle::new(1), 1, Ip::new(1), 1);
+        c.fill(
+            1,
+            AccessKind::Prefetch,
+            Cycle::new(0),
+            Cycle::new(1),
+            1,
+            Ip::new(1),
+            1,
+        );
         assert!(matches!(
             c.access(1, AccessKind::Prefetch, Cycle::new(5)),
             AccessOutcome::Hit(_)
@@ -610,13 +742,37 @@ mod tests {
     #[test]
     fn rfo_marks_dirty_on_hit() {
         let mut c = tiny();
-        c.fill(6, AccessKind::Load, Cycle::new(0), Cycle::new(1), 1, Ip::new(1), 6);
+        c.fill(
+            6,
+            AccessKind::Load,
+            Cycle::new(0),
+            Cycle::new(1),
+            1,
+            Ip::new(1),
+            6,
+        );
         assert!(matches!(
             c.access(6, AccessKind::Rfo, Cycle::new(5)),
             AccessOutcome::Hit(_)
         ));
-        c.fill(8, AccessKind::Load, Cycle::new(0), Cycle::new(1), 1, Ip::new(1), 8);
-        let ev = c.fill(10, AccessKind::Load, Cycle::new(0), Cycle::new(1), 1, Ip::new(1), 10);
+        c.fill(
+            8,
+            AccessKind::Load,
+            Cycle::new(0),
+            Cycle::new(1),
+            1,
+            Ip::new(1),
+            8,
+        );
+        let ev = c.fill(
+            10,
+            AccessKind::Load,
+            Cycle::new(0),
+            Cycle::new(1),
+            1,
+            Ip::new(1),
+            10,
+        );
         assert!(ev.expect("victim").dirty, "RFO hit must dirty the line");
     }
 }

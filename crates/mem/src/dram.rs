@@ -22,7 +22,7 @@ struct Bank {
 }
 
 /// DRAM event counters.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, serde::Serialize, serde::Deserialize)]
 pub struct DramStats {
     /// Read (line fetch) requests served.
     pub reads: u64,
@@ -245,9 +245,9 @@ mod tests {
         let mut d = dram();
         let r0 = d.read(0, Cycle::new(0)); // bank 0
         let r1 = d.read(64, Cycle::new(0)); // bank 1 (next row)
-        // Bank 1 activation overlaps bank 0's, but the data transfer
-        // must serialize on the bus: second read finishes one transfer
-        // after the first.
+                                            // Bank 1 activation overlaps bank 0's, but the data transfer
+                                            // must serialize on the bus: second read finishes one transfer
+                                            // after the first.
         assert_eq!(r1, r0 + 10);
     }
 

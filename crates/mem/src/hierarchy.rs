@@ -17,9 +17,7 @@
 
 use std::collections::VecDeque;
 
-use berti_types::{
-    AccessKind, Cycle, FillLevel, Ip, PLine, Ppn, SystemConfig, VAddr, VLine, Vpn,
-};
+use berti_types::{AccessKind, Cycle, FillLevel, Ip, PLine, Ppn, SystemConfig, VAddr, VLine, Vpn};
 
 use crate::cache::{AccessOutcome, Cache, HitInfo};
 use crate::dram::Dram;
@@ -88,7 +86,7 @@ struct QueuedPrefetch {
 }
 
 /// Drop/issue counters for the prefetch machinery and the TLBs.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, serde::Serialize, serde::Deserialize)]
 pub struct FlowStats {
     /// Decisions accepted into the L1D prefetch queue.
     pub pf_enqueued: u64,
@@ -160,8 +158,16 @@ impl Hierarchy {
         Self {
             l1d: Cache::new("L1D", cfg.l1d),
             l2: Cache::new("L2", cfg.l2),
-            dtlb: Tlb::new(cfg.tlb.dtlb_entries, cfg.tlb.dtlb_ways, cfg.tlb.dtlb_latency),
-            stlb: Tlb::new(cfg.tlb.stlb_entries, cfg.tlb.stlb_ways, cfg.tlb.stlb_latency),
+            dtlb: Tlb::new(
+                cfg.tlb.dtlb_entries,
+                cfg.tlb.dtlb_ways,
+                cfg.tlb.dtlb_latency,
+            ),
+            stlb: Tlb::new(
+                cfg.tlb.stlb_entries,
+                cfg.tlb.stlb_ways,
+                cfg.tlb.stlb_latency,
+            ),
             page_table: PageTable::new(),
             walk_latency: cfg.tlb.walk_latency,
             l1_prefetcher,
@@ -301,9 +307,15 @@ impl Hierarchy {
                 let data_at = self.fetch_from_l2(shared, pline, req.kind, req.ip, t1, true);
                 let latency = data_at - t0;
                 self.l1d.track_miss(vline.raw(), req.kind, t0, data_at);
-                let evicted =
-                    self.l1d
-                        .fill(vline.raw(), req.kind, t0, data_at, latency, req.ip, pline.raw());
+                let evicted = self.l1d.fill(
+                    vline.raw(),
+                    req.kind,
+                    t0,
+                    data_at,
+                    latency,
+                    req.ip,
+                    pline.raw(),
+                );
                 if let Some(ev) = evicted {
                     if ev.dirty {
                         self.writeback_to_l2(shared, ev.xlat, data_at);
@@ -340,9 +352,7 @@ impl Hierarchy {
             // PQ entry; without this, repeated decisions for lines
             // already fetched would evict the useful frontier entries
             // from the 16-entry queue.
-            if self.l1d.probe(d.target.raw())
-                || self.l1_pq.iter().any(|q| q.target == d.target)
-            {
+            if self.l1d.probe(d.target.raw()) || self.l1_pq.iter().any(|q| q.target == d.target) {
                 self.flow.pf_dropped_present += 1;
                 continue;
             }
@@ -362,9 +372,7 @@ impl Hierarchy {
 
     fn drain_decisions_to_l2_pq(&mut self, ip: Ip, now: Cycle) {
         for d in self.decisions.drain(..) {
-            if self.l2.probe(d.target.raw())
-                || self.l2_pq.iter().any(|q| q.target == d.target)
-            {
+            if self.l2.probe(d.target.raw()) || self.l2_pq.iter().any(|q| q.target == d.target) {
                 self.flow.pf_dropped_present += 1;
                 continue;
             }
@@ -416,15 +424,9 @@ impl Hierarchy {
                 }
                 if fill_l2 {
                     let latency = data_at - t1;
-                    let evicted = self.l2.fill(
-                        pline.raw(),
-                        kind,
-                        t1,
-                        data_at,
-                        latency,
-                        ip,
-                        pline.raw(),
-                    );
+                    let evicted =
+                        self.l2
+                            .fill(pline.raw(), kind, t1, data_at, latency, ip, pline.raw());
                     if let Some(ev) = evicted {
                         if ev.dirty {
                             Self::writeback_to_llc(shared, ev.xlat, data_at);
@@ -644,7 +646,8 @@ impl Hierarchy {
                     self.fetch_from_l2(shared, pline, AccessKind::Prefetch, q.trigger_ip, t1, true);
                 // Berti measures prefetch latency from PQ insertion.
                 let latency = data_at - q.enqueued_at;
-                self.l1d.track_miss(q.target.raw(), AccessKind::Prefetch, at, data_at);
+                self.l1d
+                    .track_miss(q.target.raw(), AccessKind::Prefetch, at, data_at);
                 let evicted = self.l1d.fill(
                     q.target.raw(),
                     AccessKind::Prefetch,
@@ -756,7 +759,11 @@ mod tests {
     fn cold_miss_then_warm_hit() {
         let (mut h, mut s) = system();
         let miss = h.demand_access(&mut s, load(1, 0x1000), Cycle::new(0));
-        let DemandOutcome::Done { ready_at: t_miss, l1_hit } = miss else {
+        let DemandOutcome::Done {
+            ready_at: t_miss,
+            l1_hit,
+        } = miss
+        else {
             panic!("unexpected stall");
         };
         assert!(!l1_hit);
@@ -860,8 +867,7 @@ mod tests {
             now += 1;
         }
         assert!(now > ready_at);
-        let DemandOutcome::Done { l1_hit, .. } =
-            h.demand_access(&mut s, load(1, 0x4040), now)
+        let DemandOutcome::Done { l1_hit, .. } = h.demand_access(&mut s, load(1, 0x4040), now)
         else {
             panic!()
         };

@@ -232,10 +232,7 @@ mod tests {
         out.clear();
         // New region, same PC and trigger offset: the short event hits.
         p.on_access(&ev(0x400, 5000 * REGION_LINES), &mut out);
-        let offsets: Vec<u64> = out
-            .iter()
-            .map(|d| d.target.raw() % REGION_LINES)
-            .collect();
+        let offsets: Vec<u64> = out.iter().map(|d| d.target.raw() % REGION_LINES).collect();
         assert!(
             offsets.contains(&3) && offsets.contains(&7) && offsets.contains(&20),
             "footprint replay missing lines: {offsets:?}"

@@ -147,8 +147,7 @@ impl Ipcp {
                     .map(|(i, _)| i)
                     .expect("nonempty");
                 if self.regions[i].valid {
-                    let dense =
-                        self.regions[i].footprint.count_ones() >= GS_DENSITY;
+                    let dense = self.regions[i].footprint.count_ones() >= GS_DENSITY;
                     self.gs_streak = if dense {
                         (self.gs_streak + 1).min(4)
                     } else {

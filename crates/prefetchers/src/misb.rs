@@ -172,9 +172,7 @@ mod tests {
         for (i, &l) in CHAIN.iter().enumerate() {
             out.clear();
             p.on_access(&miss(0x400, l), &mut out);
-            if i + 1 < CHAIN.len()
-                && out.iter().any(|d| d.target.raw() == CHAIN[i + 1])
-            {
+            if i + 1 < CHAIN.len() && out.iter().any(|d| d.target.raw() == CHAIN[i + 1]) {
                 covered += 1;
             }
         }

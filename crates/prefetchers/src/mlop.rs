@@ -180,7 +180,11 @@ impl Prefetcher for Mlop {
             emitted.push(off);
             out.push(PrefetchDecision {
                 target: ev.line + Delta::new(off),
-                fill_level: if k < 2 { self.fill_level } else { FillLevel::L2 },
+                fill_level: if k < 2 {
+                    self.fill_level
+                } else {
+                    FillLevel::L2
+                },
             });
         }
     }

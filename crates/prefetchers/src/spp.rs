@@ -239,8 +239,7 @@ impl Prefetcher for Spp {
         let st = ST_ENTRIES as u64 * (16 + 12 + 6 + 8);
         let pt = (PT_SETS * PT_WAYS) as u64 * (7 + 4) + PT_SETS as u64 * 4;
         let ppf = if self.ppf.is_some() {
-            PPF_TABLES.iter().map(|&n| n as u64 * 5).sum::<u64>()
-                + 2 * FEEDBACK_ENTRIES as u64 * 48
+            PPF_TABLES.iter().map(|&n| n as u64 * 5).sum::<u64>() + 2 * FEEDBACK_ENTRIES as u64 * 48
         } else {
             0
         };
@@ -410,7 +409,8 @@ mod tests {
             p.on_access(&ev(base + i), &mut out);
         }
         assert!(
-            out.iter().all(|d| d.target.page() == VLine::new(base).page()),
+            out.iter()
+                .all(|d| d.target.page() == VLine::new(base).page()),
             "no cross-page targets without a GHR: {out:?}"
         );
     }
@@ -428,7 +428,9 @@ mod tests {
         let mut samples = 0usize;
         for i in 0..4000 {
             out.clear();
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             line += if (x >> 33) & 1 == 0 { 1 } else { 2 };
             if line % 64 > 60 {
                 line += 64 - (line % 64); // keep within fresh pages
@@ -455,7 +457,9 @@ mod tests {
         let mut saw_llc_tail = false;
         for _ in 0..4000 {
             out.clear();
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             line += if (x >> 33) & 1 == 0 { 1 } else { 3 };
             if line % 64 > 59 {
                 line += 64 - (line % 64);
@@ -467,7 +471,10 @@ mod tests {
                 saw_llc_tail = true;
             }
         }
-        assert!(saw_llc_tail, "deep low-confidence steps must target the LLC");
+        assert!(
+            saw_llc_tail,
+            "deep low-confidence steps must target the LLC"
+        );
     }
 
     #[test]

@@ -177,6 +177,9 @@ mod tests {
             out.clear();
             p.on_access(&ev(seq), &mut out);
         }
-        assert!(out.is_empty(), "flip must silence the stream until retrained");
+        assert!(
+            out.is_empty(),
+            "flip must silence the stream until retrained"
+        );
     }
 }

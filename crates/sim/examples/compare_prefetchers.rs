@@ -6,16 +6,40 @@ use berti_types::SystemConfig;
 
 fn main() {
     let cfg = SystemConfig::default();
-    let opts = SimOptions { warmup_instructions: 50_000, sim_instructions: 200_000, max_cpi: 64 };
+    let opts = SimOptions {
+        warmup_instructions: 50_000,
+        sim_instructions: 200_000,
+        max_cpi: 64,
+    };
     let all = berti_traces::memory_intensive_suite();
     let names: Vec<String> = std::env::args().skip(1).collect();
     for w in &all {
-        if !names.is_empty() && !names.iter().any(|n| n == w.name) { continue; }
+        if !names.is_empty() && !names.iter().any(|n| n == w.name) {
+            continue;
+        }
         let base = simulate(&cfg, PrefetcherChoice::IpStride, &mut w.trace(), &opts);
-        print!("{:<16} base_ipc={:.3} mpki={:>5.1} |", w.name, base.ipc(), base.l1d_mpki());
-        for choice in [PrefetcherChoice::Berti, PrefetcherChoice::Ipcp, PrefetcherChoice::Mlop, PrefetcherChoice::Bop] {
+        print!(
+            "{:<16} base_ipc={:.3} mpki={:>5.1} |",
+            w.name,
+            base.ipc(),
+            base.l1d_mpki()
+        );
+        for choice in [
+            PrefetcherChoice::Berti,
+            PrefetcherChoice::Ipcp,
+            PrefetcherChoice::Mlop,
+            PrefetcherChoice::Bop,
+        ] {
             let r = simulate(&cfg, choice.clone(), &mut w.trace(), &opts);
-            print!(" {}={:.3}({:.0}%a,{:.0}m,{}f+{}F)", choice.name(), r.speedup_over(&base), r.l1d_accuracy().unwrap_or(0.0)*100.0, r.l1d_mpki(), r.l1d.pf_fills, r.l2.pf_fills);
+            print!(
+                " {}={:.3}({:.0}%a,{:.0}m,{}f+{}F)",
+                choice.name(),
+                r.speedup_over(&base),
+                r.l1d_accuracy().unwrap_or(0.0) * 100.0,
+                r.l1d_mpki(),
+                r.l1d.pf_fills,
+                r.l2.pf_fills
+            );
         }
         println!();
     }

@@ -114,9 +114,110 @@ impl L2PrefetcherChoice {
     }
 }
 
+impl serde::Serialize for PrefetcherChoice {
+    fn to_value(&self) -> serde::Value {
+        match self {
+            // Custom-configured Berti carries its config so a cached
+            // result can never alias a differently-tuned run.
+            PrefetcherChoice::BertiWith(cfg) => serde::Value::Object(vec![(
+                "berti-with".to_string(),
+                serde::Serialize::to_value(cfg),
+            )]),
+            other => serde::Value::Str(other.name().to_string()),
+        }
+    }
+}
+
+impl serde::Deserialize for PrefetcherChoice {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        if let Some(cfg) = v.get("berti-with") {
+            return Ok(PrefetcherChoice::BertiWith(serde::Deserialize::from_value(
+                cfg,
+            )?));
+        }
+        let name = v
+            .as_str()
+            .ok_or_else(|| serde::Error::invalid_type("prefetcher name", v))?;
+        PrefetcherChoice::parse(name)
+            .ok_or_else(|| serde::Error::custom(format!("unknown L1 prefetcher `{name}`")))
+    }
+}
+
+impl PrefetcherChoice {
+    /// Parses a plain (non-custom-config) choice from its display name.
+    pub fn parse(name: &str) -> Option<Self> {
+        Some(match name {
+            "none" => PrefetcherChoice::None,
+            "ip-stride" => PrefetcherChoice::IpStride,
+            "next-line" => PrefetcherChoice::NextLine,
+            "stream" => PrefetcherChoice::Stream,
+            "bop" => PrefetcherChoice::Bop,
+            "mlop" => PrefetcherChoice::Mlop,
+            "ipcp" => PrefetcherChoice::Ipcp,
+            "vldp" => PrefetcherChoice::Vldp,
+            "berti" => PrefetcherChoice::Berti,
+            "berti-page" => PrefetcherChoice::BertiPage,
+            _ => return None,
+        })
+    }
+}
+
+impl serde::Serialize for L2PrefetcherChoice {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(self.name().to_string())
+    }
+}
+
+impl serde::Deserialize for L2PrefetcherChoice {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let name = v
+            .as_str()
+            .ok_or_else(|| serde::Error::invalid_type("prefetcher name", v))?;
+        L2PrefetcherChoice::parse(name)
+            .ok_or_else(|| serde::Error::custom(format!("unknown L2 prefetcher `{name}`")))
+    }
+}
+
+impl L2PrefetcherChoice {
+    /// Parses a choice from its display name.
+    pub fn parse(name: &str) -> Option<Self> {
+        Some(match name {
+            "spp-ppf" => L2PrefetcherChoice::SppPpf,
+            "bingo" => L2PrefetcherChoice::Bingo,
+            "ipcp" => L2PrefetcherChoice::Ipcp,
+            "misb" => L2PrefetcherChoice::Misb,
+            "vldp" => L2PrefetcherChoice::Vldp,
+            "sms" => L2PrefetcherChoice::Sms,
+            _ => return None,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn choice_serde_roundtrips() {
+        let mut cfg = berti_core::BertiConfig::default();
+        cfg.history_sets = 32;
+        for c in [
+            PrefetcherChoice::None,
+            PrefetcherChoice::IpStride,
+            PrefetcherChoice::Berti,
+            PrefetcherChoice::BertiWith(cfg),
+            PrefetcherChoice::BertiPage,
+        ] {
+            let json = serde::json::to_string(&c);
+            let back: PrefetcherChoice = serde::json::from_str(&json).expect("parses");
+            assert_eq!(back, c, "{json}");
+        }
+        for c in [L2PrefetcherChoice::SppPpf, L2PrefetcherChoice::Sms] {
+            let json = serde::json::to_string(&c);
+            let back: L2PrefetcherChoice = serde::json::from_str(&json).expect("parses");
+            assert_eq!(back, c, "{json}");
+        }
+    }
 
     #[test]
     fn every_choice_builds() {

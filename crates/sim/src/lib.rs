@@ -36,6 +36,4 @@ mod runner;
 
 pub use choices::{L2PrefetcherChoice, PrefetcherChoice};
 pub use report::{geometric_mean, MultiCoreReport, Report, SuiteSummary};
-pub use runner::{
-    simulate, simulate_multicore, simulate_suite, simulate_with_l2, SimOptions,
-};
+pub use runner::{simulate, simulate_multicore, simulate_suite, simulate_with_l2, SimOptions};

@@ -3,17 +3,21 @@
 use berti_cpu::CoreStats;
 use berti_energy::{AccessCounts, EnergyBreakdown, EnergyModel};
 use berti_mem::{CacheStats, DramStats};
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 /// Measurement-phase results of one core's run.
-#[derive(Clone, Debug, Serialize)]
+///
+/// Every field serializes, so a `Report` round-trips losslessly
+/// through JSON — the campaign result cache (`berti-harness`) depends
+/// on that to replay cached cells byte-identically.
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct Report {
     /// Workload name.
     pub workload: String,
     /// L1D prefetcher name.
-    pub l1_prefetcher: &'static str,
+    pub l1_prefetcher: String,
     /// L2 prefetcher name, if any.
-    pub l2_prefetcher: Option<&'static str>,
+    pub l2_prefetcher: Option<String>,
     /// Prefetcher storage in bits (L1 + L2).
     pub prefetcher_storage_bits: u64,
     /// Instructions retired in the measurement phase.
@@ -21,28 +25,20 @@ pub struct Report {
     /// Cycles of the measurement phase.
     pub cycles: u64,
     /// Core counters.
-    #[serde(skip)]
     pub core: CoreStats,
     /// L1D cache counters.
-    #[serde(skip)]
     pub l1d: CacheStats,
     /// L2 cache counters.
-    #[serde(skip)]
     pub l2: CacheStats,
     /// LLC counters (shared; whole-system in multi-core runs).
-    #[serde(skip)]
     pub llc: CacheStats,
     /// DRAM counters (shared).
-    #[serde(skip)]
     pub dram: DramStats,
     /// Prefetch-flow counters.
-    #[serde(skip)]
     pub flow: berti_mem::FlowStats,
     /// Access counts for the energy model.
-    #[serde(skip)]
     pub counts: AccessCounts,
     /// Dynamic energy of the hierarchy.
-    #[serde(skip)]
     pub energy: EnergyBreakdown,
 }
 
@@ -110,10 +106,15 @@ impl Report {
         self.counts = AccessCounts {
             l1d_reads: l1.demand_accesses() + l1.pf_already_present + l1.pf_fills,
             l1d_writes: l1.demand_misses() + l1.pf_fills + l1.rfo_hits + l1.rfo_misses,
-            l2_reads: l2.demand_accesses() + l2.pf_already_present + l2.pf_fills + l2.wb_hits
+            l2_reads: l2.demand_accesses()
+                + l2.pf_already_present
+                + l2.pf_fills
+                + l2.wb_hits
                 + l2.wb_misses,
             l2_writes: l2.demand_misses() + l2.pf_fills + l2.wb_hits + l2.wb_misses,
-            llc_reads: llc.demand_accesses() + llc.pf_already_present + llc.pf_fills
+            llc_reads: llc.demand_accesses()
+                + llc.pf_already_present
+                + llc.pf_fills
                 + llc.wb_hits
                 + llc.wb_misses,
             llc_writes: llc.demand_misses() + llc.pf_fills + llc.wb_hits + llc.wb_misses,
@@ -221,5 +222,36 @@ mod tests {
         assert!((geometric_mean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
         assert_eq!(geometric_mean(&[]), 0.0);
         assert!((geometric_mean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_roundtrips_losslessly_through_json() {
+        let mut r = Report {
+            workload: "lbm-like".to_string(),
+            l1_prefetcher: "berti".to_string(),
+            l2_prefetcher: Some("spp-ppf".to_string()),
+            prefetcher_storage_bits: 20_523,
+            instructions: 400_000,
+            cycles: 173_211,
+            core: Default::default(),
+            l1d: Default::default(),
+            l2: Default::default(),
+            llc: Default::default(),
+            dram: Default::default(),
+            flow: Default::default(),
+            counts: Default::default(),
+            energy: Default::default(),
+        };
+        r.l1d.load_hits = 123_456;
+        r.l1d.pf_fills = 789;
+        r.dram.reads = 42;
+        r.compute_counts();
+        let json = serde::json::to_string(&r);
+        let back: Report = serde::json::from_str(&json).expect("report parses");
+        // Byte-identical re-serialization is what the result cache
+        // needs; it implies every field (floats included) round-trips.
+        assert_eq!(serde::json::to_string(&back), json);
+        assert_eq!(back.l1d.load_hits, 123_456);
+        assert_eq!(back.energy.total_nj(), r.energy.total_nj());
     }
 }

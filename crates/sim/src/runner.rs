@@ -9,7 +9,7 @@ use crate::choices::{L2PrefetcherChoice, PrefetcherChoice};
 use crate::report::{MultiCoreReport, Report};
 
 /// Simulation phase lengths and limits.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct SimOptions {
     /// Instructions executed to warm caches, TLBs, and prefetcher
     /// state before statistics reset (the paper warms 50 M).
@@ -43,10 +43,15 @@ impl DataPort for Port<'_> {
             MemOpKind::Load => AccessKind::Load,
             MemOpKind::Store => AccessKind::Rfo,
         };
-        match self
-            .hier
-            .demand_access(self.shared, DemandAccess { ip, vaddr: addr, kind }, at)
-        {
+        match self.hier.demand_access(
+            self.shared,
+            DemandAccess {
+                ip,
+                vaddr: addr,
+                kind,
+            },
+            at,
+        ) {
             DemandOutcome::Done { ready_at, .. } => PortResponse::Ready(ready_at),
             DemandOutcome::MshrFull => PortResponse::Stall,
         }
@@ -65,7 +70,12 @@ struct CoreSlot {
 }
 
 impl CoreSlot {
-    fn new(cfg: &SystemConfig, l1: &PrefetcherChoice, l2: Option<L2PrefetcherChoice>, trace: Trace) -> Self {
+    fn new(
+        cfg: &SystemConfig,
+        l1: &PrefetcherChoice,
+        l2: Option<L2PrefetcherChoice>,
+        trace: Trace,
+    ) -> Self {
         Self {
             core: Core::new(cfg.core),
             hier: Hierarchy::new(cfg, l1.build(), l2.map(|c| c.build())),
@@ -103,8 +113,8 @@ impl CoreSlot {
             + self.hier.l2_prefetcher().map_or(0, |p| p.storage_bits());
         let mut r = Report {
             workload: self.trace.name().to_string(),
-            l1_prefetcher: l1.name(),
-            l2_prefetcher: l2.map(|c| c.name()),
+            l1_prefetcher: l1.name().to_string(),
+            l2_prefetcher: l2.map(|c| c.name().to_string()),
             prefetcher_storage_bits: storage,
             instructions: self.core.stats().instructions,
             cycles: self.core.stats().cycles,
@@ -143,7 +153,12 @@ pub fn simulate_with_l2(
 ) -> Report {
     let mut shared = SharedMemory::new(cfg, 1);
     let mut slot = CoreSlot::new(cfg, &l1, l2, trace.restarted());
-    run_phase(&mut slot, &mut shared, opts.warmup_instructions, opts.max_cpi);
+    run_phase(
+        &mut slot,
+        &mut shared,
+        opts.warmup_instructions,
+        opts.max_cpi,
+    );
     slot.reset_stats();
     shared.reset_stats();
     run_phase(&mut slot, &mut shared, opts.sim_instructions, opts.max_cpi);

@@ -37,18 +37,42 @@ const FRONTIER_BASE: u64 = 0x50_0000_0000;
 /// The GAP-like suite: six kernels × two graphs.
 pub fn suite() -> Vec<WorkloadDef> {
     vec![
-        WorkloadDef::new("bfs-kron", Suite::Gap, || kernel(Kernel::Bfs, GraphKind::Kron)),
-        WorkloadDef::new("bfs-urand", Suite::Gap, || kernel(Kernel::Bfs, GraphKind::Urand)),
-        WorkloadDef::new("pr-kron", Suite::Gap, || kernel(Kernel::Pr, GraphKind::Kron)),
-        WorkloadDef::new("pr-urand", Suite::Gap, || kernel(Kernel::Pr, GraphKind::Urand)),
-        WorkloadDef::new("cc-kron", Suite::Gap, || kernel(Kernel::Cc, GraphKind::Kron)),
-        WorkloadDef::new("cc-urand", Suite::Gap, || kernel(Kernel::Cc, GraphKind::Urand)),
-        WorkloadDef::new("sssp-kron", Suite::Gap, || kernel(Kernel::Sssp, GraphKind::Kron)),
-        WorkloadDef::new("sssp-urand", Suite::Gap, || kernel(Kernel::Sssp, GraphKind::Urand)),
-        WorkloadDef::new("bc-kron", Suite::Gap, || kernel(Kernel::Bc, GraphKind::Kron)),
-        WorkloadDef::new("bc-urand", Suite::Gap, || kernel(Kernel::Bc, GraphKind::Urand)),
-        WorkloadDef::new("tc-kron", Suite::Gap, || kernel(Kernel::Tc, GraphKind::Kron)),
-        WorkloadDef::new("tc-urand", Suite::Gap, || kernel(Kernel::Tc, GraphKind::Urand)),
+        WorkloadDef::new("bfs-kron", Suite::Gap, || {
+            kernel(Kernel::Bfs, GraphKind::Kron)
+        }),
+        WorkloadDef::new("bfs-urand", Suite::Gap, || {
+            kernel(Kernel::Bfs, GraphKind::Urand)
+        }),
+        WorkloadDef::new("pr-kron", Suite::Gap, || {
+            kernel(Kernel::Pr, GraphKind::Kron)
+        }),
+        WorkloadDef::new("pr-urand", Suite::Gap, || {
+            kernel(Kernel::Pr, GraphKind::Urand)
+        }),
+        WorkloadDef::new("cc-kron", Suite::Gap, || {
+            kernel(Kernel::Cc, GraphKind::Kron)
+        }),
+        WorkloadDef::new("cc-urand", Suite::Gap, || {
+            kernel(Kernel::Cc, GraphKind::Urand)
+        }),
+        WorkloadDef::new("sssp-kron", Suite::Gap, || {
+            kernel(Kernel::Sssp, GraphKind::Kron)
+        }),
+        WorkloadDef::new("sssp-urand", Suite::Gap, || {
+            kernel(Kernel::Sssp, GraphKind::Urand)
+        }),
+        WorkloadDef::new("bc-kron", Suite::Gap, || {
+            kernel(Kernel::Bc, GraphKind::Kron)
+        }),
+        WorkloadDef::new("bc-urand", Suite::Gap, || {
+            kernel(Kernel::Bc, GraphKind::Urand)
+        }),
+        WorkloadDef::new("tc-kron", Suite::Gap, || {
+            kernel(Kernel::Tc, GraphKind::Kron)
+        }),
+        WorkloadDef::new("tc-urand", Suite::Gap, || {
+            kernel(Kernel::Tc, GraphKind::Urand)
+        }),
     ]
 }
 
@@ -227,13 +251,17 @@ impl<'g> Emitter<'g> {
     }
 
     fn load_offsets(&mut self, v: u32) {
-        self.b
-            .push(Instr::load(Ip::new(ips::OFF), VAddr::new(OFF_BASE + u64::from(v) * 4)));
+        self.b.push(Instr::load(
+            Ip::new(ips::OFF),
+            VAddr::new(OFF_BASE + u64::from(v) * 4),
+        ));
     }
 
     fn load_neighbor(&mut self, e: usize) {
-        self.b
-            .push(Instr::load(Ip::new(ips::NEI), VAddr::new(NEI_BASE + e as u64 * 4)));
+        self.b.push(Instr::load(
+            Ip::new(ips::NEI),
+            VAddr::new(NEI_BASE + e as u64 * 4),
+        ));
     }
 
     fn load_prop(&mut self, v: u32, chain: u8) {
@@ -245,8 +273,10 @@ impl<'g> Emitter<'g> {
     }
 
     fn store_prop2(&mut self, v: u32) {
-        self.b
-            .push(Instr::store(Ip::new(ips::STORE), VAddr::new(PROP2_BASE + u64::from(v) * 8)));
+        self.b.push(Instr::store(
+            Ip::new(ips::STORE),
+            VAddr::new(PROP2_BASE + u64::from(v) * 8),
+        ));
     }
 
     fn load_frontier(&mut self, slot: usize) {

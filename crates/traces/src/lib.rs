@@ -38,3 +38,16 @@ pub fn memory_intensive_suite() -> Vec<WorkloadDef> {
     v.extend(gap::suite());
     v
 }
+
+/// Every workload the repository defines, across all suites.
+pub fn all_workloads() -> Vec<WorkloadDef> {
+    let mut v = memory_intensive_suite();
+    v.extend(cloud::suite());
+    v
+}
+
+/// Resolves a workload by its display name (e.g. `"bfs-kron"`), the
+/// form campaign specs store.
+pub fn workload_by_name(name: &str) -> Option<WorkloadDef> {
+    all_workloads().into_iter().find(|w| w.name == name)
+}

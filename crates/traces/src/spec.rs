@@ -63,7 +63,12 @@ impl StridedLoops {
 /// Four long unit-stride streams, own IP each (bwaves-like).
 fn bwaves_like() -> Vec<Instr> {
     let mut b = TraceBuilder::new(0xb1);
-    let bases = [0x1_0000_0000u64, 0x2_0000_0000, 0x3_0000_0000, 0x4_0000_0000];
+    let bases = [
+        0x1_0000_0000u64,
+        0x2_0000_0000,
+        0x3_0000_0000,
+        0x4_0000_0000,
+    ];
     let mut i = 0u64;
     while b.len() < TRACE_INSTRS {
         for (k, &base) in bases.iter().enumerate() {
@@ -115,7 +120,14 @@ fn fotonik_like() -> Vec<Instr> {
     let mut i = 0u64;
     while b.len() < TRACE_INSTRS {
         for k in 0..6u64 {
-            b.stream_line_chained(0x403_000 + k * 8, 0x1_0000_0000 + k * 0x1000_0000, i, 2, 8, k as u8);
+            b.stream_line_chained(
+                0x403_000 + k * 8,
+                0x1_0000_0000 + k * 0x1000_0000,
+                i,
+                2,
+                8,
+                k as u8,
+            );
         }
         i += 1;
     }
@@ -167,7 +179,14 @@ fn mcf_782_like() -> Vec<Instr> {
     let strides = [3u64, 5, 7];
     while b.len() < TRACE_INSTRS {
         for k in 0..3usize {
-            b.stream_line_chained(0x404_900 + k as u64 * 7, 0x1_0000_0000 * (k as u64 + 1), pos[k], 2, 6, k as u8);
+            b.stream_line_chained(
+                0x404_900 + k as u64 * 7,
+                0x1_0000_0000 * (k as u64 + 1),
+                pos[k],
+                2,
+                6,
+                k as u8,
+            );
             pos[k] += strides[k];
         }
         // 25% other traffic: random lines from a big pool.
@@ -361,7 +380,10 @@ mod tests {
             .collect();
         assert!(ip0.windows(2).all(|w| w[1] - w[0] == 256));
         // And there are hundreds of distinct IPs.
-        let ips: HashSet<u64> = t.iter().filter_map(|i| i.loads[0].map(|_| i.ip.raw())).collect();
+        let ips: HashSet<u64> = t
+            .iter()
+            .filter_map(|i| i.loads[0].map(|_| i.ip.raw()))
+            .collect();
         assert!(ips.len() >= 256);
     }
 
@@ -407,13 +429,22 @@ fn parest_like() -> Vec<Instr> {
     let mut row = 0u64;
     while b.len() < TRACE_INSTRS {
         // row_ptr[row] — sequential 4 B reads (16 per line).
-        b.push(Instr::load(Ip::new(0x40a000), VAddr::new(0x1_0000_0000 + row * 4)));
+        b.push(Instr::load(
+            Ip::new(0x40a000),
+            VAddr::new(0x1_0000_0000 + row * 4),
+        ));
         b.alu(2);
         let nnz = 16 + (row % 17);
         for _ in 0..nnz {
             // col[e] and val[e] stream together.
-            b.push(Instr::load(Ip::new(0x40a010), VAddr::new(0x2_0000_0000 + e * 4)));
-            b.push(Instr::load(Ip::new(0x40a018), VAddr::new(0x3_0000_0000 + e * 8)));
+            b.push(Instr::load(
+                Ip::new(0x40a010),
+                VAddr::new(0x2_0000_0000 + e * 4),
+            ));
+            b.push(Instr::load(
+                Ip::new(0x40a018),
+                VAddr::new(0x3_0000_0000 + e * 8),
+            ));
             // x[col[e]] — dependent gather over a large vector.
             let col = (e.wrapping_mul(0x9E37_79B9) >> 7) % 4_000_000;
             b.push(Instr::dependent_load(
@@ -456,7 +487,14 @@ fn pop2_like() -> Vec<Instr> {
     let mut i = 0u64;
     while b.len() < TRACE_INSTRS {
         for k in 0..4u64 {
-            b.stream_line_chained(0x40c000 + k * 8, 0x1_0000_0000 + k * 0x1000_0000, i, 2, 6, k as u8);
+            b.stream_line_chained(
+                0x40c000 + k * 8,
+                0x1_0000_0000 + k * 0x1000_0000,
+                i,
+                2,
+                6,
+                k as u8,
+            );
         }
         b.store_line(0x40c040, 0x6_0000_0000, i);
         b.alu(4);
@@ -472,7 +510,7 @@ fn nab_like() -> Vec<Instr> {
     let mut i = 0u64;
     while b.len() < TRACE_INSTRS {
         b.stream_line_chained(0x40d000, 0x1_0000_0000, 2 * i, 3, 6, 0);
-        if i % 3 == 0 {
+        if i.is_multiple_of(3) {
             let n = b.rng().random_range(0..1_500_000u64);
             b.dep_load_line(0x40d010, 0x6_0000_0000, n, 2);
             b.alu(5);

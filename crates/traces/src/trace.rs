@@ -128,10 +128,7 @@ mod tests {
 
     #[test]
     fn trace_cycles() {
-        let mut t = Trace::new(
-            "t",
-            vec![Instr::alu(Ip::new(1)), Instr::alu(Ip::new(2))],
-        );
+        let mut t = Trace::new("t", vec![Instr::alu(Ip::new(1)), Instr::alu(Ip::new(2))]);
         assert_eq!(t.next_instr().ip, Ip::new(1));
         assert_eq!(t.next_instr().ip, Ip::new(2));
         assert_eq!(t.next_instr().ip, Ip::new(1), "wraps around");

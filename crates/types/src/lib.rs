@@ -26,11 +26,10 @@ mod instr;
 mod kinds;
 
 pub use addr::{Delta, Ip, PAddr, PLine, Ppn, VAddr, VLine, Vpn};
-pub use instr::{Instr, MAX_DEP_CHAINS};
 pub use config::{
-    CacheGeometry, CoreConfig, DramConfig, SystemConfig, TlbConfig, DDR3_1600, DDR4_3200,
-    DDR5_6400,
+    CacheGeometry, CoreConfig, DramConfig, SystemConfig, TlbConfig, DDR3_1600, DDR4_3200, DDR5_6400,
 };
+pub use instr::{Instr, MAX_DEP_CHAINS};
 pub use kinds::{AccessKind, Cycle, FillLevel, ReplacementKind};
 
 /// Bytes per cache line (64 B, as in ChampSim and the paper).

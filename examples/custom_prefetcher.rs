@@ -2,9 +2,9 @@
 //! [`berti::mem::Prefetcher`] trait and race it against Berti inside
 //! the full simulator.
 
+use berti::cpu::{Core, DataPort, MemOpKind, PortResponse};
 use berti::mem::{AccessEvent, PrefetchDecision, Prefetcher, SharedMemory};
 use berti::mem::{DemandAccess, DemandOutcome, Hierarchy};
-use berti::cpu::{Core, DataPort, MemOpKind, PortResponse};
 use berti::types::{AccessKind, Cycle, Delta, FillLevel, Ip, SystemConfig, VAddr};
 
 /// A toy "sequitur" prefetcher: next line on every miss, two lines on
@@ -22,7 +22,13 @@ impl Prefetcher for Sequitur {
         if !ev.kind.is_demand() {
             return;
         }
-        let depth = if ev.timely_prefetch_hit { 2 } else if !ev.hit { 1 } else { 0 };
+        let depth = if ev.timely_prefetch_hit {
+            2
+        } else if !ev.hit {
+            1
+        } else {
+            0
+        };
         for k in 1..=depth {
             out.push(PrefetchDecision {
                 target: ev.line + Delta::new(k),
@@ -45,7 +51,11 @@ impl DataPort for Port<'_> {
         };
         match self.hier.demand_access(
             self.shared,
-            DemandAccess { ip, vaddr: addr, kind },
+            DemandAccess {
+                ip,
+                vaddr: addr,
+                kind,
+            },
             at,
         ) {
             DemandOutcome::Done { ready_at, .. } => PortResponse::Ready(ready_at),
@@ -76,7 +86,10 @@ fn run(prefetcher: Box<dyn Prefetcher>) -> (u64, u64) {
 fn main() {
     println!("Racing a custom trait implementation against Berti:");
     for (name, p) in [
-        ("sequitur (custom)", Box::new(Sequitur) as Box<dyn Prefetcher>),
+        (
+            "sequitur (custom)",
+            Box::new(Sequitur) as Box<dyn Prefetcher>,
+        ),
         (
             "berti",
             Box::new(berti::core_prefetcher::Berti::new(Default::default())),

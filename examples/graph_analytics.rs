@@ -22,7 +22,12 @@ fn main() {
         "{:<12} {:>8} {:>10} {:>10} {:>14}",
         "prefetcher", "IPC", "accuracy", "L1D MPKI", "DRAM traffic"
     );
-    let base = simulate(&cfg, PrefetcherChoice::IpStride, &mut workload.trace(), &opts);
+    let base = simulate(
+        &cfg,
+        PrefetcherChoice::IpStride,
+        &mut workload.trace(),
+        &opts,
+    );
     for choice in [
         PrefetcherChoice::IpStride,
         PrefetcherChoice::Mlop,

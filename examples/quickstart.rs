@@ -22,7 +22,11 @@ fn main() {
         .find(|w| w.name == "lbm-like")
         .expect("suite contains lbm-like");
 
-    println!("workload: {} ({} unique instructions)", workload.name, workload.trace().len());
+    println!(
+        "workload: {} ({} unique instructions)",
+        workload.name,
+        workload.trace().len()
+    );
     println!();
     println!(
         "{:<12} {:>8} {:>10} {:>10} {:>10}",

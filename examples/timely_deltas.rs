@@ -32,8 +32,7 @@ fn main() {
     for hit in &timely {
         println!(
             "  delta {:>4}  (the access at t={} could have prefetched line 15 in time)",
-            hit.delta,
-            hit.at
+            hit.delta, hit.at
         );
     }
     println!();

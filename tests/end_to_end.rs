@@ -26,8 +26,18 @@ fn workload(name: &str) -> berti::traces::Trace {
 fn berti_covers_interleaved_strides_where_ip_stride_fails() {
     // Sec. II-B's lbm pattern: +1/+2 alternation per IP.
     let cfg = SystemConfig::default();
-    let base = simulate(&cfg, PrefetcherChoice::IpStride, &mut workload("lbm-like"), &opts());
-    let berti = simulate(&cfg, PrefetcherChoice::Berti, &mut workload("lbm-like"), &opts());
+    let base = simulate(
+        &cfg,
+        PrefetcherChoice::IpStride,
+        &mut workload("lbm-like"),
+        &opts(),
+    );
+    let berti = simulate(
+        &cfg,
+        PrefetcherChoice::Berti,
+        &mut workload("lbm-like"),
+        &opts(),
+    );
     assert!(
         berti.speedup_over(&base) > 1.3,
         "berti {:.3} vs ip-stride {:.3}",
@@ -41,10 +51,29 @@ fn berti_covers_interleaved_strides_where_ip_stride_fails() {
 fn berti_wins_on_mcf_like_local_deltas() {
     // Fig. 9's biggest win: per-IP local deltas.
     let cfg = SystemConfig::default();
-    let base = simulate(&cfg, PrefetcherChoice::IpStride, &mut workload("mcf-1554-like"), &opts());
-    let berti = simulate(&cfg, PrefetcherChoice::Berti, &mut workload("mcf-1554-like"), &opts());
-    let mlop = simulate(&cfg, PrefetcherChoice::Mlop, &mut workload("mcf-1554-like"), &opts());
-    assert!(berti.speedup_over(&base) > 1.3, "berti {:.3}", berti.speedup_over(&base));
+    let base = simulate(
+        &cfg,
+        PrefetcherChoice::IpStride,
+        &mut workload("mcf-1554-like"),
+        &opts(),
+    );
+    let berti = simulate(
+        &cfg,
+        PrefetcherChoice::Berti,
+        &mut workload("mcf-1554-like"),
+        &opts(),
+    );
+    let mlop = simulate(
+        &cfg,
+        PrefetcherChoice::Mlop,
+        &mut workload("mcf-1554-like"),
+        &opts(),
+    );
+    assert!(
+        berti.speedup_over(&base) > 1.3,
+        "berti {:.3}",
+        berti.speedup_over(&base)
+    );
     assert!(
         berti.ipc() > mlop.ipc(),
         "local deltas must beat the global-delta MLOP on mcf"
@@ -56,9 +85,24 @@ fn global_prefetchers_win_on_cactu_like() {
     // Sec. IV-C: hundreds of interleaved strided IPs defeat per-IP
     // tracking; the global +1 stream is MLOP's home turf.
     let cfg = SystemConfig::default();
-    let berti = simulate(&cfg, PrefetcherChoice::Berti, &mut workload("cactu-like"), &opts());
-    let mlop = simulate(&cfg, PrefetcherChoice::Mlop, &mut workload("cactu-like"), &opts());
-    assert!(mlop.ipc() > berti.ipc() * 1.02, "mlop {:.3} vs berti {:.3}", mlop.ipc(), berti.ipc());
+    let berti = simulate(
+        &cfg,
+        PrefetcherChoice::Berti,
+        &mut workload("cactu-like"),
+        &opts(),
+    );
+    let mlop = simulate(
+        &cfg,
+        PrefetcherChoice::Mlop,
+        &mut workload("cactu-like"),
+        &opts(),
+    );
+    assert!(
+        mlop.ipc() > berti.ipc() * 1.02,
+        "mlop {:.3} vs berti {:.3}",
+        mlop.ipc(),
+        berti.ipc()
+    );
     // Berti correctly refuses to prefetch without confidence.
     assert!(berti.l1d.pf_fills < 500);
 }
@@ -67,26 +111,51 @@ fn global_prefetchers_win_on_cactu_like() {
 fn berti_keeps_traffic_near_baseline_on_irregular_graphs() {
     // Sec. IV-E: accuracy translates into traffic.
     let cfg = SystemConfig::default();
-    let none = simulate(&cfg, PrefetcherChoice::None, &mut workload("pr-urand"), &opts());
-    let berti = simulate(&cfg, PrefetcherChoice::Berti, &mut workload("pr-urand"), &opts());
-    let ipcp = simulate(&cfg, PrefetcherChoice::Ipcp, &mut workload("pr-urand"), &opts());
+    let none = simulate(
+        &cfg,
+        PrefetcherChoice::None,
+        &mut workload("pr-urand"),
+        &opts(),
+    );
+    let berti = simulate(
+        &cfg,
+        PrefetcherChoice::Berti,
+        &mut workload("pr-urand"),
+        &opts(),
+    );
+    let ipcp = simulate(
+        &cfg,
+        PrefetcherChoice::Ipcp,
+        &mut workload("pr-urand"),
+        &opts(),
+    );
     let dram = |r: &berti::sim::Report| r.traffic().2 as f64;
-    assert!(dram(&berti) < dram(&none) * 1.15, "Berti must stay near baseline traffic");
-    assert!(dram(&ipcp) > dram(&berti) * 1.3, "IPCP floods the irregular gathers");
+    assert!(
+        dram(&berti) < dram(&none) * 1.15,
+        "Berti must stay near baseline traffic"
+    );
+    assert!(
+        dram(&ipcp) > dram(&berti) * 1.3,
+        "IPCP floods the irregular gathers"
+    );
 }
 
 #[test]
 fn accounting_is_self_consistent() {
     let cfg = SystemConfig::default();
-    let r = simulate(&cfg, PrefetcherChoice::Berti, &mut workload("bwaves-like"), &opts());
+    let r = simulate(
+        &cfg,
+        PrefetcherChoice::Berti,
+        &mut workload("bwaves-like"),
+        &opts(),
+    );
     // Retired exactly what was asked (within one retire group).
     assert!(r.instructions >= opts().sim_instructions);
     assert!(r.instructions < opts().sim_instructions + 8);
     // Useful prefetches can't exceed fills plus the lines that were
     // already prefetched and resident when warm-up stats were reset.
     assert!(
-        r.l1d.pf_useful_timely + r.l1d.pf_useful_late
-            <= r.l1d.pf_fills + r.l1d.pf_useless + 768
+        r.l1d.pf_useful_timely + r.l1d.pf_useful_late <= r.l1d.pf_fills + r.l1d.pf_useless + 768
     );
     // Demand misses at L2 can't exceed L1D demand misses (plus
     // prefetch-triggered traffic is accounted separately).
@@ -100,7 +169,12 @@ fn accounting_is_self_consistent() {
 #[test]
 fn multilevel_combination_runs_and_helps_l2() {
     let cfg = SystemConfig::default();
-    let alone = simulate(&cfg, PrefetcherChoice::Berti, &mut workload("bwaves-like"), &opts());
+    let alone = simulate(
+        &cfg,
+        PrefetcherChoice::Berti,
+        &mut workload("bwaves-like"),
+        &opts(),
+    );
     let with_l2 = simulate_with_l2(
         &cfg,
         PrefetcherChoice::Berti,
@@ -108,7 +182,7 @@ fn multilevel_combination_runs_and_helps_l2() {
         &mut workload("bwaves-like"),
         &opts(),
     );
-    assert_eq!(with_l2.l2_prefetcher, Some("spp-ppf"));
+    assert_eq!(with_l2.l2_prefetcher.as_deref(), Some("spp-ppf"));
     // The combination must not be catastrophically worse.
     assert!(with_l2.ipc() > alone.ipc() * 0.85);
 }

@@ -2,9 +2,7 @@
 //! under arbitrary access streams.
 
 use berti::core_prefetcher::{Berti, BertiConfig, DeltaTable, HistoryTable};
-use berti::mem::{
-    AccessEvent, DemandAccess, DemandOutcome, Hierarchy, Prefetcher, SharedMemory,
-};
+use berti::mem::{AccessEvent, DemandAccess, DemandOutcome, Hierarchy, Prefetcher, SharedMemory};
 use berti::types::{AccessKind, Cycle, Delta, Ip, SystemConfig, VAddr, VLine};
 use proptest::prelude::*;
 

@@ -34,7 +34,12 @@ fn run_all_prefetchers(trace: &Trace) {
             "{}: did not finish",
             choice.name()
         );
-        assert!(r.ipc() > 0.0 && r.ipc() <= 6.0, "{}: ipc {}", choice.name(), r.ipc());
+        assert!(
+            r.ipc() > 0.0 && r.ipc() <= 6.0,
+            "{}: ipc {}",
+            choice.name(),
+            r.ipc()
+        );
     }
 }
 

@@ -1,0 +1,192 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build container cannot reach crates.io, so the workspace vendors
+//! the small slice of the `rand` API the synthetic trace generators
+//! use: [`rngs::SmallRng`], [`SeedableRng::seed_from_u64`], and the
+//! [`RngExt`] convenience methods (`random_range`, `random`,
+//! `random_bool`).
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64 — fully
+//! deterministic for a given seed on every platform, which is what the
+//! reproducibility tests and the campaign result cache rely on. The
+//! streams differ from upstream `rand`'s `SmallRng`, which only changes
+//! the concrete contents of the synthetic traces, not their statistics.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+
+/// RNGs constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Core entropy source.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Named RNG implementations.
+pub mod rngs {
+    /// A small, fast, deterministic, non-cryptographic RNG
+    /// (xoshiro256++).
+    #[derive(Clone, Debug)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl super::SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion of the seed, per the xoshiro authors'
+            // recommendation.
+            let mut state = seed;
+            let mut next = || {
+                state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            SmallRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl super::RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Integer types uniformly sampleable from a half-open range.
+pub trait SampleUniform: Copy {
+    /// Draws a value in `[lo, hi)`.
+    fn sample_range(rng_bits: u64, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform_uint {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range(rng_bits: u64, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "empty range");
+                let span = (hi - lo) as u64;
+                lo + (rng_bits % span) as $t
+            }
+        }
+    )*};
+}
+impl_sample_uniform_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range(rng_bits: u64, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "empty range");
+                let span = (hi as i64).wrapping_sub(lo as i64) as u64;
+                (lo as i64 + (rng_bits % span) as i64) as $t
+            }
+        }
+    )*};
+}
+impl_sample_uniform_int!(i8, i16, i32, i64, isize);
+
+/// Types with a standard (full-range / unit-interval) distribution.
+pub trait StandardSample {
+    /// Draws from the standard distribution.
+    fn standard_sample(rng_bits: u64) -> Self;
+}
+
+impl StandardSample for u64 {
+    fn standard_sample(rng_bits: u64) -> Self {
+        rng_bits
+    }
+}
+
+impl StandardSample for u32 {
+    fn standard_sample(rng_bits: u64) -> Self {
+        (rng_bits >> 32) as u32
+    }
+}
+
+impl StandardSample for bool {
+    fn standard_sample(rng_bits: u64) -> Self {
+        rng_bits & 1 == 1
+    }
+}
+
+impl StandardSample for f64 {
+    fn standard_sample(rng_bits: u64) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng_bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Convenience sampling methods, available on every [`RngCore`].
+pub trait RngExt: RngCore {
+    /// Uniform draw from a half-open range.
+    fn random_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        T::sample_range(self.next_u64(), range.start, range.end)
+    }
+
+    /// Draw from the standard distribution of `T`.
+    fn random<T: StandardSample>(&mut self) -> T {
+        T::standard_sample(self.next_u64())
+    }
+
+    /// Bernoulli draw with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        self.random::<f64>() < p
+    }
+}
+
+impl<R: RngCore> RngExt for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = SmallRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let u = r.random_range(10u64..20);
+            assert!((10..20).contains(&u));
+            let i = r.random_range(-5i32..5);
+            assert!((-5..5).contains(&i));
+            let f: f64 = r.random();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn bernoulli_is_roughly_calibrated() {
+        let mut r = SmallRng::seed_from_u64(2);
+        let hits = (0..10_000).filter(|_| r.random_bool(0.3)).count();
+        assert!((2_500..3_500).contains(&hits), "{hits}");
+    }
+}

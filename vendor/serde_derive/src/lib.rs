@@ -1,0 +1,240 @@
+//! Derive macros for the vendored `serde` stand-in.
+//!
+//! Supports the shapes this workspace actually uses:
+//!
+//! - structs with named fields (`#[serde(skip)]` honored: skipped on
+//!   serialize, filled from `Default::default()` on deserialize);
+//! - fieldless enums (serialized as the variant name string).
+//!
+//! Parsing is done directly over the `proc_macro` token stream — no
+//! `syn`/`quote`, since the build container is offline.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    Struct(Vec<Field>),
+    Enum(Vec<String>),
+}
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse(input);
+    let body = match &shape {
+        Shape::Struct(fields) => {
+            let mut pushes = String::new();
+            for f in fields.iter().filter(|f| !f.skip) {
+                pushes.push_str(&format!(
+                    "fields.push((\"{n}\".to_string(), ::serde::Serialize::to_value(&self.{n})));\n",
+                    n = f.name
+                ));
+            }
+            format!(
+                "let mut fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                 ::std::vec::Vec::new();\n{pushes}::serde::Value::Object(fields)"
+            )
+        }
+        Shape::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => ::serde::Value::Str(\"{v}\".to_string()),\n"))
+                .collect();
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse(input);
+    let body = match &shape {
+        Shape::Struct(fields) => {
+            let mut inits = String::new();
+            for f in fields {
+                if f.skip {
+                    inits.push_str(&format!(
+                        "{n}: ::std::default::Default::default(),\n",
+                        n = f.name
+                    ));
+                } else {
+                    inits.push_str(&format!(
+                        "{n}: match v.get(\"{n}\") {{\n\
+                         Some(fv) => ::serde::Deserialize::from_value(fv)?,\n\
+                         None => return Err(::serde::Error::missing_field(\"{n}\")),\n\
+                         }},\n",
+                        n = f.name
+                    ));
+                }
+            }
+            format!(
+                "if v.as_object().is_none() {{\n\
+                 return Err(::serde::Error::invalid_type(\"object\", v));\n}}\n\
+                 Ok(Self {{\n{inits}}})"
+            )
+        }
+        Shape::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => Ok({name}::{v}),\n"))
+                .collect();
+            format!(
+                "let s = v.as_str().ok_or_else(|| ::serde::Error::invalid_type(\"string\", v))?;\n\
+                 match s {{\n{arms}\
+                 other => Err(::serde::Error::custom(format!(\
+                 \"unknown {name} variant `{{other}}`\"))),\n}}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+         {body}\n}}\n}}\n"
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}
+
+/// Extracts the type name and shape from a `struct`/`enum` item.
+fn parse(input: TokenStream) -> (String, Shape) {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let mut kind = None;
+    // Skip outer attributes and visibility down to `struct`/`enum`.
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Ident(id) if *id.to_string() == *"pub" => {
+                i += 1;
+                if matches!(&tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1;
+                }
+            }
+            TokenTree::Ident(id) if *id.to_string() == *"struct" || *id.to_string() == *"enum" => {
+                kind = Some(id.to_string());
+                i += 1;
+                break;
+            }
+            other => panic!("serde derive: unexpected token `{other}`"),
+        }
+    }
+    let kind = kind.expect("serde derive: expected `struct` or `enum`");
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde derive: expected type name, found `{other}`"),
+    };
+    i += 1;
+    let body = match &tokens[i] {
+        TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!(
+            "serde derive: only brace-bodied, non-generic types are supported \
+             (found `{other}` after the type name)"
+        ),
+    };
+    let shape = if kind == "struct" {
+        Shape::Struct(parse_fields(body))
+    } else {
+        Shape::Enum(parse_variants(body))
+    };
+    (name, shape)
+}
+
+fn parse_fields(body: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Attributes: look for `#[serde(skip)]`.
+        let mut skip = false;
+        loop {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '#' => {
+                    if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                        let text: String = g
+                            .stream()
+                            .to_string()
+                            .chars()
+                            .filter(|c| !c.is_whitespace())
+                            .collect();
+                        if text.starts_with("serde(") && text.contains("skip") {
+                            skip = true;
+                        }
+                    }
+                    i += 2;
+                }
+                TokenTree::Ident(id) if *id.to_string() == *"pub" => {
+                    i += 1;
+                    if matches!(&tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                    {
+                        i += 1;
+                    }
+                }
+                _ => break,
+            }
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde derive: expected field name, found `{other}`"),
+        };
+        i += 1;
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!("serde derive: expected `:` after `{name}`, found `{other}`"),
+        }
+        // Skip the type: consume until a top-level comma. Angle-bracket
+        // depth is tracked because `<` / `>` are plain puncts.
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(Field { name, skip });
+    }
+    fields
+}
+
+fn parse_variants(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Ident(id) => {
+                variants.push(id.to_string());
+                i += 1;
+                match tokens.get(i) {
+                    None => {}
+                    Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+                    Some(other) => panic!(
+                        "serde derive: only fieldless enum variants are supported \
+                         (found `{other}` after `{}`)",
+                        variants.last().expect("just pushed")
+                    ),
+                }
+            }
+            other => panic!("serde derive: unexpected token `{other}` in enum body"),
+        }
+    }
+    variants
+}
