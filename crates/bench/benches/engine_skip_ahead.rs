@@ -1,0 +1,48 @@
+//! Criterion microbench: the event-scheduled (skip-ahead) engine vs
+//! the naive cycle-by-cycle loop on a stall-heavy workload.
+//!
+//! `mcf-1554-like` with no prefetcher is DRAM-bound: the core spends
+//! most of its cycles quiescent behind an outstanding miss, which is
+//! exactly the regime skip-ahead fast-forwards. The two engines
+//! produce byte-identical reports (tests/engine_equivalence.rs); this
+//! bench measures how much wall clock the scheduling saves.
+
+use berti_sim::{simulate_with_engine, Engine, PrefetcherChoice, SimOptions};
+use berti_types::SystemConfig;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_engines(c: &mut Criterion) {
+    let cfg = SystemConfig::default();
+    let trace = berti_traces::memory_intensive_suite()
+        .into_iter()
+        .find(|w| w.name == "mcf-1554-like")
+        .expect("workload exists")
+        .trace();
+    let mut group = c.benchmark_group("engine_skip_ahead");
+    group.sample_size(10);
+    for (name, engine) in [("naive", Engine::Naive), ("skip_ahead", Engine::SkipAhead)] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let opts = SimOptions {
+                    warmup_instructions: 5_000,
+                    sim_instructions: 50_000,
+                    ..SimOptions::default()
+                };
+                let r = simulate_with_engine(
+                    &cfg,
+                    PrefetcherChoice::None,
+                    None,
+                    &mut trace.restarted(),
+                    &opts,
+                    engine,
+                );
+                black_box(r.ipc())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

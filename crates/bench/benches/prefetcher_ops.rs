@@ -1,7 +1,7 @@
 //! Criterion microbenches: per-access cost of each prefetcher's
 //! training + prediction path (the logic a real L1D pipeline must fit).
 
-use berti_mem::{AccessEvent, Prefetcher};
+use berti_mem::AccessEvent;
 use berti_sim::PrefetcherChoice;
 use berti_types::{AccessKind, Cycle, Ip, VLine};
 use criterion::{criterion_group, criterion_main, Criterion};

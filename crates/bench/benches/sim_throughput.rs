@@ -17,7 +17,7 @@ fn bench_sim(c: &mut Criterion) {
                 let opts = SimOptions {
                     warmup_instructions: 5_000,
                     sim_instructions: 50_000,
-                    max_cpi: 64,
+                    ..SimOptions::default()
                 };
                 let r = simulate(&cfg, choice.clone(), &mut trace.restarted(), &opts);
                 black_box(r.ipc())

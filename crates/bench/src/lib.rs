@@ -34,12 +34,13 @@ pub fn experiment_options() -> SimOptions {
     SimOptions {
         warmup_instructions: env_num("BERTI_WARMUP", 100_000),
         sim_instructions: env_num("BERTI_INSTR", 400_000),
-        max_cpi: 64,
+        ..SimOptions::default()
     }
 }
 
 /// Campaign-engine options from the environment (`BERTI_JOBS`,
-/// `BERTI_CACHE_DIR`, `BERTI_NO_CACHE`, `BERTI_EVENTS`).
+/// `BERTI_CACHE_DIR`, `BERTI_NO_CACHE`, `BERTI_EVENTS`,
+/// `BERTI_INTERVAL`).
 pub fn harness_options() -> RunOptions {
     let no_cache = std::env::var("BERTI_NO_CACHE").is_ok_and(|v| v == "1");
     RunOptions {
@@ -54,6 +55,9 @@ pub fn harness_options() -> RunOptions {
         }),
         events_path: std::env::var("BERTI_EVENTS").ok().map(Into::into),
         progress: std::io::stderr().is_terminal(),
+        interval: std::env::var("BERTI_INTERVAL")
+            .ok()
+            .and_then(|v| v.parse().ok()),
     }
 }
 
@@ -214,7 +218,7 @@ mod tests {
         let opts = SimOptions {
             warmup_instructions: 1_000,
             sim_instructions: 4_000,
-            max_cpi: 64,
+            ..SimOptions::default()
         };
         // No cache: unit tests must not write into results/.
         std::env::set_var("BERTI_NO_CACHE", "1");

@@ -258,8 +258,10 @@ mod tests {
 
     #[test]
     fn cross_page_ablation_suppresses_page_crossers() {
-        let mut cfg = BertiConfig::default();
-        cfg.cross_page = false;
+        let cfg = BertiConfig {
+            cross_page: false,
+            ..BertiConfig::default()
+        };
         let mut b = Berti::new(cfg);
         // Large stride that crosses pages: +80 lines (page = 64 lines).
         let mut out = Vec::new();
@@ -281,8 +283,10 @@ mod tests {
 
     #[test]
     fn four_bit_latency_field_kills_training() {
-        let mut cfg = BertiConfig::default();
-        cfg.latency_bits = 4; // latencies >= 16 overflow to 0
+        let cfg = BertiConfig {
+            latency_bits: 4, // latencies >= 16 overflow to 0
+            ..BertiConfig::default()
+        };
         let mut b = Berti::new(cfg);
         let out = train_stride(&mut b, 1000, 40);
         assert!(out.is_empty(), "latency 100 overflows a 4-bit field");

@@ -434,9 +434,11 @@ mod tests {
 
     #[test]
     fn selection_bounded_to_max_prefetch_deltas() {
-        let mut cfg = BertiConfig::default();
-        cfg.deltas_per_entry = 16;
-        cfg.max_prefetch_deltas = 12;
+        let cfg = BertiConfig {
+            deltas_per_entry: 16,
+            max_prefetch_deltas: 12,
+            ..BertiConfig::default()
+        };
         let mut t = DeltaTable::new(&cfg);
         // 14 deltas, all 100% coverage.
         let ds: Vec<i32> = (1..=14).collect();
@@ -448,8 +450,10 @@ mod tests {
 
     #[test]
     fn full_entry_evicts_replaceable_lowest_coverage() {
-        let mut cfg = BertiConfig::default();
-        cfg.deltas_per_entry = 2;
+        let cfg = BertiConfig {
+            deltas_per_entry: 2,
+            ..BertiConfig::default()
+        };
         let mut t = DeltaTable::new(&cfg);
         // Phase 1: delta 1 strong (L1Pref), delta 2 weak (NoPref).
         for i in 0..16 {
@@ -470,8 +474,10 @@ mod tests {
 
     #[test]
     fn unreplaceable_full_entry_discards_new_delta() {
-        let mut cfg = BertiConfig::default();
-        cfg.deltas_per_entry = 2;
+        let cfg = BertiConfig {
+            deltas_per_entry: 2,
+            ..BertiConfig::default()
+        };
         let mut t = DeltaTable::new(&cfg);
         run_phase(&mut t, IP, &[1, 2], 16); // both become L1Pref
         t.record_search(IP, &[Delta::new(3)]);
@@ -481,8 +487,10 @@ mod tests {
 
     #[test]
     fn fifo_entry_replacement_under_ip_pressure() {
-        let mut cfg = BertiConfig::default();
-        cfg.delta_table_entries = 2;
+        let cfg = BertiConfig {
+            delta_table_entries: 2,
+            ..BertiConfig::default()
+        };
         let mut t = DeltaTable::new(&cfg);
         run_phase(&mut t, Ip::new(100), &[1], 16);
         run_phase(&mut t, Ip::new(200), &[2], 16);
@@ -519,8 +527,10 @@ mod llc_tier_tests {
 
     #[test]
     fn llc_tier_activates_only_below_medium_watermark() {
-        let mut cfg = BertiConfig::default();
-        cfg.low_watermark = 0.10; // enable the LLC tier
+        let cfg = BertiConfig {
+            low_watermark: 0.10, // enable the LLC tier
+            ..BertiConfig::default()
+        };
         let mut t = DeltaTable::new(&cfg);
         // Coverage 4/16 = 25%: between low (10%) and medium (35%).
         for i in 0..16 {
@@ -540,9 +550,11 @@ mod llc_tier_tests {
 
     #[test]
     fn llc_slots_are_replacement_candidates() {
-        let mut cfg = BertiConfig::default();
-        cfg.low_watermark = 0.10;
-        cfg.deltas_per_entry = 1;
+        let cfg = BertiConfig {
+            low_watermark: 0.10,
+            deltas_per_entry: 1,
+            ..BertiConfig::default()
+        };
         let mut t = DeltaTable::new(&cfg);
         for i in 0..16 {
             let ds = if i < 4 { vec![Delta::new(9)] } else { vec![] };

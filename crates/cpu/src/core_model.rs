@@ -30,24 +30,25 @@ pub trait DataPort {
     fn demand(&mut self, ip: Ip, addr: VAddr, kind: MemOpKind, at: Cycle) -> PortResponse;
 }
 
-/// Retired-work counters.
-#[derive(Clone, Copy, Debug, Default, serde::Serialize, serde::Deserialize)]
-pub struct CoreStats {
-    /// Cycles simulated.
-    pub cycles: u64,
-    /// Instructions retired.
-    pub instructions: u64,
-    /// Loads issued.
-    pub loads: u64,
-    /// Stores issued.
-    pub stores: u64,
-    /// Cycles in which dispatch was blocked by a full ROB.
-    pub rob_full_cycles: u64,
-    /// Cycles in which a load could not issue because the L1D MSHR was
-    /// full.
-    pub mshr_stall_cycles: u64,
-    /// Mispredicted branches seen.
-    pub mispredicts: u64,
+berti_stats::counter_group! {
+    /// Retired-work counters.
+    pub struct CoreStats {
+        /// Cycles simulated.
+        pub cycles: u64,
+        /// Instructions retired.
+        pub instructions: u64,
+        /// Loads issued.
+        pub loads: u64,
+        /// Stores issued.
+        pub stores: u64,
+        /// Cycles in which dispatch was blocked by a full ROB.
+        pub rob_full_cycles: u64,
+        /// Cycles in which a load could not issue because the L1D MSHR was
+        /// full.
+        pub mshr_stall_cycles: u64,
+        /// Mispredicted branches seen.
+        pub mispredicts: u64,
+    }
 }
 
 impl CoreStats {
@@ -113,6 +114,65 @@ impl Core {
     /// Whether all dispatched work has retired.
     pub fn drained(&self) -> bool {
         self.rob.is_empty() && self.replay.is_none()
+    }
+
+    /// Skip-ahead contract: if the next [`Core::cycle`] call could
+    /// neither retire nor dispatch (ROB full, or the front end is
+    /// refilling after a mispredict), returns the first cycle at which
+    /// that changes; `None` means the core can make progress *now* and
+    /// must be stepped normally.
+    ///
+    /// The returned cycle is conservative in exactly the way
+    /// [`Core::skip_to`] needs: every cycle in `[now, wake)` is
+    /// guaranteed to be an idle cycle whose only effect is counter
+    /// bookkeeping, with the blocking conditions unchanged throughout.
+    pub fn quiescent_until(&self) -> Option<Cycle> {
+        let now = self.now;
+        if let Some(front) = self.rob.front() {
+            if front.complete_at <= now {
+                return None; // retire possible
+            }
+        }
+        let fetch_blocked = now < self.fetch_resume_at;
+        let rob_full = self.rob.len() >= self.cfg.rob_entries;
+        if !fetch_blocked && !rob_full {
+            return None; // would dispatch (fetch or replay)
+        }
+        let mut wake = match self.rob.front() {
+            Some(front) => front.complete_at,
+            // Empty ROB implies !rob_full, so fetch_blocked holds and
+            // the min below always lowers this sentinel.
+            None => Cycle::new(u64::MAX),
+        };
+        if fetch_blocked {
+            wake = wake.min(self.fetch_resume_at);
+        }
+        Some(wake)
+    }
+
+    /// Fast-forwards an idle stretch to `target`, performing exactly
+    /// the bookkeeping the per-cycle loop would have: `target - now`
+    /// counted cycles, each also counted as ROB-full when dispatch was
+    /// attempted-and-blocked (naive dispatch only attempts once the
+    /// front end has resumed).
+    ///
+    /// `target` must not exceed [`Core::quiescent_until`], otherwise
+    /// a retire/dispatch opportunity would be skipped over.
+    pub fn skip_to(&mut self, target: Cycle) {
+        debug_assert!(
+            self.quiescent_until().is_some_and(|wake| target <= wake),
+            "skip_to past a wake-up would lose work"
+        );
+        let skipped = target - self.now;
+        if skipped == 0 {
+            return;
+        }
+        self.stats.cycles += skipped;
+        let fetch_blocked = self.now < self.fetch_resume_at;
+        if !fetch_blocked && self.rob.len() >= self.cfg.rob_entries {
+            self.stats.rob_full_cycles += skipped;
+        }
+        self.now = target;
     }
 
     /// Simulates one cycle: retire, then dispatch/execute. `fetch`
@@ -326,8 +386,10 @@ mod tests {
 
     #[test]
     fn rob_bounds_the_window() {
-        let mut cfg = CoreConfig::default();
-        cfg.rob_entries = 8;
+        let cfg = CoreConfig {
+            rob_entries: 8,
+            ..CoreConfig::default()
+        };
         let mut core = Core::new(cfg);
         let mut m = mem(500);
         let prog: Vec<Instr> = (0..64)

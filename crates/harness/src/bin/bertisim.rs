@@ -149,7 +149,7 @@ fn main() {
     let opts = SimOptions {
         warmup_instructions: warmup,
         sim_instructions: instructions,
-        max_cpi: 64,
+        ..SimOptions::default()
     };
     let l1 = parse_prefetcher(&prefetcher, watermark);
     let l2 = l2.map(|s| parse_l2(&s));
@@ -184,6 +184,9 @@ fn main() {
             cache_dir: (!no_cache).then_some(cache_dir),
             events_path: std::env::var("BERTI_EVENTS").ok().map(Into::into),
             progress: false,
+            interval: std::env::var("BERTI_INTERVAL")
+                .ok()
+                .and_then(|v| v.parse().ok()),
         };
         let result = run_campaign(&campaign, &run_opts);
         let mut failed = false;

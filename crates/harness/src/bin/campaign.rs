@@ -3,7 +3,7 @@
 //! ```text
 //! campaign list
 //! campaign run <name> [--jobs N] [--cache DIR] [--no-cache]
-//!                     [--events FILE] [--out FILE]
+//!                     [--events FILE] [--out FILE] [--interval N]
 //!                     [--warmup N] [--instr N] [--quiet]
 //! campaign status <name> [--cache DIR] [--warmup N] [--instr N]
 //! campaign clean [--cache DIR]
@@ -37,6 +37,8 @@ fn usage() -> ! {
          \x20 --cache <DIR>            result-cache directory (default: results/cache)\n\
          \x20 --no-cache               run without reading or writing the cache\n\
          \x20 --events <FILE>          append JSONL events to FILE\n\
+         \x20 --interval <N>           emit a job_interval event every N measured\n\
+         \x20                          instructions (needs --events to be captured)\n\
          \x20 --out <FILE>             write deterministic aggregated JSON to FILE\n\
          \x20 --warmup <N>             warm-up instructions (default: $BERTI_WARMUP or 100000)\n\
          \x20 --instr <N>              measured instructions (default: $BERTI_INSTR or 400000)\n\
@@ -53,6 +55,7 @@ struct Args {
     no_cache: bool,
     events: Option<PathBuf>,
     out: Option<PathBuf>,
+    interval: Option<u64>,
     warmup: Option<u64>,
     instr: Option<u64>,
     quiet: bool,
@@ -76,6 +79,7 @@ fn parse_args() -> Args {
         no_cache: false,
         events: None,
         out: None,
+        interval: None,
         warmup: None,
         instr: None,
         quiet: false,
@@ -92,6 +96,13 @@ fn parse_args() -> Args {
             "--no-cache" => parsed.no_cache = true,
             "--events" => parsed.events = Some(PathBuf::from(value(&mut args, "--events"))),
             "--out" => parsed.out = Some(PathBuf::from(value(&mut args, "--out"))),
+            "--interval" => {
+                parsed.interval =
+                    Some(value(&mut args, "--interval").parse().unwrap_or_else(|_| {
+                        eprintln!("error: --interval needs a number");
+                        std::process::exit(2)
+                    }))
+            }
             "--warmup" => parsed.warmup = value(&mut args, "--warmup").parse().ok(),
             "--instr" => parsed.instr = value(&mut args, "--instr").parse().ok(),
             "--quiet" => parsed.quiet = true,
@@ -119,7 +130,7 @@ fn sim_options(args: &Args) -> SimOptions {
         sim_instructions: args
             .instr
             .unwrap_or_else(|| env_num("BERTI_INSTR", 400_000)),
-        max_cpi: 64,
+        ..SimOptions::default()
     }
 }
 
@@ -154,6 +165,7 @@ fn main() -> ExitCode {
                 cache_dir: (!args.no_cache).then(|| args.cache_dir.clone()),
                 events_path: args.events.clone(),
                 progress: !args.quiet,
+                interval: args.interval,
             };
             let result = run_campaign(&campaign, &opts);
             println!(

@@ -147,7 +147,7 @@ mod tests {
             opts: SimOptions {
                 warmup_instructions: 1_000,
                 sim_instructions: 5_000,
-                max_cpi: 64,
+                ..SimOptions::default()
             },
             config: SystemConfig::default(),
         }

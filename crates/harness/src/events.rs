@@ -7,6 +7,9 @@
 //! ```text
 //! {"event":"campaign_started","campaign":"l1d","cells":32,"jobs":4}
 //! {"event":"job_started","key":"9f...","workload":"lbm-like","label":"berti"}
+//! {"event":"job_interval","key":"9f...","workload":"lbm-like","label":"berti",
+//!  "instructions":100000,"ipc":1.91,"l1d_mpki":12.4,"l2_mpki":6.1,
+//!  "llc_mpki":2.0,"l1d_accuracy":0.93}
 //! {"event":"job_finished","key":"9f...","workload":"lbm-like","label":"berti",
 //!  "wall_ms":412,"instructions":2000000,"mips":4.85,"ipc":1.93}
 //! {"event":"job_cache_hit","key":"ab...","workload":"bfs-kron","label":"mlop"}
@@ -49,6 +52,29 @@ pub enum Event {
         workload: String,
         /// Prefetcher-configuration label.
         label: String,
+    },
+    /// One interval-sampler window of a running job (only emitted when
+    /// the campaign runs with `interval` set): a point of the
+    /// per-N-instruction IPC/MPKI/accuracy time series.
+    JobInterval {
+        /// Cache key of the cell.
+        key: String,
+        /// Workload name.
+        workload: String,
+        /// Prefetcher-configuration label.
+        label: String,
+        /// Instructions retired so far in the measurement phase.
+        instructions: u64,
+        /// IPC over this window.
+        ipc: f64,
+        /// L1D demand MPKI over this window.
+        l1d_mpki: f64,
+        /// L2 demand MPKI over this window.
+        l2_mpki: f64,
+        /// LLC demand MPKI over this window.
+        llc_mpki: f64,
+        /// L1D prefetch accuracy over this window, if anything filled.
+        l1d_accuracy: Option<f64>,
     },
     /// A simulation completed.
     JobFinished {
@@ -140,6 +166,30 @@ impl Serialize for Event {
                     ("key", s(key)),
                     ("workload", s(workload)),
                     ("label", s(label)),
+                ],
+            ),
+            Event::JobInterval {
+                key,
+                workload,
+                label,
+                instructions,
+                ipc,
+                l1d_mpki,
+                l2_mpki,
+                llc_mpki,
+                l1d_accuracy,
+            } => obj(
+                "job_interval",
+                vec![
+                    ("key", s(key)),
+                    ("workload", s(workload)),
+                    ("label", s(label)),
+                    ("instructions", Value::U64(*instructions)),
+                    ("ipc", Value::F64(*ipc)),
+                    ("l1d_mpki", Value::F64(*l1d_mpki)),
+                    ("l2_mpki", Value::F64(*l2_mpki)),
+                    ("llc_mpki", Value::F64(*llc_mpki)),
+                    ("l1d_accuracy", l1d_accuracy.map_or(Value::Null, Value::F64)),
                 ],
             ),
             Event::JobFinished {
@@ -309,5 +359,32 @@ mod tests {
         );
         assert_eq!(v.get("wall_ms").and_then(|v| v.as_u64()), Some(412));
         assert_eq!(v.get("ipc").and_then(|v| v.as_f64()), Some(1.93));
+    }
+
+    #[test]
+    fn interval_events_serialize_with_null_accuracy() {
+        let e = Event::JobInterval {
+            key: "abc".to_string(),
+            workload: "mcf-1554-like".to_string(),
+            label: "none".to_string(),
+            instructions: 100_000,
+            ipc: 0.42,
+            l1d_mpki: 55.3,
+            l2_mpki: 30.1,
+            llc_mpki: 21.7,
+            l1d_accuracy: None,
+        };
+        let json = serde::json::to_string(&e);
+        let v = serde::json::parse(&json).expect("parses");
+        assert_eq!(
+            v.get("event").and_then(|v| v.as_str()),
+            Some("job_interval")
+        );
+        assert_eq!(
+            v.get("instructions").and_then(|v| v.as_u64()),
+            Some(100_000)
+        );
+        assert_eq!(v.get("ipc").and_then(|v| v.as_f64()), Some(0.42));
+        assert!(json.contains("\"l1d_accuracy\":null"), "{json}");
     }
 }

@@ -45,5 +45,6 @@ pub use cache::{CachedResult, ResultCache, CACHE_SCHEMA_VERSION};
 pub use campaign::{Campaign, CampaignBuilder, JobSpec};
 pub use events::{Event, EventSink};
 pub use pool::{
-    run_campaign, run_campaign_with, CampaignResult, JobOutcome, JobResult, RunOptions,
+    run_campaign, run_campaign_with, run_campaign_with_events, CampaignResult, JobOutcome,
+    JobResult, RunOptions,
 };

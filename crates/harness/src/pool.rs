@@ -26,6 +26,11 @@ pub struct RunOptions {
     pub events_path: Option<PathBuf>,
     /// Paint a live progress line on stderr.
     pub progress: bool,
+    /// Emit a [`Event::JobInterval`] time-series point every this many
+    /// retired instructions of each job's measurement phase; `None`
+    /// disables interval sampling. Sampling is observation-only: it
+    /// never changes reports (or therefore cache keys/contents).
+    pub interval: Option<u64>,
 }
 
 impl Default for RunOptions {
@@ -35,6 +40,7 @@ impl Default for RunOptions {
             cache_dir: Some(PathBuf::from("results/cache")),
             events_path: None,
             progress: false,
+            interval: None,
         }
     }
 }
@@ -182,31 +188,77 @@ impl CampaignResult {
 
 /// Runs a campaign with the real simulator.
 pub fn run_campaign(campaign: &Campaign, opts: &RunOptions) -> CampaignResult {
-    run_campaign_with(campaign, opts, |spec| {
+    let interval = opts.interval;
+    run_campaign_with_events(campaign, opts, |spec, emit| {
         let workload = berti_traces::workload_by_name(&spec.workload)
             .unwrap_or_else(|| panic!("unknown workload `{}`", spec.workload));
         let mut trace = workload.trace();
-        berti_sim::simulate_with_l2(
-            &spec.config,
-            spec.l1.clone(),
-            spec.l2,
-            &mut trace,
-            &spec.opts,
-        )
+        match interval {
+            None => berti_sim::simulate_with_l2(
+                &spec.config,
+                spec.l1.clone(),
+                spec.l2,
+                &mut trace,
+                &spec.opts,
+            ),
+            Some(n) => {
+                let key = spec.key();
+                let label = spec.label();
+                let mut sink = |s: berti_sim::IntervalSample| {
+                    emit(Event::JobInterval {
+                        key: key.clone(),
+                        workload: spec.workload.clone(),
+                        label: label.clone(),
+                        instructions: s.instructions,
+                        ipc: s.ipc,
+                        l1d_mpki: s.l1d_mpki,
+                        l2_mpki: s.l2_mpki,
+                        llc_mpki: s.llc_mpki,
+                        l1d_accuracy: s.l1d_accuracy,
+                    });
+                };
+                berti_sim::simulate_instrumented(
+                    &spec.config,
+                    spec.l1.clone(),
+                    spec.l2,
+                    &mut trace,
+                    &spec.opts,
+                    berti_sim::Engine::default(),
+                    Some(berti_sim::Sampling {
+                        interval: n,
+                        sink: &mut sink,
+                    }),
+                )
+            }
+        }
     })
 }
 
 /// Runs a campaign with an arbitrary executor (tests inject failing or
 /// instant executors here).
+pub fn run_campaign_with<F>(campaign: &Campaign, opts: &RunOptions, exec: F) -> CampaignResult
+where
+    F: Fn(&JobSpec) -> Report + Sync,
+{
+    run_campaign_with_events(campaign, opts, |spec, _emit| exec(spec))
+}
+
+/// Runs a campaign with an executor that can also emit events into the
+/// campaign's stream (the real simulator uses this to forward interval
+/// time-series points as [`Event::JobInterval`]).
 ///
 /// Scheduling: all cells go into a shared queue; `jobs` workers drain
 /// it. Each cell is first tried against the result cache; on a miss
 /// the executor runs under [`catch_unwind`], and a panicking attempt
 /// is retried once before the cell is marked failed. A failing or
 /// panicking cell never takes its siblings down.
-pub fn run_campaign_with<F>(campaign: &Campaign, opts: &RunOptions, exec: F) -> CampaignResult
+pub fn run_campaign_with_events<F>(
+    campaign: &Campaign,
+    opts: &RunOptions,
+    exec: F,
+) -> CampaignResult
 where
-    F: Fn(&JobSpec) -> Report + Sync,
+    F: Fn(&JobSpec, &mut dyn FnMut(Event)) -> Report + Sync,
 {
     let started = Instant::now();
     let cache = opts
@@ -303,7 +355,7 @@ fn run_cell<F>(
     events: &mpsc::Sender<Event>,
 ) -> JobResult
 where
-    F: Fn(&JobSpec) -> Report + Sync,
+    F: Fn(&JobSpec, &mut dyn FnMut(Event)) -> Report + Sync,
 {
     let key = spec.key();
     let workload = spec.workload.clone();
@@ -335,7 +387,10 @@ where
     let mut last_error = String::new();
     for attempt in 1..=MAX_ATTEMPTS {
         let started = Instant::now();
-        match catch_unwind(AssertUnwindSafe(|| exec(spec))) {
+        let mut emit = |e: Event| {
+            let _ = events.send(e);
+        };
+        match catch_unwind(AssertUnwindSafe(|| exec(spec, &mut emit))) {
             Ok(report) => {
                 if let Some(c) = cache {
                     let _ = c.store(spec, &report);

@@ -14,7 +14,7 @@ fn small_campaign() -> Campaign {
         .opts(SimOptions {
             warmup_instructions: 500,
             sim_instructions: 2_000,
-            max_cpi: 64,
+            ..SimOptions::default()
         })
         .build()
 }
@@ -34,6 +34,7 @@ fn cold_then_warm_cache_is_byte_identical() {
         cache_dir: Some(cache.clone()),
         events_path: None,
         progress: false,
+        ..RunOptions::default()
     };
 
     let cold = berti_harness::run_campaign(&campaign, &opts);
@@ -62,6 +63,7 @@ fn worker_count_does_not_change_the_aggregate() {
             cache_dir: None,
             events_path: None,
             progress: false,
+            ..RunOptions::default()
         },
     );
     let parallel = berti_harness::run_campaign(
@@ -71,6 +73,7 @@ fn worker_count_does_not_change_the_aggregate() {
             cache_dir: None,
             events_path: None,
             progress: false,
+            ..RunOptions::default()
         },
     );
     assert_eq!(serial.completed(), 4);
@@ -92,6 +95,7 @@ fn events_stream_is_written_as_jsonl() {
         cache_dir: Some(cache.clone()),
         events_path: Some(events.clone()),
         progress: false,
+        ..RunOptions::default()
     };
     let result = berti_harness::run_campaign(&campaign, &opts);
     assert_eq!(result.completed(), 4);

@@ -4,7 +4,7 @@
 use std::sync::atomic::{AtomicU32, Ordering};
 
 use berti_harness::{Campaign, JobOutcome, JobSpec, RunOptions};
-use berti_sim::{PrefetcherChoice, Report, SimOptions};
+use berti_sim::{PrefetcherChoice, Report};
 
 fn campaign(workloads: &[&str]) -> Campaign {
     let mut c = Campaign::grid("panic-test");
@@ -40,6 +40,7 @@ fn no_cache(jobs: usize) -> RunOptions {
         cache_dir: None,
         events_path: None,
         progress: false,
+        ..RunOptions::default()
     }
 }
 
@@ -115,6 +116,7 @@ fn failed_cells_appear_in_events_and_aggregate() {
         cache_dir: None,
         events_path: Some(events.clone()),
         progress: false,
+        ..RunOptions::default()
     };
     let result = berti_harness::run_campaign_with(&c, &opts, |spec| {
         if spec.workload == "always-bad" {

@@ -85,37 +85,38 @@ pub enum AccessOutcome {
     MshrFull,
 }
 
-/// Per-cache event counters.
-#[derive(Clone, Copy, Debug, Default, serde::Serialize, serde::Deserialize)]
-pub struct CacheStats {
-    /// Demand-load hits (including merges into in-flight lines).
-    pub load_hits: u64,
-    /// Demand-load misses.
-    pub load_misses: u64,
-    /// RFO (store) hits.
-    pub rfo_hits: u64,
-    /// RFO misses.
-    pub rfo_misses: u64,
-    /// Writeback requests that found the line.
-    pub wb_hits: u64,
-    /// Writeback requests that allocated.
-    pub wb_misses: u64,
-    /// Prefetch requests that found the line already present.
-    pub pf_already_present: u64,
-    /// Prefetch requests that missed and were sent down (prefetch fills).
-    pub pf_fills: u64,
-    /// Prefetched lines first touched by a demand after arriving.
-    pub pf_useful_timely: u64,
-    /// Prefetched lines whose first demand merged while in flight.
-    pub pf_useful_late: u64,
-    /// Prefetched lines evicted without ever being demanded.
-    pub pf_useless: u64,
-    /// Demand misses forwarded to the next level (read traffic).
-    pub demand_reads_below: u64,
-    /// Prefetch misses forwarded to the next level (prefetch traffic).
-    pub pf_reads_below: u64,
-    /// Dirty writebacks sent to the next level (write traffic).
-    pub writebacks_below: u64,
+berti_stats::counter_group! {
+    /// Per-cache event counters.
+    pub struct CacheStats {
+        /// Demand-load hits (including merges into in-flight lines).
+        pub load_hits: u64,
+        /// Demand-load misses.
+        pub load_misses: u64,
+        /// RFO (store) hits.
+        pub rfo_hits: u64,
+        /// RFO misses.
+        pub rfo_misses: u64,
+        /// Writeback requests that found the line.
+        pub wb_hits: u64,
+        /// Writeback requests that allocated.
+        pub wb_misses: u64,
+        /// Prefetch requests that found the line already present.
+        pub pf_already_present: u64,
+        /// Prefetch requests that missed and were sent down (prefetch fills).
+        pub pf_fills: u64,
+        /// Prefetched lines first touched by a demand after arriving.
+        pub pf_useful_timely: u64,
+        /// Prefetched lines whose first demand merged while in flight.
+        pub pf_useful_late: u64,
+        /// Prefetched lines evicted without ever being demanded.
+        pub pf_useless: u64,
+        /// Demand misses forwarded to the next level (read traffic).
+        pub demand_reads_below: u64,
+        /// Prefetch misses forwarded to the next level (prefetch traffic).
+        pub pf_reads_below: u64,
+        /// Dirty writebacks sent to the next level (write traffic).
+        pub writebacks_below: u64,
+    }
 }
 
 impl CacheStats {

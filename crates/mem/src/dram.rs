@@ -21,23 +21,24 @@ struct Bank {
     busy_until: Cycle,
 }
 
-/// DRAM event counters.
-#[derive(Clone, Copy, Debug, Default, serde::Serialize, serde::Deserialize)]
-pub struct DramStats {
-    /// Read (line fetch) requests served.
-    pub reads: u64,
-    /// Write (writeback) requests accepted.
-    pub writes: u64,
-    /// Reads that hit an open row.
-    pub row_hits: u64,
-    /// Reads that found the row closed.
-    pub row_closed: u64,
-    /// Reads that conflicted with a different open row.
-    pub row_conflicts: u64,
-    /// Cumulative read latency (cycles), for averaging.
-    pub total_read_latency: u64,
-    /// Write-drain bursts triggered by the watermark.
-    pub write_drains: u64,
+berti_stats::counter_group! {
+    /// DRAM event counters.
+    pub struct DramStats {
+        /// Read (line fetch) requests served.
+        pub reads: u64,
+        /// Write (writeback) requests accepted.
+        pub writes: u64,
+        /// Reads that hit an open row.
+        pub row_hits: u64,
+        /// Reads that found the row closed.
+        pub row_closed: u64,
+        /// Reads that conflicted with a different open row.
+        pub row_conflicts: u64,
+        /// Cumulative read latency (cycles), for averaging.
+        pub total_read_latency: u64,
+        /// Write-drain bursts triggered by the watermark.
+        pub write_drains: u64,
+    }
 }
 
 impl DramStats {
@@ -95,6 +96,20 @@ impl Dram {
     /// Resets event counters (end of warm-up).
     pub fn reset_stats(&mut self) {
         self.stats = DramStats::default();
+    }
+
+    /// Skip-ahead contract: the earliest cycle at or after `now` at
+    /// which this channel needs a `tick`-style call to make progress.
+    ///
+    /// The channel is purely reactive — [`Dram::read`] and
+    /// [`Dram::write`] compute completion timestamps at request time
+    /// and write drains happen inside those calls — so it never has
+    /// autonomously pending work and always returns `None`. The method
+    /// exists so the engine can treat every component uniformly (and so
+    /// a future model with an autonomous refresh/drain loop slots in
+    /// without touching the scheduler).
+    pub fn next_event(&self, _now: Cycle) -> Option<Cycle> {
+        None
     }
 
     /// Lines per row buffer.

@@ -50,6 +50,13 @@ impl SharedMemory {
         self.llc.reset_stats();
         self.dram.reset_stats();
     }
+
+    /// Registers the shared back end's counter groups (`"llc"`,
+    /// `"dram"`) into `registry`.
+    pub fn register_stats(&self, registry: &mut berti_stats::Registry) {
+        registry.record("llc", self.llc.stats());
+        registry.record("dram", self.dram.stats());
+    }
 }
 
 /// Result of a demand access.
@@ -85,30 +92,110 @@ struct QueuedPrefetch {
     trigger_ip: Ip,
 }
 
-/// Drop/issue counters for the prefetch machinery and the TLBs.
-#[derive(Clone, Copy, Debug, Default, serde::Serialize, serde::Deserialize)]
-pub struct FlowStats {
-    /// Decisions accepted into the L1D prefetch queue.
-    pub pf_enqueued: u64,
-    /// Decisions dropped because the PQ was full.
-    pub pf_dropped_pq_full: u64,
-    /// Queued prefetches dropped on an STLB translation miss.
-    pub pf_dropped_stlb_miss: u64,
-    /// Queued prefetches dropped because the target was present.
-    pub pf_dropped_present: u64,
-    /// Queued prefetches dropped because the fill level's MSHR was full.
-    pub pf_dropped_mshr_full: u64,
-    /// L1-bound prefetches demoted to L2 fills because the L1D MSHR was
-    /// saturated at issue time.
-    pub pf_demoted_mshr_full: u64,
-    /// Prefetches issued to the hierarchy (after all checks).
-    pub pf_issued: u64,
-    /// L2-hosted prefetcher decisions accepted into the L2 PQ.
-    pub l2_pf_enqueued: u64,
-    /// L2-hosted prefetcher issues.
-    pub l2_pf_issued: u64,
-    /// Page walks performed (STLB misses).
-    pub page_walks: u64,
+berti_stats::counter_group! {
+    /// Drop/issue counters for the prefetch machinery and the TLBs.
+    pub struct FlowStats {
+        /// Decisions accepted into the L1D prefetch queue.
+        pub pf_enqueued: u64,
+        /// Decisions dropped because the PQ was full.
+        pub pf_dropped_pq_full: u64,
+        /// Queued prefetches dropped on an STLB translation miss.
+        pub pf_dropped_stlb_miss: u64,
+        /// Queued prefetches dropped because the target was present.
+        pub pf_dropped_present: u64,
+        /// Queued prefetches dropped because the fill level's MSHR was
+        /// full.
+        pub pf_dropped_mshr_full: u64,
+        /// L1-bound prefetches demoted to L2 fills because the L1D MSHR
+        /// was saturated at issue time.
+        pub pf_demoted_mshr_full: u64,
+        /// Prefetches issued to the hierarchy (after all checks).
+        pub pf_issued: u64,
+        /// L2-hosted prefetcher decisions accepted into the L2 PQ.
+        pub l2_pf_enqueued: u64,
+        /// L2-hosted prefetcher issues.
+        pub l2_pf_issued: u64,
+        /// Page walks performed (STLB misses).
+        pub page_walks: u64,
+    }
+}
+
+berti_stats::counter_group! {
+    /// dTLB/STLB hit and miss counters, registrable as a stats group.
+    pub struct TlbStats {
+        /// dTLB hits.
+        pub dtlb_hits: u64,
+        /// dTLB misses.
+        pub dtlb_misses: u64,
+        /// STLB hits (dTLB misses that the STLB caught).
+        pub stlb_hits: u64,
+        /// STLB misses (page walks).
+        pub stlb_misses: u64,
+    }
+}
+
+/// A per-level prefetch queue plus its event-time issue cursor.
+///
+/// Issue pacing is one prefetch per elapsed cycle: the head may go at
+/// `cursor.max(enqueued_at + 1)`, and every issue advances the cursor
+/// one past the issue time. Both bounds are *absolute* event times, so
+/// drain granularity does not matter — draining once up to `T` issues
+/// exactly what per-cycle draining through `T` would, which is what
+/// lets the engine skip quiescent stretches without changing results.
+#[derive(Debug)]
+struct PrefetchQueue {
+    entries: VecDeque<QueuedPrefetch>,
+    capacity: usize,
+    /// Next cycle this queue may issue.
+    cursor: Cycle,
+}
+
+impl PrefetchQueue {
+    fn new(capacity: usize) -> Self {
+        Self {
+            entries: VecDeque::new(),
+            capacity,
+            cursor: Cycle::ZERO,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    fn contains(&self, target: VLine) -> bool {
+        self.entries.iter().any(|q| q.target == target)
+    }
+
+    fn push(&mut self, q: QueuedPrefetch) {
+        debug_assert!(!self.is_full());
+        self.entries.push_back(q);
+    }
+
+    /// Skip-ahead contract: the earliest cycle at or after `now` at
+    /// which the head may issue; `None` when the queue is empty.
+    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        self.entries
+            .front()
+            .map(|q| self.cursor.max(q.enqueued_at + 1).max(now))
+    }
+
+    /// Pops the head if its turn has come by `upto`, returning the
+    /// entry with its issue time and advancing the cursor past it.
+    fn pop_due(&mut self, upto: Cycle) -> Option<(QueuedPrefetch, Cycle)> {
+        let q = *self.entries.front()?;
+        let at = self.cursor.max(q.enqueued_at + 1);
+        if at > upto {
+            return None;
+        }
+        self.entries.pop_front();
+        self.cursor = at + 1;
+        Some((q, at))
+    }
 }
 
 /// One core's private memory hierarchy plus hooks into the shared back
@@ -122,14 +209,8 @@ pub struct Hierarchy {
     walk_latency: u64,
     l1_prefetcher: Box<dyn Prefetcher>,
     l2_prefetcher: Option<Box<dyn Prefetcher>>,
-    l1_pq: VecDeque<QueuedPrefetch>,
-    l2_pq: VecDeque<QueuedPrefetch>,
-    l1_pq_capacity: usize,
-    l2_pq_capacity: usize,
-    /// Event-time cursor: next cycle the L1 PQ may issue.
-    l1_pq_cursor: Cycle,
-    /// Event-time cursor: next cycle the L2 PQ may issue.
-    l2_pq_cursor: Cycle,
+    l1_pq: PrefetchQueue,
+    l2_pq: PrefetchQueue,
     flow: FlowStats,
     decisions: Vec<PrefetchDecision>,
 }
@@ -172,12 +253,8 @@ impl Hierarchy {
             walk_latency: cfg.tlb.walk_latency,
             l1_prefetcher,
             l2_prefetcher,
-            l1_pq: VecDeque::new(),
-            l2_pq: VecDeque::new(),
-            l1_pq_capacity: cfg.l1d.pq_entries,
-            l2_pq_capacity: cfg.l2.pq_entries,
-            l1_pq_cursor: Cycle::ZERO,
-            l2_pq_cursor: Cycle::ZERO,
+            l1_pq: PrefetchQueue::new(cfg.l1d.pq_entries),
+            l2_pq: PrefetchQueue::new(cfg.l2.pq_entries),
             flow: FlowStats::default(),
             decisions: Vec::new(),
         }
@@ -216,6 +293,25 @@ impl Hierarchy {
             self.stlb.hits(),
             self.stlb.misses(),
         )
+    }
+
+    /// TLB counters as a registrable stats group.
+    pub fn tlb_counters(&self) -> TlbStats {
+        TlbStats {
+            dtlb_hits: self.dtlb.hits(),
+            dtlb_misses: self.dtlb.misses(),
+            stlb_hits: self.stlb.hits(),
+            stlb_misses: self.stlb.misses(),
+        }
+    }
+
+    /// Registers this hierarchy's counter groups (`"l1d"`, `"l2"`,
+    /// `"tlb"`, `"flow"`) into `registry`.
+    pub fn register_stats(&self, registry: &mut berti_stats::Registry) {
+        registry.record("l1d", self.l1d.stats());
+        registry.record("l2", self.l2.stats());
+        registry.record("tlb", &self.tlb_counters());
+        registry.record("flow", &self.flow);
     }
 
     /// Resets statistics at the end of warm-up (cache/TLB contents and
@@ -352,16 +448,16 @@ impl Hierarchy {
             // PQ entry; without this, repeated decisions for lines
             // already fetched would evict the useful frontier entries
             // from the 16-entry queue.
-            if self.l1d.probe(d.target.raw()) || self.l1_pq.iter().any(|q| q.target == d.target) {
+            if self.l1d.probe(d.target.raw()) || self.l1_pq.contains(d.target) {
                 self.flow.pf_dropped_present += 1;
                 continue;
             }
-            if self.l1_pq.len() >= self.l1_pq_capacity {
+            if self.l1_pq.is_full() {
                 self.flow.pf_dropped_pq_full += 1;
                 continue;
             }
             self.flow.pf_enqueued += 1;
-            self.l1_pq.push_back(QueuedPrefetch {
+            self.l1_pq.push(QueuedPrefetch {
                 target: d.target,
                 fill_level: d.fill_level,
                 enqueued_at: now,
@@ -372,16 +468,16 @@ impl Hierarchy {
 
     fn drain_decisions_to_l2_pq(&mut self, ip: Ip, now: Cycle) {
         for d in self.decisions.drain(..) {
-            if self.l2.probe(d.target.raw()) || self.l2_pq.iter().any(|q| q.target == d.target) {
+            if self.l2.probe(d.target.raw()) || self.l2_pq.contains(d.target) {
                 self.flow.pf_dropped_present += 1;
                 continue;
             }
-            if self.l2_pq.len() >= self.l2_pq_capacity {
+            if self.l2_pq.is_full() {
                 self.flow.pf_dropped_pq_full += 1;
                 continue;
             }
             self.flow.l2_pf_enqueued += 1;
-            self.l2_pq.push_back(QueuedPrefetch {
+            self.l2_pq.push(QueuedPrefetch {
                 target: d.target,
                 fill_level: d.fill_level,
                 enqueued_at: now,
@@ -566,6 +662,22 @@ impl Hierarchy {
         self.drain_prefetch_queues(shared, now);
     }
 
+    /// Skip-ahead contract: the earliest cycle at or after `now` at
+    /// which [`Hierarchy::tick`] will make progress (a queued
+    /// prefetch's turn to issue), or `None` when both prefetch queues
+    /// are empty and any tick would be a no-op.
+    ///
+    /// The engine may fast-forward from `now` to just before the
+    /// returned cycle without ticking and observe byte-identical
+    /// statistics; demand accesses in between re-establish the bound
+    /// themselves (they drain the queues against their own event time).
+    pub fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        match (self.l1_pq.next_event(now), self.l2_pq.next_event(now)) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
     /// Issues queued prefetches up to event time `upto`, one per
     /// elapsed cycle per queue. The out-of-order core executes demand
     /// accesses at dispatch with *event-time* stamps that can run ahead
@@ -574,23 +686,11 @@ impl Hierarchy {
     /// enqueued at event time T reaches the caches at T+1, before a
     /// demand stamped T+k).
     fn drain_prefetch_queues(&mut self, shared: &mut SharedMemory, upto: Cycle) {
-        while let Some(&q) = self.l1_pq.front() {
-            let at = self.l1_pq_cursor.max(q.enqueued_at + 1);
-            if at > upto {
-                break;
-            }
+        while let Some((q, at)) = self.l1_pq.pop_due(upto) {
             self.issue_one_l1_prefetch(shared, q, at);
-            self.l1_pq.pop_front();
-            self.l1_pq_cursor = at + 1;
         }
-        while let Some(&q) = self.l2_pq.front() {
-            let at = self.l2_pq_cursor.max(q.enqueued_at + 1);
-            if at > upto {
-                break;
-            }
+        while let Some((q, at)) = self.l2_pq.pop_due(upto) {
             self.issue_one_l2_prefetch(shared, q, at);
-            self.l2_pq.pop_front();
-            self.l2_pq_cursor = at + 1;
         }
     }
 
@@ -919,10 +1019,8 @@ mod tests {
         let mut s = SharedMemory::new(&cfg, 1);
         // Last line of page 0x4: the next line is in an untouched page.
         let _ = h.demand_access(&mut s, load(1, 0x4FC0), Cycle::new(0));
-        let mut now = Cycle::new(1);
-        for _ in 0..100_000 {
-            h.tick(&mut s, now);
-            now += 1;
+        for t in 1..100_000u64 {
+            h.tick(&mut s, Cycle::new(t));
         }
         assert!(
             h.flow_stats().pf_dropped_stlb_miss > 0,

@@ -34,7 +34,7 @@ mod vmem;
 
 pub use cache::{AccessOutcome, Cache, CacheStats, EvictedLine, HitInfo};
 pub use dram::{Dram, DramStats};
-pub use hierarchy::{DemandAccess, DemandOutcome, FlowStats, Hierarchy, SharedMemory};
+pub use hierarchy::{DemandAccess, DemandOutcome, FlowStats, Hierarchy, SharedMemory, TlbStats};
 pub use mshr::Mshr;
 pub use prefetch::{AccessEvent, FillEvent, NullPrefetcher, PrefetchDecision, Prefetcher};
 pub use replacement::ReplacementPolicy;

@@ -9,7 +9,7 @@ fn main() {
     let opts = SimOptions {
         warmup_instructions: 50_000,
         sim_instructions: 200_000,
-        max_cpi: 64,
+        ..SimOptions::default()
     };
     let all = berti_traces::memory_intensive_suite();
     let names: Vec<String> = std::env::args().skip(1).collect();

@@ -199,8 +199,10 @@ mod tests {
 
     #[test]
     fn choice_serde_roundtrips() {
-        let mut cfg = berti_core::BertiConfig::default();
-        cfg.history_sets = 32;
+        let cfg = berti_core::BertiConfig {
+            history_sets: 32,
+            ..berti_core::BertiConfig::default()
+        };
         for c in [
             PrefetcherChoice::None,
             PrefetcherChoice::IpStride,
@@ -251,8 +253,10 @@ mod tests {
 
     #[test]
     fn berti_custom_config_propagates() {
-        let mut cfg = berti_core::BertiConfig::default();
-        cfg.history_sets = 16;
+        let cfg = berti_core::BertiConfig {
+            history_sets: 16,
+            ..berti_core::BertiConfig::default()
+        };
         let p = PrefetcherChoice::BertiWith(cfg).build();
         assert!(p.storage_bits() > PrefetcherChoice::Berti.build().storage_bits());
     }

@@ -31,9 +31,16 @@
 #![warn(missing_docs)]
 
 mod choices;
+mod engine;
 mod report;
 mod runner;
+mod sampler;
 
 pub use choices::{L2PrefetcherChoice, PrefetcherChoice};
-pub use report::{geometric_mean, MultiCoreReport, Report, SuiteSummary};
-pub use runner::{simulate, simulate_multicore, simulate_suite, simulate_with_l2, SimOptions};
+pub use engine::Engine;
+pub use report::{geometric_mean, MultiCoreReport, Report, ReportMeta, SuiteSummary};
+pub use runner::{
+    simulate, simulate_instrumented, simulate_multicore, simulate_multicore_with_engine,
+    simulate_suite, simulate_with_engine, simulate_with_l2, SimOptions,
+};
+pub use sampler::{IntervalSample, Sampling};

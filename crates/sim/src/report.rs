@@ -3,7 +3,23 @@
 use berti_cpu::CoreStats;
 use berti_energy::{AccessCounts, EnergyBreakdown, EnergyModel};
 use berti_mem::{CacheStats, DramStats};
+use berti_stats::Registry;
 use serde::{Deserialize, Serialize};
+
+/// The identity half of a [`Report`]: everything that is not a
+/// counter. Paired with a stats [`Registry`] by
+/// [`Report::from_registry`].
+#[derive(Clone, Debug)]
+pub struct ReportMeta {
+    /// Workload name.
+    pub workload: String,
+    /// L1D prefetcher name.
+    pub l1_prefetcher: String,
+    /// L2 prefetcher name, if any.
+    pub l2_prefetcher: Option<String>,
+    /// Prefetcher storage in bits (L1 + L2).
+    pub prefetcher_storage_bits: u64,
+}
 
 /// Measurement-phase results of one core's run.
 ///
@@ -43,6 +59,34 @@ pub struct Report {
 }
 
 impl Report {
+    /// Assembles a report generically from a stats registry: each
+    /// counter block is pulled from its named group (`"core"`,
+    /// `"l1d"`, `"l2"`, `"llc"`, `"dram"`, `"flow"`) rather than
+    /// copied field by field from the components, then the derived
+    /// energy-model counts are computed. Groups a run never registered
+    /// read as all-zero.
+    pub fn from_registry(meta: ReportMeta, registry: &Registry) -> Report {
+        let core: CoreStats = registry.get("core");
+        let mut r = Report {
+            workload: meta.workload,
+            l1_prefetcher: meta.l1_prefetcher,
+            l2_prefetcher: meta.l2_prefetcher,
+            prefetcher_storage_bits: meta.prefetcher_storage_bits,
+            instructions: core.instructions,
+            cycles: core.cycles,
+            core,
+            l1d: registry.get("l1d"),
+            l2: registry.get("l2"),
+            llc: registry.get("llc"),
+            dram: registry.get("dram"),
+            flow: registry.get("flow"),
+            counts: Default::default(),
+            energy: Default::default(),
+        };
+        r.compute_counts();
+        r
+    }
+
     /// Instructions per cycle.
     pub fn ipc(&self) -> f64 {
         if self.cycles == 0 {

@@ -2,11 +2,14 @@
 
 use berti_cpu::{Core, DataPort, MemOpKind, PortResponse};
 use berti_mem::{DemandAccess, DemandOutcome, Hierarchy, SharedMemory};
+use berti_stats::Registry;
 use berti_traces::{Trace, WorkloadDef};
 use berti_types::{AccessKind, Cycle, Ip, SystemConfig, VAddr};
 
 use crate::choices::{L2PrefetcherChoice, PrefetcherChoice};
-use crate::report::{MultiCoreReport, Report};
+use crate::engine::Engine;
+use crate::report::{MultiCoreReport, Report, ReportMeta};
+use crate::sampler::{IntervalSampler, Sampling};
 
 /// Simulation phase lengths and limits.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
@@ -102,7 +105,19 @@ impl CoreSlot {
         self.retired = 0;
     }
 
-    /// Builds a report from the current counters.
+    /// Snapshots every counter group this run contributes into a
+    /// stats registry: the core's counters plus the private hierarchy
+    /// and shared back-end groups.
+    fn registry(&self, shared: &SharedMemory) -> Registry {
+        let mut reg = Registry::new();
+        reg.record("core", self.core.stats());
+        self.hier.register_stats(&mut reg);
+        shared.register_stats(&mut reg);
+        reg
+    }
+
+    /// Builds a report from the current counters, generically through
+    /// the stats registry.
     fn report(
         &self,
         shared: &SharedMemory,
@@ -111,24 +126,103 @@ impl CoreSlot {
     ) -> Report {
         let storage = self.hier.l1_prefetcher().storage_bits()
             + self.hier.l2_prefetcher().map_or(0, |p| p.storage_bits());
-        let mut r = Report {
-            workload: self.trace.name().to_string(),
-            l1_prefetcher: l1.name().to_string(),
-            l2_prefetcher: l2.map(|c| c.name().to_string()),
-            prefetcher_storage_bits: storage,
-            instructions: self.core.stats().instructions,
-            cycles: self.core.stats().cycles,
-            core: *self.core.stats(),
-            l1d: *self.hier.l1d().stats(),
-            l2: *self.hier.l2().stats(),
-            llc: *shared.llc.stats(),
-            dram: *shared.dram.stats(),
-            flow: *self.hier.flow_stats(),
-            counts: Default::default(),
-            energy: Default::default(),
-        };
-        r.compute_counts();
-        r
+        Report::from_registry(
+            ReportMeta {
+                workload: self.trace.name().to_string(),
+                l1_prefetcher: l1.name().to_string(),
+                l2_prefetcher: l2.map(|c| c.name().to_string()),
+                prefetcher_storage_bits: storage,
+            },
+            &self.registry(shared),
+        )
+    }
+}
+
+/// The common cycle every slot can fast-forward to with no component
+/// doing any work in between, bounded by `limit` (the phase's cycle
+/// ceiling). `None` when some core can retire or dispatch this cycle,
+/// or some queued prefetch is due — then the cycle must run normally.
+fn common_skip_target(
+    slots: &[CoreSlot],
+    shared: &SharedMemory,
+    now: Cycle,
+    limit: Cycle,
+) -> Option<Cycle> {
+    let mut target = limit;
+    if let Some(ev) = shared.dram.next_event(now) {
+        if ev <= now {
+            return None;
+        }
+        target = target.min(ev);
+    }
+    for s in slots {
+        debug_assert_eq!(s.core.now(), now, "cores run in lockstep");
+        let wake = s.core.quiescent_until()?;
+        target = target.min(wake);
+        if let Some(ev) = s.hier.next_event(now) {
+            if ev <= now {
+                return None;
+            }
+            target = target.min(ev);
+        }
+    }
+    (target > now).then_some(target)
+}
+
+/// Runs one phase (warm-up or measurement): cycles every slot in
+/// lockstep until each has retired `instructions` since phase start
+/// or the phase's cycle ceiling (`instructions * max_cpi`) is hit.
+///
+/// `on_slot_cycled` runs immediately after each slot's cycle — at
+/// that point the shared LLC/DRAM state reflects this slot's activity
+/// this cycle but not yet the remaining slots' — so per-slot
+/// observations (budget snapshots, interval samples) see exactly what
+/// the reference per-cycle loop would show them.
+///
+/// With [`Engine::SkipAhead`], stretches where every core is
+/// quiescent and no component has an event due are fast-forwarded via
+/// [`Core::skip_to`]; the skip target is common to all slots, so
+/// cores stay in lockstep and results are byte-identical to
+/// [`Engine::Naive`].
+fn drive_phase(
+    slots: &mut [CoreSlot],
+    shared: &mut SharedMemory,
+    engine: Engine,
+    instructions: u64,
+    max_cpi: u64,
+    mut on_slot_cycled: impl FnMut(usize, &mut CoreSlot, &SharedMemory),
+) {
+    if slots.is_empty() {
+        return;
+    }
+    let start: Vec<u64> = slots.iter().map(|s| s.retired).collect();
+    let phase_start = slots[0].core.now();
+    let deadline = instructions.saturating_mul(max_cpi);
+    let limit = Cycle::new(phase_start.raw().saturating_add(deadline));
+    loop {
+        let now = slots[0].core.now();
+        if now.since(phase_start) >= deadline {
+            break;
+        }
+        if !slots
+            .iter()
+            .zip(&start)
+            .any(|(s, st)| s.retired - st < instructions)
+        {
+            break;
+        }
+        if engine == Engine::SkipAhead {
+            if let Some(target) = common_skip_target(slots, shared, now, limit) {
+                for s in slots.iter_mut() {
+                    s.core.skip_to(target);
+                }
+                continue;
+            }
+        }
+        for (i, s) in slots.iter_mut().enumerate() {
+            s.cycle(shared);
+            on_slot_cycled(i, s, shared);
+        }
     }
 }
 
@@ -151,28 +245,69 @@ pub fn simulate_with_l2(
     trace: &mut Trace,
     opts: &SimOptions,
 ) -> Report {
+    simulate_with_engine(cfg, l1, l2, trace, opts, Engine::default())
+}
+
+/// Runs one workload single-core under an explicit [`Engine`].
+pub fn simulate_with_engine(
+    cfg: &SystemConfig,
+    l1: PrefetcherChoice,
+    l2: Option<L2PrefetcherChoice>,
+    trace: &mut Trace,
+    opts: &SimOptions,
+    engine: Engine,
+) -> Report {
+    simulate_instrumented(cfg, l1, l2, trace, opts, engine, None)
+}
+
+/// Runs one workload single-core, optionally sampling an
+/// IPC/MPKI/accuracy time series every `sampling.interval` retired
+/// instructions of the measurement phase (the warm-up phase is never
+/// sampled). Sampling only observes counters; it does not perturb the
+/// simulation, so reports are identical with and without it.
+pub fn simulate_instrumented(
+    cfg: &SystemConfig,
+    l1: PrefetcherChoice,
+    l2: Option<L2PrefetcherChoice>,
+    trace: &mut Trace,
+    opts: &SimOptions,
+    engine: Engine,
+    sampling: Option<Sampling<'_>>,
+) -> Report {
     let mut shared = SharedMemory::new(cfg, 1);
     let mut slot = CoreSlot::new(cfg, &l1, l2, trace.restarted());
-    run_phase(
-        &mut slot,
+    drive_phase(
+        std::slice::from_mut(&mut slot),
         &mut shared,
+        engine,
         opts.warmup_instructions,
         opts.max_cpi,
+        |_, _, _| {},
     );
     slot.reset_stats();
     shared.reset_stats();
-    run_phase(&mut slot, &mut shared, opts.sim_instructions, opts.max_cpi);
-    slot.report(&shared, &l1, l2)
-}
-
-fn run_phase(slot: &mut CoreSlot, shared: &mut SharedMemory, instructions: u64, max_cpi: u64) {
-    let start_retired = slot.retired;
-    let deadline = instructions.saturating_mul(max_cpi);
-    let mut cycles = 0u64;
-    while slot.retired - start_retired < instructions && cycles < deadline {
-        slot.cycle(shared);
-        cycles += 1;
+    match sampling {
+        None => drive_phase(
+            std::slice::from_mut(&mut slot),
+            &mut shared,
+            engine,
+            opts.sim_instructions,
+            opts.max_cpi,
+            |_, _, _| {},
+        ),
+        Some(s) => {
+            let mut sampler = IntervalSampler::new(s);
+            drive_phase(
+                std::slice::from_mut(&mut slot),
+                &mut shared,
+                engine,
+                opts.sim_instructions,
+                opts.max_cpi,
+                |_, slot, shared| sampler.observe(slot.retired, || slot.registry(shared)),
+            );
+        }
     }
+    slot.report(&shared, &l1, l2)
 }
 
 /// Runs a heterogeneous mix on `mix.len()` cores sharing the LLC and
@@ -185,38 +320,52 @@ pub fn simulate_multicore(
     mix: &[WorkloadDef],
     opts: &SimOptions,
 ) -> MultiCoreReport {
+    simulate_multicore_with_engine(cfg, l1, l2, mix, opts, Engine::default())
+}
+
+/// [`simulate_multicore`] under an explicit [`Engine`]. Skip-ahead
+/// only fast-forwards when *every* core is quiescent, preserving the
+/// lockstep interleaving of shared LLC/DRAM activity.
+pub fn simulate_multicore_with_engine(
+    cfg: &SystemConfig,
+    l1: PrefetcherChoice,
+    l2: Option<L2PrefetcherChoice>,
+    mix: &[WorkloadDef],
+    opts: &SimOptions,
+    engine: Engine,
+) -> MultiCoreReport {
     let cores = mix.len();
     let mut shared = SharedMemory::new(cfg, cores);
     let mut slots: Vec<CoreSlot> = mix
         .iter()
         .map(|w| CoreSlot::new(cfg, &l1, l2, w.trace()))
         .collect();
-    // Warm-up.
-    let warm_deadline = opts.warmup_instructions.saturating_mul(opts.max_cpi);
-    let mut cycles = 0u64;
-    while slots.iter().any(|s| s.retired < opts.warmup_instructions) && cycles < warm_deadline {
-        for s in slots.iter_mut() {
-            s.cycle(&mut shared);
-        }
-        cycles += 1;
-    }
+    drive_phase(
+        &mut slots,
+        &mut shared,
+        engine,
+        opts.warmup_instructions,
+        opts.max_cpi,
+        |_, _, _| {},
+    );
     for s in slots.iter_mut() {
         s.reset_stats();
     }
     shared.reset_stats();
     // Measurement with replay-until-all-finish.
-    let deadline = opts.sim_instructions.saturating_mul(opts.max_cpi);
-    let mut cycles = 0u64;
-    while slots.iter().any(|s| s.snapshot.is_none()) && cycles < deadline {
-        for slot in slots.iter_mut() {
-            slot.cycle(&mut shared);
-            if slot.snapshot.is_none() && slot.retired >= opts.sim_instructions {
-                let rep = slot.report(&shared, &l1, l2);
-                slot.snapshot = Some(rep);
+    let budget = opts.sim_instructions;
+    drive_phase(
+        &mut slots,
+        &mut shared,
+        engine,
+        budget,
+        opts.max_cpi,
+        |_, slot, shared| {
+            if slot.snapshot.is_none() && slot.retired >= budget {
+                slot.snapshot = Some(slot.report(shared, &l1, l2));
             }
-        }
-        cycles += 1;
-    }
+        },
+    );
     let cores = slots
         .into_iter()
         .map(|mut s| {
@@ -241,14 +390,16 @@ pub fn simulate_suite(
         .map(|n| n.get())
         .unwrap_or(4)
         .min(suite.len().max(1));
-    let mut results: Vec<Option<Report>> = vec![None; suite.len()];
+    // One result cell per workload: a worker locks only the cell it
+    // just finished, never the whole result set.
+    let cells: Vec<std::sync::Mutex<Option<Report>>> =
+        suite.iter().map(|_| std::sync::Mutex::new(None)).collect();
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let results_mx = std::sync::Mutex::new(&mut results);
     std::thread::scope(|scope| {
         for _ in 0..threads {
             let l1 = l1.clone();
             let next = &next;
-            let results_mx = &results_mx;
+            let cells = &cells;
             scope.spawn(move || loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if i >= suite.len() {
@@ -256,13 +407,17 @@ pub fn simulate_suite(
                 }
                 let mut trace = suite[i].trace();
                 let r = simulate_with_l2(cfg, l1.clone(), l2, &mut trace, opts);
-                results_mx.lock().expect("no poisoned runs")[i] = Some(r);
+                *cells[i].lock().expect("no poisoned runs") = Some(r);
             });
         }
     });
-    results
+    cells
         .into_iter()
-        .map(|r| r.expect("every workload simulated"))
+        .map(|c| {
+            c.into_inner()
+                .expect("no poisoned runs")
+                .expect("every workload simulated")
+        })
         .collect()
 }
 
@@ -275,7 +430,7 @@ mod tests {
         SimOptions {
             warmup_instructions: 20_000,
             sim_instructions: 100_000,
-            max_cpi: 64,
+            ..SimOptions::default()
         }
     }
 
@@ -330,7 +485,7 @@ mod tests {
         let opts = SimOptions {
             warmup_instructions: 5_000,
             sim_instructions: 30_000,
-            max_cpi: 64,
+            ..SimOptions::default()
         };
         let mix: Vec<_> = spec::suite().into_iter().take(2).collect();
         let r = simulate_multicore(&cfg, PrefetcherChoice::IpStride, None, &mix, &opts);
@@ -341,12 +496,87 @@ mod tests {
     }
 
     #[test]
+    fn multicore_engines_agree_byte_for_byte() {
+        let cfg = SystemConfig::default();
+        let opts = SimOptions {
+            warmup_instructions: 5_000,
+            sim_instructions: 30_000,
+            ..SimOptions::default()
+        };
+        let mix: Vec<_> = spec::suite().into_iter().take(2).collect();
+        let naive = simulate_multicore_with_engine(
+            &cfg,
+            PrefetcherChoice::Berti,
+            None,
+            &mix,
+            &opts,
+            Engine::Naive,
+        );
+        let skip = simulate_multicore_with_engine(
+            &cfg,
+            PrefetcherChoice::Berti,
+            None,
+            &mix,
+            &opts,
+            Engine::SkipAhead,
+        );
+        for (n, s) in naive.cores.iter().zip(&skip.cores) {
+            assert_eq!(
+                serde::json::to_string(n),
+                serde::json::to_string(s),
+                "multi-core skip-ahead diverged on {}",
+                n.workload
+            );
+        }
+    }
+
+    #[test]
+    fn sampling_leaves_the_report_unchanged() {
+        let cfg = SystemConfig::default();
+        let opts = SimOptions {
+            warmup_instructions: 5_000,
+            sim_instructions: 40_000,
+            ..SimOptions::default()
+        };
+        let w = &spec::suite()[0];
+        let plain = simulate(&cfg, PrefetcherChoice::Berti, &mut w.trace(), &opts);
+        let mut samples = Vec::new();
+        let mut sink = |s: crate::sampler::IntervalSample| samples.push(s);
+        let sampled = simulate_instrumented(
+            &cfg,
+            PrefetcherChoice::Berti,
+            None,
+            &mut w.trace(),
+            &opts,
+            Engine::default(),
+            Some(Sampling {
+                interval: 10_000,
+                sink: &mut sink,
+            }),
+        );
+        assert_eq!(
+            serde::json::to_string(&plain),
+            serde::json::to_string(&sampled),
+            "sampling must be observation-only"
+        );
+        assert!(samples.len() >= 3, "got {} samples", samples.len());
+        let last = samples.last().unwrap();
+        assert!(last.instructions <= sampled.instructions);
+        assert!(last.ipc > 0.0);
+        // Cumulative columns are monotone.
+        for pair in samples.windows(2) {
+            assert!(pair[1].instructions > pair[0].instructions);
+            assert!(pair[1].cycles >= pair[0].cycles);
+        }
+    }
+
+    #[test]
     fn suite_runner_preserves_order() {
         let cfg = SystemConfig::default();
         let opts = SimOptions {
             warmup_instructions: 2_000,
             sim_instructions: 10_000,
-            max_cpi: 64,
+            ..SimOptions::default()
         };
         let suite: Vec<_> = spec::suite().into_iter().take(3).collect();
         let rs = simulate_suite(&cfg, PrefetcherChoice::None, None, &suite, &opts);

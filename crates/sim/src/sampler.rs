@@ -1,0 +1,191 @@
+//! Per-interval time series: IPC/MPKI/accuracy sampled every N
+//! retired instructions during the measurement phase.
+//!
+//! The sampler is a thin client of the stats registry: at each window
+//! boundary it snapshots the full [`Registry`] and diffs it against
+//! the previous snapshot ([`Registry::delta_from`]), so window metrics
+//! come from the same counter groups as the final report — no separate
+//! per-field bookkeeping.
+
+use berti_cpu::CoreStats;
+use berti_mem::CacheStats;
+use berti_stats::Registry;
+
+/// One completed sampling window of the measurement phase.
+///
+/// `instructions`/`cycles` are cumulative at the end of the window;
+/// the metric fields are computed over the window alone.
+#[derive(Clone, Copy, Debug, serde::Serialize, serde::Deserialize)]
+pub struct IntervalSample {
+    /// Instructions retired so far in the measurement phase.
+    pub instructions: u64,
+    /// Cycles elapsed so far in the measurement phase.
+    pub cycles: u64,
+    /// IPC over this window.
+    pub ipc: f64,
+    /// L1D demand MPKI over this window.
+    pub l1d_mpki: f64,
+    /// L2 demand MPKI over this window.
+    pub l2_mpki: f64,
+    /// LLC demand MPKI over this window.
+    pub llc_mpki: f64,
+    /// L1D prefetch accuracy over this window (`None` if nothing
+    /// filled).
+    pub l1d_accuracy: Option<f64>,
+}
+
+/// Interval-sampling configuration for an instrumented run.
+pub struct Sampling<'a> {
+    /// Window length in retired instructions.
+    pub interval: u64,
+    /// Receives each completed window.
+    pub sink: &'a mut dyn FnMut(IntervalSample),
+}
+
+/// Emits an [`IntervalSample`] each time the retired-instruction count
+/// crosses a window boundary.
+pub(crate) struct IntervalSampler<'a> {
+    interval: u64,
+    next_boundary: u64,
+    prev: Registry,
+    sink: &'a mut dyn FnMut(IntervalSample),
+}
+
+impl<'a> IntervalSampler<'a> {
+    /// A sampler for windows of `interval` instructions, starting from
+    /// the (freshly reset) measurement-phase counters.
+    ///
+    /// `interval` of zero is treated as "never sample".
+    pub(crate) fn new(sampling: Sampling<'a>) -> Self {
+        Self {
+            interval: sampling.interval,
+            next_boundary: sampling.interval.max(1),
+            prev: Registry::new(),
+            sink: sampling.sink,
+        }
+    }
+
+    /// Observes the current retired count; when a boundary has been
+    /// crossed, pulls a registry snapshot from `registry`, emits the
+    /// window, and re-arms. A single observation that crosses several
+    /// boundaries (wide retire bursts, tiny intervals) emits one
+    /// correspondingly wider window.
+    pub(crate) fn observe(&mut self, retired: u64, registry: impl FnOnce() -> Registry) {
+        if self.interval == 0 || retired < self.next_boundary {
+            return;
+        }
+        while retired >= self.next_boundary {
+            self.next_boundary += self.interval;
+        }
+        let reg = registry();
+        let window = reg.delta_from(&self.prev);
+        let wcore: CoreStats = window.get("core");
+        let wl1d: CacheStats = window.get("l1d");
+        let wl2: CacheStats = window.get("l2");
+        let wllc: CacheStats = window.get("llc");
+        let mpki = |c: &CacheStats| {
+            if wcore.instructions == 0 {
+                0.0
+            } else {
+                c.demand_misses() as f64 * 1000.0 / wcore.instructions as f64
+            }
+        };
+        let cum: CoreStats = reg.get("core");
+        (self.sink)(IntervalSample {
+            instructions: cum.instructions,
+            cycles: cum.cycles,
+            ipc: if wcore.cycles == 0 {
+                0.0
+            } else {
+                wcore.instructions as f64 / wcore.cycles as f64
+            },
+            l1d_mpki: mpki(&wl1d),
+            l2_mpki: mpki(&wl2),
+            llc_mpki: mpki(&wllc),
+            l1d_accuracy: wl1d.prefetch_accuracy(),
+        });
+        self.prev = reg;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn registry(instructions: u64, cycles: u64, l1d_misses: u64) -> Registry {
+        let mut reg = Registry::new();
+        reg.record(
+            "core",
+            &CoreStats {
+                instructions,
+                cycles,
+                ..Default::default()
+            },
+        );
+        let l1d = CacheStats {
+            load_misses: l1d_misses,
+            ..Default::default()
+        };
+        reg.record("l1d", &l1d);
+        reg.record("l2", &CacheStats::default());
+        reg.record("llc", &CacheStats::default());
+        reg
+    }
+
+    #[test]
+    fn emits_windowed_metrics_at_boundaries() {
+        let mut samples = Vec::new();
+        {
+            let mut sink = |s: IntervalSample| samples.push(s);
+            let mut sampler = IntervalSampler::new(Sampling {
+                interval: 1000,
+                sink: &mut sink,
+            });
+            // Below the first boundary: nothing.
+            sampler.observe(999, || unreachable!("no snapshot before a boundary"));
+            sampler.observe(1001, || registry(1001, 2002, 10));
+            // Second window: +999 instructions, +998 cycles, +5 misses.
+            sampler.observe(2000, || registry(2000, 3000, 15));
+        }
+        assert_eq!(samples.len(), 2);
+        assert_eq!(samples[0].instructions, 1001);
+        assert!((samples[0].ipc - 0.5).abs() < 1e-9);
+        assert!((samples[0].l1d_mpki - 10.0 * 1000.0 / 1001.0).abs() < 1e-9);
+        assert_eq!(samples[1].instructions, 2000);
+        assert!((samples[1].ipc - 999.0 / 998.0).abs() < 1e-9);
+        assert!((samples[1].l1d_mpki - 5.0 * 1000.0 / 999.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wide_crossings_emit_one_wider_window() {
+        let mut count = 0usize;
+        {
+            let mut sink = |_s: IntervalSample| count += 1;
+            let mut sampler = IntervalSampler::new(Sampling {
+                interval: 10,
+                sink: &mut sink,
+            });
+            sampler.observe(35, || registry(35, 70, 0));
+            // Boundary re-armed past the crossing, not at every multiple.
+            sampler.observe(39, || unreachable!("inside the re-armed window"));
+            sampler.observe(40, || registry(40, 80, 0));
+        }
+        assert_eq!(count, 2);
+    }
+
+    #[test]
+    fn sample_serializes_with_field_names() {
+        let s = IntervalSample {
+            instructions: 100,
+            cycles: 200,
+            ipc: 0.5,
+            l1d_mpki: 1.0,
+            l2_mpki: 0.5,
+            llc_mpki: 0.25,
+            l1d_accuracy: None,
+        };
+        let json = serde::json::to_string(&s);
+        assert!(json.contains("\"instructions\":100"), "{json}");
+        assert!(json.contains("\"ipc\":0.5"), "{json}");
+    }
+}

@@ -1,0 +1,254 @@
+//! `berti-stats`: the unified statistics layer.
+//!
+//! Every component of the simulator (caches, DRAM, TLBs, the core, the
+//! prefetch flow) keeps its event counters in a struct defined through
+//! [`counter_group!`]. The macro derives serde round-tripping *and* the
+//! [`Counters`] trait, so the field list is written exactly once — the
+//! same list drives JSON serialization, registry snapshots, and
+//! windowed diffs. Components register snapshots of their counters
+//! into a [`Registry`] under a group name ("l1d", "dram", …); reports
+//! are then assembled generically from the registry, and the interval
+//! sampler diffs two registry snapshots to produce per-window
+//! IPC/MPKI/accuracy time series without any per-field plumbing.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// A struct of `u64` event counters with a single-sourced field list.
+///
+/// Implemented by [`counter_group!`]; never implement it by hand — the
+/// whole point is that `counter_names()` and `values()` can never
+/// drift from the struct definition.
+pub trait Counters: Default {
+    /// Field names, in declaration order.
+    fn counter_names() -> &'static [&'static str];
+
+    /// Field values, parallel to [`Counters::counter_names`].
+    fn values(&self) -> Vec<u64>;
+
+    /// Rebuilds the struct from values parallel to
+    /// [`Counters::counter_names`]; missing trailing values read as 0.
+    fn from_values(values: &[u64]) -> Self;
+}
+
+/// Defines a counter struct and wires it into the stats layer.
+///
+/// Expands to the struct itself (all fields `pub u64`), the usual
+/// derives (`Clone`, `Copy`, `Debug`, `Default`, serde), and a
+/// [`Counters`] impl whose name/value lists are generated from the
+/// same field list — one definition site, three consumers.
+///
+/// ```
+/// berti_stats::counter_group! {
+///     /// Counters of an example widget.
+///     pub struct WidgetStats {
+///         /// Times the widget frobbed.
+///         pub frobs: u64,
+///         /// Times the widget twiddled.
+///         pub twiddles: u64,
+///     }
+/// }
+/// # use berti_stats::Counters;
+/// assert_eq!(WidgetStats::counter_names(), ["frobs", "twiddles"]);
+/// ```
+#[macro_export]
+macro_rules! counter_group {
+    (
+        $(#[$meta:meta])*
+        pub struct $name:ident {
+            $( $(#[$fmeta:meta])* pub $field:ident: u64 ),+ $(,)?
+        }
+    ) => {
+        $(#[$meta])*
+        #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+        pub struct $name {
+            $( $(#[$fmeta])* pub $field: u64, )+
+        }
+
+        impl $crate::Counters for $name {
+            fn counter_names() -> &'static [&'static str] {
+                &[ $( stringify!($field) ),+ ]
+            }
+
+            fn values(&self) -> ::std::vec::Vec<u64> {
+                ::std::vec![ $( self.$field ),+ ]
+            }
+
+            fn from_values(values: &[u64]) -> Self {
+                let mut iter = values.iter().copied();
+                Self {
+                    $( $field: iter.next().unwrap_or(0), )+
+                }
+            }
+        }
+    };
+}
+
+/// One registered group: a component's counters under a name.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Group {
+    /// Group name ("l1d", "dram", "core", …).
+    pub name: &'static str,
+    /// Counter names, as declared by the source struct.
+    pub counter_names: &'static [&'static str],
+    /// Counter values, parallel to `counter_names`.
+    pub values: Vec<u64>,
+}
+
+impl Group {
+    /// The value of one counter, by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counter_names
+            .iter()
+            .position(|n| *n == name)
+            .map(|i| self.values[i])
+    }
+}
+
+/// A snapshot registry of named counter groups.
+///
+/// Components *register into* the registry by snapshotting their
+/// counters under a group name; consumers read groups back as typed
+/// structs ([`Registry::get`]), individual counters
+/// ([`Registry::counter`]), or window diffs ([`Registry::delta_from`]).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Registry {
+    groups: Vec<Group>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or replaces) `counters` under `group`.
+    pub fn record<C: Counters>(&mut self, group: &'static str, counters: &C) {
+        let g = Group {
+            name: group,
+            counter_names: C::counter_names(),
+            values: counters.values(),
+        };
+        match self.groups.iter_mut().find(|e| e.name == group) {
+            Some(existing) => *existing = g,
+            None => self.groups.push(g),
+        }
+    }
+
+    /// All groups, in registration order.
+    pub fn groups(&self) -> &[Group] {
+        &self.groups
+    }
+
+    /// One group, by name.
+    pub fn group(&self, name: &str) -> Option<&Group> {
+        self.groups.iter().find(|g| g.name == name)
+    }
+
+    /// Rebuilds the typed counter struct registered under `group`;
+    /// all-zero if the group was never registered.
+    pub fn get<C: Counters>(&self, group: &str) -> C {
+        match self.group(group) {
+            Some(g) => C::from_values(&g.values),
+            None => C::default(),
+        }
+    }
+
+    /// The value of `counter` in `group`, if both exist.
+    pub fn counter(&self, group: &str, counter: &str) -> Option<u64> {
+        self.group(group).and_then(|g| g.counter(counter))
+    }
+
+    /// The window between two snapshots: every counter of `self` minus
+    /// the matching counter of `earlier` (saturating; groups absent
+    /// from `earlier` pass through unchanged). This is what the
+    /// interval sampler feeds per-window metric computations with.
+    pub fn delta_from(&self, earlier: &Registry) -> Registry {
+        let groups = self
+            .groups
+            .iter()
+            .map(|g| {
+                let values = match earlier.group(g.name) {
+                    Some(e) => g
+                        .values
+                        .iter()
+                        .zip(e.values.iter().chain(std::iter::repeat(&0)))
+                        .map(|(now, before)| now.saturating_sub(*before))
+                        .collect(),
+                    None => g.values.clone(),
+                };
+                Group {
+                    name: g.name,
+                    counter_names: g.counter_names,
+                    values,
+                }
+            })
+            .collect();
+        Registry { groups }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    counter_group! {
+        /// Test counters.
+        pub struct TestStats {
+            /// First.
+            pub alpha: u64,
+            /// Second.
+            pub beta: u64,
+        }
+    }
+
+    #[test]
+    fn macro_single_sources_the_field_list() {
+        assert_eq!(TestStats::counter_names(), ["alpha", "beta"]);
+        let s = TestStats { alpha: 3, beta: 7 };
+        assert_eq!(s.values(), vec![3, 7]);
+        assert_eq!(TestStats::from_values(&[3, 7]), s);
+        // Missing trailing values read as zero.
+        assert_eq!(TestStats::from_values(&[3]).beta, 0);
+    }
+
+    #[test]
+    fn macro_output_serializes_by_field_name() {
+        let s = TestStats { alpha: 1, beta: 2 };
+        let json = serde::json::to_string(&s);
+        assert_eq!(json, r#"{"alpha":1,"beta":2}"#);
+        let back: TestStats = serde::json::from_str(&json).expect("parses");
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn registry_records_and_reads_back() {
+        let mut reg = Registry::new();
+        reg.record("t", &TestStats { alpha: 5, beta: 9 });
+        assert_eq!(reg.counter("t", "alpha"), Some(5));
+        assert_eq!(reg.counter("t", "nope"), None);
+        assert_eq!(reg.counter("nope", "alpha"), None);
+        let t: TestStats = reg.get("t");
+        assert_eq!(t.beta, 9);
+        let missing: TestStats = reg.get("absent");
+        assert_eq!(missing, TestStats::default());
+        // Re-recording replaces in place (no duplicate groups).
+        reg.record("t", &TestStats { alpha: 6, beta: 9 });
+        assert_eq!(reg.groups().len(), 1);
+        assert_eq!(reg.counter("t", "alpha"), Some(6));
+    }
+
+    #[test]
+    fn delta_from_diffs_per_counter() {
+        let mut before = Registry::new();
+        before.record("t", &TestStats { alpha: 10, beta: 1 });
+        let mut after = Registry::new();
+        after.record("t", &TestStats { alpha: 25, beta: 4 });
+        after.record("u", &TestStats { alpha: 2, beta: 2 });
+        let window = after.delta_from(&before);
+        assert_eq!(window.counter("t", "alpha"), Some(15));
+        assert_eq!(window.counter("t", "beta"), Some(3));
+        // Groups absent from the earlier snapshot pass through.
+        assert_eq!(window.counter("u", "alpha"), Some(2));
+    }
+}

@@ -317,106 +317,6 @@ fn xz_like() -> Vec<Instr> {
     b.build()
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use berti_types::LINE_BYTES;
-    use std::collections::HashSet;
-
-    #[test]
-    fn suite_has_eighteen_memory_intensive_workloads() {
-        let s = suite();
-        assert_eq!(s.len(), 18);
-        let names: HashSet<_> = s.iter().map(|w| w.name).collect();
-        assert_eq!(names.len(), 18, "names must be unique");
-        assert!(s.iter().all(|w| w.suite == Suite::Spec));
-    }
-
-    #[test]
-    fn traces_are_deterministic_and_sized() {
-        for w in [&suite()[0], &suite()[4]] {
-            let a = w.trace();
-            let b = w.trace();
-            assert_eq!(a.len(), b.len());
-            assert!(a.len() >= TRACE_INSTRS, "{} too short", w.name);
-            assert!(a.len() < TRACE_INSTRS + 4096);
-        }
-    }
-
-    #[test]
-    fn lbm_ips_see_alternating_strides() {
-        let t = lbm_like();
-        let mut lines: Vec<u64> = t
-            .iter()
-            .filter(|i| i.ip.raw() == 0x401cb0)
-            .filter_map(|i| i.loads[0])
-            .map(|a| a.raw() / LINE_BYTES)
-            .take(24)
-            .collect();
-        lines.dedup(); // several element touches share each line
-        let strides: Vec<i64> = lines
-            .windows(2)
-            .map(|w| w[1] as i64 - w[0] as i64)
-            .take(6)
-            .collect();
-        assert_eq!(strides, vec![1, 2, 1, 2, 1, 2]);
-    }
-
-    #[test]
-    fn cactu_is_globally_sequential_but_per_ip_sparse() {
-        let t = cactu_like();
-        let loads: Vec<(u64, u64)> = t
-            .iter()
-            .filter_map(|i| i.loads[0].map(|a| (i.ip.raw(), a.raw() / LINE_BYTES)))
-            .take(512)
-            .collect();
-        // Global deltas are exactly +1.
-        assert!(loads.windows(2).all(|w| w[1].1 == w[0].1 + 1));
-        // But a single IP's consecutive accesses are 256 lines apart.
-        let ip0: Vec<u64> = loads
-            .iter()
-            .filter(|(ip, _)| *ip == 0x410_000)
-            .map(|(_, l)| *l)
-            .collect();
-        assert!(ip0.windows(2).all(|w| w[1] - w[0] == 256));
-        // And there are hundreds of distinct IPs.
-        let ips: HashSet<u64> = t
-            .iter()
-            .filter_map(|i| i.loads[0].map(|_| i.ip.raw()))
-            .collect();
-        assert!(ips.len() >= 256);
-    }
-
-    #[test]
-    fn mcf_has_dependent_chains() {
-        let t = mcf_1554_like();
-        assert!(t.iter().any(|i| i.dep_chain.is_some()));
-    }
-
-    #[test]
-    fn memory_intensity_is_realistic() {
-        // Roughly 15–40 % of instructions should touch memory, like the
-        // paper's memory-intensive traces.
-        for w in suite() {
-            let t = w.trace();
-            let mut mem = 0usize;
-            let mut trace = t;
-            let n = 100_000;
-            for _ in 0..n {
-                if trace.next_instr().is_memory() {
-                    mem += 1;
-                }
-            }
-            let frac = mem as f64 / n as f64;
-            assert!(
-                (0.04..=0.60).contains(&frac),
-                "{}: memory fraction {frac:.2}",
-                trace.name()
-            );
-        }
-    }
-}
-
 /// Sparse matrix-vector product (parest-like): streaming row pointers,
 /// column indices and values, plus data-dependent gathers `x[col]` —
 /// the canonical mixed regular/irregular kernel.
@@ -556,4 +456,104 @@ fn x264_like() -> Vec<Instr> {
         block += 1;
     }
     b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use berti_types::LINE_BYTES;
+    use std::collections::HashSet;
+
+    #[test]
+    fn suite_has_eighteen_memory_intensive_workloads() {
+        let s = suite();
+        assert_eq!(s.len(), 18);
+        let names: HashSet<_> = s.iter().map(|w| w.name).collect();
+        assert_eq!(names.len(), 18, "names must be unique");
+        assert!(s.iter().all(|w| w.suite == Suite::Spec));
+    }
+
+    #[test]
+    fn traces_are_deterministic_and_sized() {
+        for w in [&suite()[0], &suite()[4]] {
+            let a = w.trace();
+            let b = w.trace();
+            assert_eq!(a.len(), b.len());
+            assert!(a.len() >= TRACE_INSTRS, "{} too short", w.name);
+            assert!(a.len() < TRACE_INSTRS + 4096);
+        }
+    }
+
+    #[test]
+    fn lbm_ips_see_alternating_strides() {
+        let t = lbm_like();
+        let mut lines: Vec<u64> = t
+            .iter()
+            .filter(|i| i.ip.raw() == 0x401cb0)
+            .filter_map(|i| i.loads[0])
+            .map(|a| a.raw() / LINE_BYTES)
+            .take(24)
+            .collect();
+        lines.dedup(); // several element touches share each line
+        let strides: Vec<i64> = lines
+            .windows(2)
+            .map(|w| w[1] as i64 - w[0] as i64)
+            .take(6)
+            .collect();
+        assert_eq!(strides, vec![1, 2, 1, 2, 1, 2]);
+    }
+
+    #[test]
+    fn cactu_is_globally_sequential_but_per_ip_sparse() {
+        let t = cactu_like();
+        let loads: Vec<(u64, u64)> = t
+            .iter()
+            .filter_map(|i| i.loads[0].map(|a| (i.ip.raw(), a.raw() / LINE_BYTES)))
+            .take(512)
+            .collect();
+        // Global deltas are exactly +1.
+        assert!(loads.windows(2).all(|w| w[1].1 == w[0].1 + 1));
+        // But a single IP's consecutive accesses are 256 lines apart.
+        let ip0: Vec<u64> = loads
+            .iter()
+            .filter(|(ip, _)| *ip == 0x410_000)
+            .map(|(_, l)| *l)
+            .collect();
+        assert!(ip0.windows(2).all(|w| w[1] - w[0] == 256));
+        // And there are hundreds of distinct IPs.
+        let ips: HashSet<u64> = t
+            .iter()
+            .filter_map(|i| i.loads[0].map(|_| i.ip.raw()))
+            .collect();
+        assert!(ips.len() >= 256);
+    }
+
+    #[test]
+    fn mcf_has_dependent_chains() {
+        let t = mcf_1554_like();
+        assert!(t.iter().any(|i| i.dep_chain.is_some()));
+    }
+
+    #[test]
+    fn memory_intensity_is_realistic() {
+        // Roughly 15–40 % of instructions should touch memory, like the
+        // paper's memory-intensive traces.
+        for w in suite() {
+            let t = w.trace();
+            let mut mem = 0usize;
+            let mut trace = t;
+            let n = 100_000;
+            for _ in 0..n {
+                if trace.next_instr().is_memory() {
+                    mem += 1;
+                }
+            }
+            let frac = mem as f64 / n as f64;
+            assert!(
+                (0.04..=0.60).contains(&frac),
+                "{}: memory fraction {frac:.2}",
+                trace.name()
+            );
+        }
+    }
 }

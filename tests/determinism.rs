@@ -9,7 +9,7 @@ fn opts() -> SimOptions {
     SimOptions {
         warmup_instructions: 10_000,
         sim_instructions: 50_000,
-        max_cpi: 64,
+        ..SimOptions::default()
     }
 }
 
@@ -40,7 +40,7 @@ fn multicore_runs_are_deterministic() {
     let o = SimOptions {
         warmup_instructions: 2_000,
         sim_instructions: 20_000,
-        max_cpi: 64,
+        ..SimOptions::default()
     };
     let a = simulate_multicore(&cfg, PrefetcherChoice::Ipcp, None, &mixes[0], &o);
     let b = simulate_multicore(&cfg, PrefetcherChoice::Ipcp, None, &mixes[0], &o);

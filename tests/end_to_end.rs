@@ -10,7 +10,7 @@ fn opts() -> SimOptions {
     SimOptions {
         warmup_instructions: 50_000,
         sim_instructions: 200_000,
-        max_cpi: 64,
+        ..SimOptions::default()
     }
 }
 
@@ -207,7 +207,7 @@ fn storage_budget_matches_table_i() {
         &SimOptions {
             warmup_instructions: 1_000,
             sim_instructions: 5_000,
-            max_cpi: 64,
+            ..SimOptions::default()
         },
     );
     let kb = r.prefetcher_storage_bits as f64 / 8.0 / 1024.0;

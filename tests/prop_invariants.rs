@@ -89,14 +89,77 @@ proptest! {
         }
     }
 
+    /// Skip-ahead soundness: `Hierarchy::next_event` never
+    /// under-reports. If it says the next event is at `t`, ticking
+    /// strictly before `t` changes nothing observable, and ticking at
+    /// `t` makes progress; if it says `None`, any tick is a no-op. A
+    /// violation would mean the event-scheduled engine could miss a
+    /// wake-up and silently diverge from the naive loop.
+    #[test]
+    fn next_event_never_under_reports(
+        addrs in prop::collection::vec((0u64..1u64 << 30, 0u64..16u64), 1..200)
+    ) {
+        let cfg = SystemConfig::default();
+        let mut h = Hierarchy::new(&cfg, Box::new(Berti::new(BertiConfig::default())), None);
+        let mut s = SharedMemory::new(&cfg, 1);
+        let mut now = Cycle::ZERO;
+        for (base, ip) in addrs {
+            now += 4;
+            match h.next_event(now) {
+                Some(t) => {
+                    prop_assert!(t >= now, "events are never reported in the past");
+                    if t > now {
+                        // Quiescent stretch: ticking anywhere in
+                        // [now, t) must be a pure no-op.
+                        let flow = *h.flow_stats();
+                        let pending = h.l1_pq_len();
+                        h.tick(&mut s, Cycle::new(t.raw() - 1));
+                        prop_assert_eq!(*h.flow_stats(), flow);
+                        prop_assert_eq!(h.l1_pq_len(), pending);
+                    }
+                    // At the reported time the tick must do real work
+                    // (issue at least one queued prefetch) and leave no
+                    // event still due at or before `t`.
+                    let pending = h.l1_pq_len();
+                    h.tick(&mut s, t);
+                    prop_assert!(
+                        h.l1_pq_len() < pending,
+                        "tick at the reported event time must make progress"
+                    );
+                    if let Some(next) = h.next_event(t) {
+                        prop_assert!(next > t, "no event may remain due after ticking");
+                    }
+                }
+                None => {
+                    // Empty queues: fast-forwarding arbitrarily far is safe.
+                    let flow = *h.flow_stats();
+                    h.tick(&mut s, now + 10_000);
+                    prop_assert_eq!(*h.flow_stats(), flow);
+                    prop_assert_eq!(h.l1_pq_len(), 0);
+                }
+            }
+            // Feed the prefetcher so later iterations see queued work.
+            let req = DemandAccess {
+                ip: Ip::new(0x400_000 + ip * 4),
+                vaddr: VAddr::new(base),
+                kind: AccessKind::Load,
+            };
+            if let DemandOutcome::MshrFull = h.demand_access(&mut s, req, now) {
+                now += 50;
+            }
+        }
+    }
+
     /// Berti never prefetches across a page when the ablation disables
     /// it, for any access stream.
     #[test]
     fn cross_page_ablation_is_airtight(
         lines in prop::collection::vec(0u64..10_000, 1..500),
     ) {
-        let mut cfg = BertiConfig::default();
-        cfg.cross_page = false;
+        let cfg = BertiConfig {
+            cross_page: false,
+            ..BertiConfig::default()
+        };
         let mut b = Berti::new(cfg);
         let mut out = Vec::new();
         for (i, line) in lines.iter().enumerate() {

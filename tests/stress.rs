@@ -11,7 +11,7 @@ fn opts() -> SimOptions {
     SimOptions {
         warmup_instructions: 2_000,
         sim_instructions: 30_000,
-        max_cpi: 64,
+        ..SimOptions::default()
     }
 }
 
