@@ -26,6 +26,14 @@ pub struct Berti {
     deltas: DeltaTable,
     scratch_deltas: Vec<Delta>,
     scratch_pred: Vec<(Delta, DeltaStatus)>,
+    /// Fills whose measured latency exceeded the fill cycle; training
+    /// with a clamped cycle-0 demand time would mislearn, so such fills
+    /// are dropped and counted instead.
+    dropped_inconsistent_latency: u64,
+    /// Predictions whose target would underflow the line-address space
+    /// (a negative delta larger than the trigger line); issuing them
+    /// would wrap to a garbage address whose page check is meaningless.
+    dropped_underflow_target: u64,
 }
 
 impl Berti {
@@ -37,12 +45,23 @@ impl Berti {
             scratch_deltas: Vec::new(),
             scratch_pred: Vec::new(),
             cfg,
+            dropped_inconsistent_latency: 0,
+            dropped_underflow_target: 0,
         }
     }
 
     /// The active configuration.
     pub fn config(&self) -> &BertiConfig {
         &self.cfg
+    }
+
+    /// Diagnostic counters: `(fills dropped for latency > fill cycle,
+    /// predictions dropped for line-address underflow)`.
+    pub fn drop_counters(&self) -> (u64, u64) {
+        (
+            self.dropped_inconsistent_latency,
+            self.dropped_underflow_target,
+        )
     }
 
     /// Current learning state for `ip` (Fig. 3 diagnostics).
@@ -85,7 +104,15 @@ impl Berti {
         let mut preds = std::mem::take(&mut self.scratch_pred);
         self.deltas.prefetch_deltas(ev.ip, &mut preds);
         for &(delta, status) in &preds {
-            let target = ev.line + delta;
+            // Compute the target in signed space: `VLine + Delta` wraps
+            // on underflow, so a negative delta larger than the trigger
+            // line would produce a garbage address whose page
+            // comparison (and prefetch) is meaningless.
+            let Some(raw) = ev.line.raw().checked_add_signed(i64::from(delta.raw())) else {
+                self.dropped_underflow_target += 1;
+                continue;
+            };
+            let target = VLine::new(raw);
             if !self.cfg.cross_page && target.page() != ev.line.page() {
                 continue;
             }
@@ -149,8 +176,16 @@ impl Prefetcher for Berti {
         if latency == 0 {
             return;
         }
-        let demand_at = Cycle::new(ev.at.raw().saturating_sub(latency));
-        self.train(ev.ip, ev.line, demand_at, latency);
+        // Recover the demand time in signed space. A latency larger
+        // than the fill cycle is inconsistent (the demand would predate
+        // cycle 0); clamping it to 0, as a saturating subtraction would,
+        // silently widens the timeliness window and mislearns deltas —
+        // drop the sample and count it instead.
+        let Some(demand_at) = ev.at.raw().checked_sub(latency) else {
+            self.dropped_inconsistent_latency += 1;
+            return;
+        };
+        self.train(ev.ip, ev.line, Cycle::new(demand_at), latency);
     }
 }
 
@@ -361,6 +396,54 @@ mod tests {
         // Only the demand miss is in history; no search has happened,
         // so nothing can be learned yet.
         assert!(b.learned_deltas(IP).is_empty());
+    }
+
+    #[test]
+    fn inconsistent_fill_latency_is_dropped_not_clamped() {
+        // Regression (ISSUE 5 satellite): a latency larger than the fill
+        // cycle used to clamp the demand time to 0 via saturating_sub,
+        // silently widening the timeliness window. It must be dropped
+        // and counted.
+        let mut b = Berti::new(BertiConfig::default());
+        let mut out = Vec::new();
+        b.on_access(&miss_event(100, 0), &mut out);
+        b.on_access(&miss_event(102, 10), &mut out);
+        // Fill at cycle 50 claiming 500 cycles of latency: impossible.
+        b.on_fill(&fill_event(102, 50, 500));
+        assert_eq!(b.drop_counters().0, 1);
+        assert!(
+            b.learned_deltas(IP).is_empty(),
+            "the inconsistent sample must not train"
+        );
+    }
+
+    #[test]
+    fn underflowing_prediction_targets_are_dropped_with_counter() {
+        // Regression (ISSUE 5 satellite): `VLine + Delta` wraps on
+        // underflow, so a learned negative delta applied near line 0
+        // used to emit a garbage-address prefetch whose cross-page
+        // check was meaningless.
+        let mut b = Berti::new(BertiConfig::default());
+        let mut out = Vec::new();
+        // Learn a -2 stride far from zero.
+        for i in 0..40u64 {
+            let line = 500_000 - 2 * i;
+            let t = 300 * i;
+            b.on_access(&miss_event(line, t), &mut out);
+            b.on_fill(&fill_event(line, t + 100, 100));
+        }
+        assert!(b.learned_deltas(IP).iter().any(|d| d.delta.raw() < 0));
+        out.clear();
+        // Trigger at line 0: every negative delta underflows.
+        b.on_access(&miss_event(0, 100_000), &mut out);
+        assert!(
+            out.iter().all(|d| d.target.raw() < (1 << 32)),
+            "no wrapped targets may escape: {out:?}"
+        );
+        assert!(
+            b.drop_counters().1 >= 1,
+            "underflowing targets must be counted"
+        );
     }
 
     #[test]

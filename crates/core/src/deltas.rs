@@ -176,7 +176,55 @@ impl DeltaTable {
         if self.entries[i].counter >= self.rounds_per_phase {
             self.end_phase(i);
         }
+        self.check_entry_invariant(i);
     }
+
+    /// `check-invariants`: structural consistency of one entry after a
+    /// search — the 4-bit counter stays below a phase, per-slot coverage
+    /// never exceeds the searches that could have bumped it, valid slots
+    /// hold representable nonzero deltas, and the number of
+    /// prefetch-issuing statuses respects the selection bound.
+    #[cfg(feature = "check-invariants")]
+    fn check_entry_invariant(&self, i: usize) {
+        let e = &self.entries[i];
+        if !e.valid {
+            return;
+        }
+        assert!(
+            e.counter < self.rounds_per_phase,
+            "delta-table counter {} must reset at the phase bound {}",
+            e.counter,
+            self.rounds_per_phase
+        );
+        let mut prefetching = 0usize;
+        for s in e.slots.iter().filter(|s| s.valid) {
+            assert!(s.delta != Delta::ZERO, "valid slot with zero delta");
+            assert!(
+                s.delta.fits_bits(self.delta_bits),
+                "slot delta {:?} does not fit {} bits",
+                s.delta,
+                self.delta_bits
+            );
+            assert!(
+                s.coverage <= e.counter,
+                "slot coverage {} exceeds searches this phase {}",
+                s.coverage,
+                e.counter
+            );
+            if s.status.prefetches() {
+                prefetching += 1;
+            }
+        }
+        assert!(
+            prefetching <= self.max_prefetch_deltas,
+            "{prefetching} prefetching slots exceed the bound {}",
+            self.max_prefetch_deltas
+        );
+    }
+
+    #[cfg(not(feature = "check-invariants"))]
+    #[inline(always)]
+    fn check_entry_invariant(&self, _i: usize) {}
 
     fn bump_delta(&mut self, entry: usize, d: Delta) {
         let rounds = self.rounds_per_phase;
@@ -244,6 +292,20 @@ impl DeltaTable {
             };
             if status.prefetches() {
                 selected += 1;
+            }
+            // `check-invariants`: a slot's assigned status must be
+            // consistent with its coverage and the watermarks (guards
+            // against watermark-comparison regressions).
+            #[cfg(feature = "check-invariants")]
+            {
+                match status {
+                    DeltaStatus::L1Pref => assert!(cov > high),
+                    DeltaStatus::L2Pref => assert!(cov > medium && cov >= replaceable),
+                    DeltaStatus::L2PrefRepl => assert!(cov > medium && cov < replaceable),
+                    DeltaStatus::LlcPref => assert!(cov > low && cov <= medium),
+                    DeltaStatus::NoPref => {}
+                }
+                assert!(selected <= max_sel, "selection bound exceeded");
             }
             e.slots[i].status = status;
         }

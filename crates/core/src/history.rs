@@ -25,6 +25,12 @@ struct Entry {
     /// timestamp window to model the 16-bit hardware register.
     inserted_at: Cycle,
     valid: bool,
+    /// `check-invariants`: global insertion sequence number, used to
+    /// prove FIFO replacement. Timestamps cannot serve here — demand
+    /// event times are stamped with variable translation latency and
+    /// are not monotone across inserts.
+    #[cfg(feature = "check-invariants")]
+    seq: u64,
 }
 
 impl Default for Entry {
@@ -34,6 +40,8 @@ impl Default for Entry {
             line_lo: 0,
             inserted_at: Cycle::ZERO,
             valid: false,
+            #[cfg(feature = "check-invariants")]
+            seq: 0,
         }
     }
 }
@@ -57,6 +65,9 @@ pub struct HistoryTable {
     entries: Vec<Entry>,
     /// FIFO insertion cursor per set.
     cursor: Vec<usize>,
+    /// `check-invariants`: next global insertion sequence number.
+    #[cfg(feature = "check-invariants")]
+    next_seq: u64,
 }
 
 impl HistoryTable {
@@ -78,6 +89,8 @@ impl HistoryTable {
             },
             entries: vec![Entry::default(); sets * ways],
             cursor: vec![0; sets],
+            #[cfg(feature = "check-invariants")]
+            next_seq: 0,
         }
     }
 
@@ -99,11 +112,35 @@ impl HistoryTable {
         let set = self.set_of(ip);
         let way = self.cursor[set];
         self.cursor[set] = (way + 1) % self.ways;
+        // `check-invariants`: FIFO ordering — the overwritten way must
+        // hold the oldest valid entry of the set (by insertion
+        // sequence, not timestamp; event times are not monotone).
+        #[cfg(feature = "check-invariants")]
+        let seq = {
+            let base = set * self.ways;
+            if self.entries[base + way].valid {
+                let oldest = (0..self.ways)
+                    .filter(|&w| self.entries[base + w].valid)
+                    .map(|w| self.entries[base + w].seq)
+                    .min()
+                    .expect("victim is valid");
+                assert_eq!(
+                    self.entries[base + way].seq,
+                    oldest,
+                    "history FIFO must overwrite the oldest entry in set {set}"
+                );
+            }
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            seq
+        };
         self.entries[set * self.ways + way] = Entry {
             tag: self.tag_of(ip),
             line_lo: (line.raw() & ((1 << LINE_ADDR_BITS) - 1)) as u32,
             inserted_at: now,
             valid: true,
+            #[cfg(feature = "check-invariants")]
+            seq,
         };
     }
 

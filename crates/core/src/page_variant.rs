@@ -33,6 +33,10 @@ pub struct BertiPage {
     history: HistoryTable,
     deltas: DeltaTable,
     scratch: Vec<(Delta, DeltaStatus)>,
+    /// Same drop accounting as [`crate::Berti`]: fills with a latency
+    /// larger than the fill cycle, and underflowing prediction targets.
+    dropped_inconsistent_latency: u64,
+    dropped_underflow_target: u64,
 }
 
 impl BertiPage {
@@ -44,7 +48,18 @@ impl BertiPage {
             deltas: DeltaTable::new(&cfg),
             scratch: Vec::new(),
             cfg,
+            dropped_inconsistent_latency: 0,
+            dropped_underflow_target: 0,
         }
+    }
+
+    /// Diagnostic counters: `(fills dropped for latency > fill cycle,
+    /// predictions dropped for line-address underflow)`.
+    pub fn drop_counters(&self) -> (u64, u64) {
+        (
+            self.dropped_inconsistent_latency,
+            self.dropped_underflow_target,
+        )
     }
 
     /// The page of `line`, encoded as the tables' context key.
@@ -101,7 +116,13 @@ impl Prefetcher for BertiPage {
         let mut preds = std::mem::take(&mut self.scratch);
         self.deltas.prefetch_deltas(ctx, &mut preds);
         for &(delta, status) in &preds {
-            let target = ev.line + delta;
+            // Signed-space target: `VLine + Delta` wraps on underflow
+            // (see the per-IP variant).
+            let Some(raw) = ev.line.raw().checked_add_signed(i64::from(delta.raw())) else {
+                self.dropped_underflow_target += 1;
+                continue;
+            };
+            let target = VLine::new(raw);
             if !self.cfg.cross_page && target.page() != ev.line.page() {
                 continue;
             }
@@ -130,8 +151,13 @@ impl Prefetcher for BertiPage {
         if latency == 0 {
             return;
         }
-        let demand_at = Cycle::new(ev.at.raw().saturating_sub(latency));
-        self.train(ev.line, demand_at, latency);
+        // Signed-space demand time; drop inconsistent samples instead
+        // of clamping to cycle 0 (see the per-IP variant).
+        let Some(demand_at) = ev.at.raw().checked_sub(latency) else {
+            self.dropped_inconsistent_latency += 1;
+            return;
+        };
+        self.train(ev.line, Cycle::new(demand_at), latency);
     }
 }
 

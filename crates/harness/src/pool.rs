@@ -72,11 +72,15 @@ pub enum JobOutcome {
         /// Whether it came from the result cache.
         cached: bool,
     },
-    /// Both attempts panicked.
+    /// The cell could not produce a report: its configuration was
+    /// rejected up front, or both execution attempts panicked.
     Failed {
-        /// Captured panic message of the last attempt.
+        /// The validation diagnostic or the captured panic message of
+        /// the last attempt.
         error: String,
-        /// Attempts made (always 2: initial + one retry).
+        /// Attempts made: 1 for cells rejected by config validation
+        /// (retrying cannot help), 2 for panicking cells (initial +
+        /// one retry).
         attempts: u32,
     },
 }
@@ -360,6 +364,26 @@ where
     let key = spec.key();
     let workload = spec.workload.clone();
     let label = spec.label();
+
+    // Reject invalid grid cells before touching the cache or the
+    // simulator: a deterministic diagnostic on this one cell, not a
+    // panic caught (and pointlessly retried) by the isolation path.
+    if let Err(err) = spec.opts.validate(&spec.config) {
+        let error = err.to_string();
+        let _ = events.send(Event::JobFailed {
+            key: key.clone(),
+            workload,
+            label,
+            attempt: 1,
+            will_retry: false,
+            error: error.clone(),
+        });
+        return JobResult {
+            spec: spec.clone(),
+            key,
+            outcome: JobOutcome::Failed { error, attempts: 1 },
+        };
+    }
 
     if let Some(report) = cache.and_then(|c| c.lookup(spec)) {
         let _ = events.send(Event::JobCacheHit {

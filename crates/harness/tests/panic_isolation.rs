@@ -152,3 +152,35 @@ fn failed_cells_appear_in_events_and_aggregate() {
 
     let _ = std::fs::remove_dir_all(&events_dir);
 }
+
+#[test]
+fn invalid_config_cell_fails_its_one_job_without_running_or_retrying() {
+    let mut bad = berti_types::SystemConfig::default();
+    bad.l1d.mshr_entries = 0; // a zero-entry MSHR stalls every miss forever
+    let c = Campaign::grid("bad-grid-cell")
+        .workload("rejected")
+        .workload("fine")
+        .l1(PrefetcherChoice::Berti)
+        .build();
+    let mut c = c;
+    c.cells[0].config = bad;
+
+    let runs = AtomicU32::new(0);
+    let result = berti_harness::run_campaign_with(&c, &no_cache(2), |spec| {
+        runs.fetch_add(1, Ordering::SeqCst);
+        fake_report(spec)
+    });
+
+    assert_eq!(runs.load(Ordering::SeqCst), 1, "only the valid cell runs");
+    assert_eq!(result.completed(), 1);
+    match &result.jobs[0].outcome {
+        JobOutcome::Failed { error, attempts } => {
+            assert_eq!(*attempts, 1, "validation failures are never retried");
+            assert!(
+                error.contains("mshr_entries"),
+                "diagnostic names the field: {error}"
+            );
+        }
+        other => panic!("expected a validation failure, got {other:?}"),
+    }
+}

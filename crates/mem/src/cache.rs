@@ -209,13 +209,25 @@ impl Cache {
     }
 
     /// MSHR occupancy fraction at `now` (Berti's watermark input).
-    pub fn mshr_occupancy_fraction(&mut self, now: Cycle) -> f64 {
+    /// Pure: same-cycle repeats are idempotent (see [`Mshr`]).
+    pub fn mshr_occupancy_fraction(&self, now: Cycle) -> f64 {
         self.mshr.occupancy_fraction(now)
     }
 
-    /// Whether an MSHR entry is free at `now`.
-    pub fn mshr_has_free_entry(&mut self, now: Cycle) -> bool {
+    /// Whether an MSHR entry is free at `now`. Pure.
+    pub fn mshr_has_free_entry(&self, now: Cycle) -> bool {
         self.mshr.has_free_entry(now)
+    }
+
+    /// MSHR occupancy at `now` (diagnostics/oracle comparison). Pure.
+    pub fn mshr_occupancy(&self, now: Cycle) -> usize {
+        self.mshr.occupancy(now)
+    }
+
+    /// Fill time of an in-flight tracked miss on `addr`, if any
+    /// (diagnostics and the "fills only for pending misses" invariant).
+    pub fn mshr_pending(&self, addr: u64, now: Cycle) -> Option<Cycle> {
+        self.mshr.pending(addr, now)
     }
 
     #[inline]
@@ -419,9 +431,40 @@ impl Cache {
             xlat,
         });
         self.repl.on_fill(set, way, kind.is_demand());
+        self.check_set_invariant(set);
         let _ = now;
         evicted
     }
+
+    /// `check-invariants`: every line in `set` indexes to `set` and no
+    /// address is cached twice (a duplicate would make `find` and the
+    /// LRU oracle disagree about which copy is live).
+    #[cfg(feature = "check-invariants")]
+    fn check_set_invariant(&self, set: usize) {
+        let mut seen = Vec::with_capacity(self.geom.ways);
+        for w in 0..self.geom.ways {
+            if let Some(line) = &self.lines[self.slot(set, w)] {
+                assert_eq!(
+                    self.set_of(line.addr),
+                    set,
+                    "{}: line {:#x} stored in wrong set {set}",
+                    self.name,
+                    line.addr
+                );
+                assert!(
+                    !seen.contains(&line.addr),
+                    "{}: line {:#x} duplicated in set {set}",
+                    self.name,
+                    line.addr
+                );
+                seen.push(line.addr);
+            }
+        }
+    }
+
+    #[cfg(not(feature = "check-invariants"))]
+    #[inline(always)]
+    fn check_set_invariant(&self, _set: usize) {}
 
     /// The stored shadow latency of `addr` without consuming it
     /// (testing/diagnostics).
@@ -433,6 +476,21 @@ impl Cache {
     /// Number of resident lines (testing/diagnostics).
     pub fn resident_lines(&self) -> usize {
         self.lines.iter().flatten().count()
+    }
+
+    /// The set index `addr` maps to (oracle comparison).
+    pub fn set_index(&self, addr: u64) -> usize {
+        self.set_of(addr)
+    }
+
+    /// Sorted line addresses resident in `set` (oracle comparison; sorted
+    /// so two models can be compared without exposing way placement).
+    pub fn resident_in_set(&self, set: usize) -> Vec<u64> {
+        let mut addrs: Vec<u64> = (0..self.geom.ways)
+            .filter_map(|w| self.lines[self.slot(set, w)].as_ref().map(|l| l.addr))
+            .collect();
+        addrs.sort_unstable();
+        addrs
     }
 }
 

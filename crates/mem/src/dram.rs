@@ -170,6 +170,25 @@ impl Dram {
         let ready = self.service(bank, row, start);
         self.stats.reads += 1;
         self.stats.total_read_latency += ready - now;
+        // `check-invariants`: read completions are monotone (each read's
+        // burst serializes on the shared bus after its predecessor's),
+        // which is what licenses gc_reads scanning only the front; and
+        // backpressure keeps the queue within its configured capacity.
+        #[cfg(feature = "check-invariants")]
+        {
+            if let Some(&last) = self.inflight_reads.back() {
+                assert!(
+                    ready >= last,
+                    "DRAM RQ completion out of order: {ready:?} after {last:?}"
+                );
+            }
+            assert!(
+                self.inflight_reads.len() < self.cfg.rq_entries,
+                "DRAM RQ over capacity before push: {} >= {}",
+                self.inflight_reads.len(),
+                self.cfg.rq_entries
+            );
+        }
         self.inflight_reads.push_back(ready);
         // Keep completion order sorted enough for gc: push_back of a
         // possibly-earlier time is fine because gc scans the front only
@@ -184,6 +203,15 @@ impl Dram {
         self.write_queue.push_back((bank, row));
         self.stats.writes += 1;
         self.maybe_drain_writes(now);
+        // `check-invariants`: the watermark drain keeps the WQ within
+        // its configured capacity.
+        #[cfg(feature = "check-invariants")]
+        assert!(
+            self.write_queue.len() <= self.cfg.wq_entries,
+            "DRAM WQ over capacity: {} > {}",
+            self.write_queue.len(),
+            self.cfg.wq_entries
+        );
     }
 
     /// Services one burst: row preparation as needed, then a column
@@ -197,6 +225,20 @@ impl Dram {
         let data_start = (t_bank + prep).max(self.bus_free_at);
         let burst_end = data_start + self.cfg.cycles_per_line();
         let ready = data_start + self.cfg.t_cas + self.cfg.cycles_per_line();
+        // `check-invariants`: bus and bank busy-until times only move
+        // forward (monotone ready-times for the shared resources).
+        #[cfg(feature = "check-invariants")]
+        {
+            assert!(
+                burst_end >= self.bus_free_at,
+                "DRAM bus time moved backwards: {burst_end:?} < {:?}",
+                self.bus_free_at
+            );
+            assert!(
+                burst_end >= self.banks[bank].busy_until,
+                "DRAM bank {bank} time moved backwards"
+            );
+        }
         self.banks[bank].open_row = Some(row);
         self.banks[bank].busy_until = burst_end;
         self.bus_free_at = burst_end;

@@ -148,6 +148,11 @@ struct PrefetchQueue {
     capacity: usize,
     /// Next cycle this queue may issue.
     cursor: Cycle,
+    /// `check-invariants`: last issue time handed out by
+    /// [`PrefetchQueue::pop_due`], to prove issue times stay strictly
+    /// monotone (the PQ analogue of ISSUE 5's "monotone ready-times").
+    #[cfg(feature = "check-invariants")]
+    last_issue: Option<Cycle>,
 }
 
 impl PrefetchQueue {
@@ -156,6 +161,8 @@ impl PrefetchQueue {
             entries: VecDeque::new(),
             capacity,
             cursor: Cycle::ZERO,
+            #[cfg(feature = "check-invariants")]
+            last_issue: None,
         }
     }
 
@@ -194,6 +201,16 @@ impl PrefetchQueue {
         }
         self.entries.pop_front();
         self.cursor = at + 1;
+        #[cfg(feature = "check-invariants")]
+        {
+            if let Some(last) = self.last_issue {
+                assert!(
+                    at > last,
+                    "prefetch queue issued out of order: {at:?} after {last:?}"
+                );
+            }
+            self.last_issue = Some(at);
+        }
         Some((q, at))
     }
 }
@@ -403,6 +420,14 @@ impl Hierarchy {
                 let data_at = self.fetch_from_l2(shared, pline, req.kind, req.ip, t1, true);
                 let latency = data_at - t0;
                 self.l1d.track_miss(vline.raw(), req.kind, t0, data_at);
+                // `check-invariants`: every L1D fill must correspond to
+                // a tracked pending miss with the same fill time.
+                #[cfg(feature = "check-invariants")]
+                assert_eq!(
+                    self.l1d.mshr_pending(vline.raw(), t0),
+                    Some(data_at),
+                    "L1D demand fill without a matching pending miss"
+                );
                 let evicted = self.l1d.fill(
                     vline.raw(),
                     req.kind,
@@ -631,6 +656,13 @@ impl Hierarchy {
                 }
             }
         }
+        // `check-invariants`: non-inclusive hierarchy — a dirty victim
+        // must be resident in the next level after its writeback lands.
+        #[cfg(feature = "check-invariants")]
+        assert!(
+            self.l2.probe(pline_raw),
+            "non-inclusive invariant violated: L1D victim {pline_raw:#x} absent from L2"
+        );
     }
 
     /// A dirty L2 victim lands in the LLC (allocating if absent).
@@ -654,6 +686,11 @@ impl Hierarchy {
                 }
             }
         }
+        #[cfg(feature = "check-invariants")]
+        assert!(
+            shared.llc.probe(pline_raw),
+            "non-inclusive invariant violated: L2 victim {pline_raw:#x} absent from LLC"
+        );
     }
 
     /// Advances the prefetch machinery to (wall-clock) `now`: issues
@@ -748,6 +785,12 @@ impl Hierarchy {
                 let latency = data_at - q.enqueued_at;
                 self.l1d
                     .track_miss(q.target.raw(), AccessKind::Prefetch, at, data_at);
+                #[cfg(feature = "check-invariants")]
+                assert_eq!(
+                    self.l1d.mshr_pending(q.target.raw(), at),
+                    Some(data_at),
+                    "L1D prefetch fill without a matching pending miss"
+                );
                 let evicted = self.l1d.fill(
                     q.target.raw(),
                     AccessKind::Prefetch,

@@ -1,0 +1,160 @@
+//! A scan-the-whole-log reference model of Berti's history table.
+//!
+//! [`berti_core::HistoryTable`] is an 8×16 set-associative FIFO with
+//! 7-bit IP tags, 24-bit stored line addresses, and a wrap-window
+//! timestamp compare — four aliasing mechanisms in one structure. The
+//! oracle appends every insert to one unbounded log and answers a
+//! timely-delta search by scanning it end to end, re-deriving which
+//! entries the hardware would still hold (the last `ways` inserts into
+//! the IP's set) and which of those a prefetch issued at their
+//! timestamp would have made timely (Sec. III-A, Fig. 4).
+//!
+//! Result order is by recorded timestamp, youngest first, like the real
+//! search. Entries that tie on timestamp may legitimately come back in
+//! a different order (the real table iterates physical ways); compare
+//! results as sorted multisets.
+
+use berti_types::{Cycle, Delta, Ip, VLine};
+
+/// Stored line-address width (Table I: 24 bits).
+const LINE_ADDR_BITS: u32 = 24;
+/// IP-tag width (Table I: 7 bits above the index).
+const IP_TAG_BITS: u32 = 7;
+
+#[derive(Clone, Copy, Debug)]
+struct LogEntry {
+    set: usize,
+    tag: u16,
+    line_lo: u32,
+    at: Cycle,
+}
+
+/// One timely access found by the oracle search.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OracleHit {
+    /// Delta from the recorded access to the searched line, on the
+    /// stored 24-bit addresses, wrap-aware.
+    pub delta: Delta,
+    /// When the recorded access happened.
+    pub at: Cycle,
+}
+
+/// The reference model: every insert ever, in order.
+#[derive(Clone, Debug)]
+pub struct HistoryOracle {
+    sets: usize,
+    ways: usize,
+    timestamp_window: u64,
+    log: Vec<LogEntry>,
+}
+
+impl HistoryOracle {
+    /// Creates the model with the real table's geometry and timestamp
+    /// width.
+    pub fn new(sets: usize, ways: usize, timestamp_bits: u32) -> Self {
+        assert!(sets > 0 && ways > 0);
+        Self {
+            sets,
+            ways,
+            timestamp_window: if timestamp_bits >= 64 {
+                u64::MAX
+            } else {
+                1u64 << timestamp_bits
+            },
+            log: Vec::new(),
+        }
+    }
+
+    fn set_of(&self, ip: Ip) -> usize {
+        ((ip.raw() >> 2) % self.sets as u64) as usize
+    }
+
+    fn tag_of(&self, ip: Ip) -> u16 {
+        (((ip.raw() >> 2) / self.sets as u64) & ((1 << IP_TAG_BITS) - 1)) as u16
+    }
+
+    /// Records a demand access (append-only).
+    pub fn insert(&mut self, ip: Ip, line: VLine, now: Cycle) {
+        self.log.push(LogEntry {
+            set: self.set_of(ip),
+            tag: self.tag_of(ip),
+            line_lo: (line.raw() & ((1 << LINE_ADDR_BITS) - 1)) as u32,
+            at: now,
+        });
+    }
+
+    /// The naive timely-delta search: scan the full log, keep only the
+    /// entries the FIFO would still hold, filter by tag and timeliness,
+    /// and return the youngest `max_hits` (zero deltas skipped).
+    pub fn search_timely(
+        &self,
+        ip: Ip,
+        line: VLine,
+        demand_at: Cycle,
+        latency: u64,
+        max_hits: usize,
+    ) -> Vec<OracleHit> {
+        let set = self.set_of(ip);
+        let tag = self.tag_of(ip);
+        // FIFO residency re-derived from scratch: of all inserts into
+        // this set, only the most recent `ways` survive.
+        let in_set: Vec<&LogEntry> = self.log.iter().filter(|e| e.set == set).collect();
+        let resident = &in_set[in_set.len().saturating_sub(self.ways)..];
+
+        let cutoff = demand_at.raw().saturating_sub(latency);
+        let line_lo = (line.raw() & ((1 << LINE_ADDR_BITS) - 1)) as i64;
+        let mut hits: Vec<OracleHit> = resident
+            .iter()
+            .filter(|e| e.tag == tag)
+            .filter(|e| {
+                let t = e.at.raw();
+                t <= cutoff && demand_at.raw().saturating_sub(t) < self.timestamp_window
+            })
+            .filter_map(|e| {
+                let mut d = line_lo - i64::from(e.line_lo);
+                let half = 1i64 << (LINE_ADDR_BITS - 1);
+                if d > half {
+                    d -= 1i64 << LINE_ADDR_BITS;
+                } else if d < -half {
+                    d += 1i64 << LINE_ADDR_BITS;
+                }
+                (d != 0).then(|| OracleHit {
+                    delta: Delta::saturating(d),
+                    at: e.at,
+                })
+            })
+            .collect();
+        hits.sort_by_key(|h| std::cmp::Reverse(h.at));
+        hits.truncate(max_hits);
+        hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const IP: Ip = Ip::new(0x401cb0);
+
+    #[test]
+    fn reproduces_figure_4() {
+        let mut o = HistoryOracle::new(8, 16, 16);
+        for (line, t) in [(2, 0), (5, 10), (7, 20), (10, 30), (12, 40)] {
+            o.insert(IP, VLine::new(line), Cycle::new(t));
+        }
+        let hits = o.search_timely(IP, VLine::new(15), Cycle::new(50), 35, 8);
+        let deltas: Vec<i32> = hits.iter().map(|h| h.delta.raw()).collect();
+        assert_eq!(deltas, vec![10, 13], "youngest first");
+    }
+
+    #[test]
+    fn fifo_capacity_applies_per_set() {
+        let mut o = HistoryOracle::new(1, 2, 16);
+        o.insert(IP, VLine::new(1), Cycle::new(0));
+        o.insert(IP, VLine::new(2), Cycle::new(1));
+        o.insert(IP, VLine::new(3), Cycle::new(2)); // line 1 evicted
+        let hits = o.search_timely(IP, VLine::new(10), Cycle::new(100), 10, 8);
+        let deltas: Vec<i32> = hits.iter().map(|h| h.delta.raw()).collect();
+        assert_eq!(deltas, vec![7, 8]);
+    }
+}

@@ -1,0 +1,120 @@
+//! A fully-precise LRU cache reference model.
+//!
+//! [`berti_mem::Cache`] encodes recency as per-line monotonic ticks and
+//! picks victims by scanning for the minimum tick. This oracle keeps
+//! the textbook structure instead: one recency-ordered list per set,
+//! least-recently-used at the front. The two models must agree on
+//! residency and on every evicted victim; the shadow suite compares
+//! them after each operation.
+
+/// The reference model: per-set recency lists.
+#[derive(Clone, Debug)]
+pub struct LruOracle {
+    sets: usize,
+    ways: usize,
+    /// Per-set residency, LRU first, MRU last.
+    recency: Vec<Vec<u64>>,
+}
+
+impl LruOracle {
+    /// Creates the model for a `sets`×`ways` cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` or `ways` is zero (mirrors
+    /// `ReplacementPolicy::new`).
+    pub fn new(sets: usize, ways: usize) -> Self {
+        assert!(sets > 0 && ways > 0, "cache must have sets and ways");
+        Self {
+            sets,
+            ways,
+            recency: vec![Vec::with_capacity(ways); sets],
+        }
+    }
+
+    /// The set `addr` maps to (same modulo indexing as the real cache).
+    pub fn set_of(&self, addr: u64) -> usize {
+        (addr % self.sets as u64) as usize
+    }
+
+    /// Records a hit on `addr` if resident, moving it to MRU. Returns
+    /// whether the line was present. Misses do not change the model,
+    /// exactly as `Cache::access` leaves state untouched on a miss.
+    pub fn touch(&mut self, addr: u64) -> bool {
+        let set = self.set_of(addr);
+        let list = &mut self.recency[set];
+        match list.iter().position(|&a| a == addr) {
+            Some(i) => {
+                let a = list.remove(i);
+                list.push(a);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Fills `addr`: an already-present line is refreshed (the refill
+    /// race in `Cache::fill`); otherwise the line is inserted at MRU,
+    /// evicting the LRU line when the set is full. Returns the evicted
+    /// address, if any.
+    pub fn fill(&mut self, addr: u64) -> Option<u64> {
+        if self.touch(addr) {
+            return None;
+        }
+        let set = self.set_of(addr);
+        let list = &mut self.recency[set];
+        let victim = if list.len() == self.ways {
+            Some(list.remove(0))
+        } else {
+            None
+        };
+        list.push(addr);
+        victim
+    }
+
+    /// Sorted resident addresses of `set`, comparable against
+    /// `Cache::resident_in_set` without exposing way placement.
+    pub fn resident_in_set(&self, set: usize) -> Vec<u64> {
+        let mut addrs = self.recency[set].clone();
+        addrs.sort_unstable();
+        addrs
+    }
+
+    /// Total resident lines across all sets.
+    pub fn resident_lines(&self) -> usize {
+        self.recency.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut o = LruOracle::new(1, 2);
+        assert_eq!(o.fill(10), None);
+        assert_eq!(o.fill(20), None);
+        assert!(o.touch(10)); // 20 is now LRU
+        assert_eq!(o.fill(30), Some(20));
+        assert_eq!(o.resident_in_set(0), vec![10, 30]);
+    }
+
+    #[test]
+    fn refill_of_present_line_refreshes_without_eviction() {
+        let mut o = LruOracle::new(1, 2);
+        o.fill(10);
+        o.fill(20);
+        assert_eq!(o.fill(10), None, "refill race must not evict");
+        assert_eq!(o.fill(30), Some(20), "10 was refreshed to MRU");
+    }
+
+    #[test]
+    fn miss_touch_changes_nothing() {
+        let mut o = LruOracle::new(2, 2);
+        o.fill(0);
+        assert!(!o.touch(2));
+        assert_eq!(o.resident_in_set(0), vec![0]);
+        assert_eq!(o.resident_lines(), 1);
+    }
+}

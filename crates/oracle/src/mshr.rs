@@ -1,0 +1,91 @@
+//! An append-only MSHR occupancy reference model.
+//!
+//! [`berti_mem::Mshr`] reclaims expired entries lazily, and only inside
+//! `allocate`, so its backing vector is a moving window over the
+//! allocation history. The oracle never deletes anything: it logs every
+//! allocation forever and answers each query by scanning the whole log
+//! for entries still in flight. Any disagreement means the real MSHR's
+//! reclamation dropped or resurrected an entry.
+
+use berti_types::Cycle;
+
+/// The reference model: the full allocation log.
+#[derive(Clone, Debug, Default)]
+pub struct MshrOracle {
+    capacity: usize,
+    /// Every allocation ever admitted, in order: `(line, ready_at)`.
+    log: Vec<(u64, Cycle)>,
+}
+
+impl MshrOracle {
+    /// Creates the model with the real MSHR's capacity. Zero capacity
+    /// is permanently full, as for [`berti_mem::Mshr`].
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            log: Vec::new(),
+        }
+    }
+
+    /// Entries still in flight at `now`.
+    pub fn occupancy(&self, now: Cycle) -> usize {
+        self.log.iter().filter(|(_, r)| *r > now).count()
+    }
+
+    /// Occupancy as a fraction of capacity (1.0 when capacity is zero).
+    pub fn occupancy_fraction(&self, now: Cycle) -> f64 {
+        if self.capacity == 0 {
+            return 1.0;
+        }
+        self.occupancy(now) as f64 / self.capacity as f64
+    }
+
+    /// Whether an allocation would be admitted at `now`.
+    pub fn has_free_entry(&self, now: Cycle) -> bool {
+        self.occupancy(now) < self.capacity
+    }
+
+    /// Admits a miss on `line` resolving at `ready_at` if a slot is
+    /// free. Returns whether it was admitted.
+    pub fn allocate(&mut self, line: u64, now: Cycle, ready_at: Cycle) -> bool {
+        if !self.has_free_entry(now) {
+            return false;
+        }
+        self.log.push((line, ready_at));
+        true
+    }
+
+    /// Fill time of the oldest in-flight allocation for `line`, if any.
+    pub fn pending(&self, line: u64, now: Cycle) -> Option<Cycle> {
+        self.log
+            .iter()
+            .find(|(l, r)| *l == line && *r > now)
+            .map(|(_, r)| *r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admission_respects_capacity_and_expiry() {
+        let mut o = MshrOracle::new(2);
+        assert!(o.allocate(1, Cycle::new(0), Cycle::new(100)));
+        assert!(o.allocate(2, Cycle::new(0), Cycle::new(50)));
+        assert!(!o.allocate(3, Cycle::new(10), Cycle::new(200)), "full");
+        // At cycle 60 entry 2 has resolved; a slot is free again.
+        assert!(o.allocate(3, Cycle::new(60), Cycle::new(200)));
+        assert_eq!(o.occupancy(Cycle::new(60)), 2);
+        assert_eq!(o.pending(2, Cycle::new(60)), None, "resolved");
+        assert_eq!(o.pending(3, Cycle::new(60)), Some(Cycle::new(200)));
+    }
+
+    #[test]
+    fn zero_capacity_is_permanently_full() {
+        let mut o = MshrOracle::new(0);
+        assert!(!o.has_free_entry(Cycle::ZERO));
+        assert!(!o.allocate(1, Cycle::ZERO, Cycle::new(10)));
+        assert_eq!(o.occupancy_fraction(Cycle::ZERO), 1.0);
+    }
+}

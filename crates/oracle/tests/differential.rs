@@ -1,0 +1,157 @@
+//! The full-system differential suite: every baseline prefetcher runs
+//! under both simulation engines across the synthetic workload suite,
+//! and the two engines must produce **byte-identical** reports — the
+//! skip-ahead engine is a pure scheduling optimisation, so any drift is
+//! a bug in one of them.
+//!
+//! Built with `--features check-invariants` (the CI oracle job), every
+//! cell here additionally runs with the assertion-grade checkers armed
+//! through the whole stack: MSHR capacity, queue monotonicity,
+//! fill/miss pairing, non-inclusive writebacks, delta-table watermarks,
+//! history FIFO order, and skip-ahead event safety. A passing run is
+//! the "zero invariant violations" acceptance gate.
+
+use berti_sim::{
+    simulate_multicore_with_engine, simulate_with_engine, Engine, L2PrefetcherChoice,
+    PrefetcherChoice, SimOptions,
+};
+use berti_traces::{spec, WorkloadDef};
+use berti_types::SystemConfig;
+
+fn opts() -> SimOptions {
+    SimOptions {
+        warmup_instructions: 2_000,
+        sim_instructions: 8_000,
+        ..SimOptions::default()
+    }
+}
+
+fn all_l1_choices() -> Vec<PrefetcherChoice> {
+    vec![
+        PrefetcherChoice::None,
+        PrefetcherChoice::IpStride,
+        PrefetcherChoice::NextLine,
+        PrefetcherChoice::Stream,
+        PrefetcherChoice::Bop,
+        PrefetcherChoice::Mlop,
+        PrefetcherChoice::Ipcp,
+        PrefetcherChoice::Vldp,
+        PrefetcherChoice::Berti,
+        PrefetcherChoice::BertiPage,
+    ]
+}
+
+fn all_l2_choices() -> Vec<L2PrefetcherChoice> {
+    vec![
+        L2PrefetcherChoice::SppPpf,
+        L2PrefetcherChoice::Bingo,
+        L2PrefetcherChoice::Ipcp,
+        L2PrefetcherChoice::Misb,
+        L2PrefetcherChoice::Vldp,
+        L2PrefetcherChoice::Sms,
+    ]
+}
+
+fn workload(name: &str) -> WorkloadDef {
+    spec::suite()
+        .into_iter()
+        .find(|w| w.name == name)
+        .unwrap_or_else(|| panic!("workload {name} exists"))
+}
+
+/// One differential cell: naive vs skip-ahead, byte-identical.
+fn assert_engines_agree(w: &WorkloadDef, l1: &PrefetcherChoice, l2: Option<L2PrefetcherChoice>) {
+    let cfg = SystemConfig::default();
+    let opts = opts();
+    let run = |engine| {
+        let mut trace = w.trace();
+        simulate_with_engine(&cfg, l1.clone(), l2, &mut trace, &opts, engine)
+    };
+    let naive = run(Engine::Naive);
+    let skip = run(Engine::SkipAhead);
+    assert_eq!(
+        serde::json::to_string(&naive),
+        serde::json::to_string(&skip),
+        "engines diverge on {} with l1={} l2={:?}",
+        w.name,
+        l1.name(),
+        l2.map(|c| c.name()),
+    );
+    assert!(naive.instructions >= 8_000, "cell actually simulated");
+}
+
+/// Every L1 baseline × a workload slice covering the suite's pattern
+/// families (pure streams, interleaved strides, pointer-chase-like
+/// irregularity, branchy control) × both engines.
+#[test]
+fn every_l1_prefetcher_agrees_across_engines() {
+    let workloads = [
+        "bwaves-like",  // pure streams
+        "lbm-like",     // interleaved +1/+2
+        "mcf-782-like", // irregular, memory-bound
+        "omnetpp-like", // pointer-heavy
+    ];
+    for name in workloads {
+        let w = workload(name);
+        for l1 in &all_l1_choices() {
+            assert_engines_agree(&w, l1, None);
+        }
+    }
+}
+
+/// Berti (the paper's design, and the heaviest user of the shadowed
+/// structures) sweeps the *entire* synthetic SPEC-like suite.
+#[test]
+fn berti_agrees_across_engines_on_the_whole_suite() {
+    for w in spec::suite() {
+        assert_engines_agree(&w, &PrefetcherChoice::Berti, None);
+    }
+}
+
+/// Every L2 baseline rides along with Berti at the L1 on an
+/// irregular workload (L2 prefetchers see the L1's filtered miss
+/// stream, so irregularity maximises their activity).
+#[test]
+fn every_l2_prefetcher_agrees_across_engines() {
+    let w = workload("mcf-782-like");
+    for l2 in all_l2_choices() {
+        assert_engines_agree(&w, &PrefetcherChoice::Berti, Some(l2));
+    }
+}
+
+/// Multi-core: shared LLC and DRAM under both engines, byte-identical
+/// per-core reports.
+#[test]
+fn multicore_agrees_across_engines() {
+    let cfg = SystemConfig::default();
+    let opts = SimOptions {
+        warmup_instructions: 2_000,
+        sim_instructions: 8_000,
+        ..SimOptions::default()
+    };
+    let mix: Vec<WorkloadDef> = spec::suite().into_iter().take(2).collect();
+    let naive = simulate_multicore_with_engine(
+        &cfg,
+        PrefetcherChoice::Berti,
+        None,
+        &mix,
+        &opts,
+        Engine::Naive,
+    );
+    let skip = simulate_multicore_with_engine(
+        &cfg,
+        PrefetcherChoice::Berti,
+        None,
+        &mix,
+        &opts,
+        Engine::SkipAhead,
+    );
+    for (n, s) in naive.cores.iter().zip(&skip.cores) {
+        assert_eq!(
+            serde::json::to_string(n),
+            serde::json::to_string(s),
+            "multi-core divergence on {}",
+            n.workload
+        );
+    }
+}

@@ -1,0 +1,181 @@
+//! Golden-vector tests pinning BOP's round/offset selection and SPP's
+//! signature arithmetic to the papers' pseudocode (Michaud, HPCA 2016;
+//! Kim et al., MICRO 2016 / ChampSim reference code). These are the
+//! micro-level anchors behind the full-system differential suite: if a
+//! refactor bends either mechanism, it fails here with the exact
+//! expected value, not as an IPC drift three layers up.
+
+use berti_mem::{AccessEvent, FillEvent, Prefetcher};
+use berti_prefetchers::{BestOffset, Spp};
+use berti_types::{AccessKind, Cycle, FillLevel, Ip, VLine};
+
+fn miss(line: u64) -> AccessEvent {
+    AccessEvent {
+        ip: Ip::new(1),
+        line: VLine::new(line),
+        at: Cycle::ZERO,
+        kind: AccessKind::Load,
+        hit: false,
+        timely_prefetch_hit: false,
+        late_prefetch_hit: false,
+        stored_latency: 0,
+        mshr_occupancy: 0.0,
+    }
+}
+
+fn demand_fill(line: u64) -> FillEvent {
+    FillEvent {
+        line: VLine::new(line),
+        ip: Ip::new(1),
+        at: Cycle::ZERO,
+        latency: 100,
+        was_prefetch: false,
+    }
+}
+
+/// Michaud's published candidate list: 1..256 with prime factors in
+/// {2, 3, 5}, in increasing (probe) order — 52 offsets.
+const MICHAUD_OFFSETS: [i32; 52] = [
+    1, 2, 3, 4, 5, 6, 8, 9, 10, 12, 15, 16, 18, 20, 24, 25, 27, 30, 32, 36, 40, 45, 48, 50, 54, 60,
+    64, 72, 75, 80, 81, 90, 96, 100, 108, 120, 125, 128, 135, 144, 150, 160, 162, 180, 192, 200,
+    216, 225, 240, 243, 250, 256,
+];
+
+#[test]
+fn bop_offset_list_is_michauds() {
+    let p = BestOffset::new(FillLevel::L1);
+    assert_eq!(p.offsets(), MICHAUD_OFFSETS.as_slice());
+}
+
+/// SCORE_MAX termination, cycle-exact: one RR entry at line `L`; the
+/// probe rotation sees `L + 12` exactly when it is offset 12's turn
+/// (index 9) and a far line otherwise. Offset 12 alone scores, reaches
+/// SCORE_MAX = 31 on access 30·52 + 10, and wins the round on the spot.
+#[test]
+fn bop_score_max_ends_the_round_with_the_scoring_offset() {
+    let mut p = BestOffset::new(FillLevel::L1);
+    let mut out = Vec::new();
+    const L: u64 = 10_000;
+    const IDX_OF_12: usize = 9;
+    assert_eq!(p.offsets()[IDX_OF_12], 12);
+    p.on_fill(&demand_fill(L)); // RR := {L}
+    let mut far = 900_000u64; // far lines: X − d never lands on L
+    let mut accesses = 0u32;
+    while p.best_offset() != Some(12) {
+        let probe = (accesses as usize) % 52;
+        let line = if probe == IDX_OF_12 {
+            L + 12
+        } else {
+            far += 512;
+            far
+        };
+        out.clear();
+        p.on_access(&miss(line), &mut out);
+        accesses += 1;
+        assert!(accesses <= 31 * 52, "round must end by SCORE_MAX");
+    }
+    // 30 full passes plus the 10 probes of pass 31 (indices 0..=9).
+    assert_eq!(accesses, 30 * 52 + 10);
+    assert_eq!(p.best_offset(), Some(12));
+}
+
+/// ROUND_MAX termination, cycle-exact: with an empty RR no offset ever
+/// scores. The learning round runs exactly 100 passes over the 52
+/// offsets — the access *before* the 5200th still prefetches with the
+/// initial offset 1; the 5200th ends the round and, with every score
+/// at 0 ≤ BAD_SCORE, turns prefetching off.
+#[test]
+fn bop_round_max_with_no_scores_disables_prefetching() {
+    let mut p = BestOffset::new(FillLevel::L1);
+    let mut out = Vec::new();
+    let mut line = 5_000_000u64;
+    for i in 0..100 * 52 {
+        assert_eq!(
+            p.best_offset(),
+            Some(1),
+            "initial offset holds through access {i}"
+        );
+        line += 777; // never within ±256 of anything in (the empty) RR
+        out.clear();
+        p.on_access(&miss(line), &mut out);
+    }
+    assert_eq!(p.best_offset(), None, "all-zero scores must disable BOP");
+}
+
+/// BAD_SCORE boundary: a round ending by ROUND_MAX keeps the best
+/// offset only if its score *exceeds* BAD_SCORE = 1. Score 1 → off;
+/// score 2 → on.
+#[test]
+fn bop_bad_score_is_a_strict_threshold() {
+    for (scoring_passes, expect) in [(1u32, None), (2u32, Some(12))] {
+        let mut p = BestOffset::new(FillLevel::L1);
+        let mut out = Vec::new();
+        const L: u64 = 20_000;
+        p.on_fill(&demand_fill(L));
+        let mut far = 3_000_000u64;
+        for pass in 0..100u32 {
+            for probe in 0..52usize {
+                let line = if probe == 9 && pass < scoring_passes {
+                    L + 12 // offset 12 scores only in the first pass(es)
+                } else {
+                    far += 512;
+                    far
+                };
+                out.clear();
+                p.on_access(&miss(line), &mut out);
+            }
+        }
+        assert_eq!(
+            p.best_offset(),
+            expect,
+            "score {scoring_passes} vs BAD_SCORE"
+        );
+    }
+}
+
+/// SPP signature arithmetic against the ChampSim reference:
+/// `sig' = ((sig << 3) ^ sign_magnitude_7bit(delta)) & 0xFFF`.
+#[test]
+fn spp_signature_golden_vectors() {
+    // Positive deltas: magnitude only.
+    assert_eq!(Spp::signature_update(0, 1), 0x001);
+    assert_eq!(Spp::signature_update(0, 63), 0x03F);
+    // Negative deltas: sign bit 6 set, magnitude in bits 0–5.
+    assert_eq!(Spp::signature_update(0, -1), 0x041);
+    assert_eq!(Spp::signature_update(0, -63), 0x07F);
+    // Chaining a +1 stream: 0 → 1 → 9 → 0x49 → 0x249.
+    let mut sig = 0u16;
+    for want in [0x001, 0x009, 0x049, 0x249] {
+        sig = Spp::signature_update(sig, 1);
+        assert_eq!(sig, want);
+    }
+}
+
+/// Rollover: the shift discards the top three signature bits; the
+/// result always fits the 12-bit mask.
+#[test]
+fn spp_signature_rollover_discards_high_bits() {
+    assert_eq!(Spp::signature_update(0x800, 2), 0x002);
+    assert_eq!(Spp::signature_update(0xFFF, 63), 0xFC7);
+    assert_eq!(Spp::signature_update(0xE00, 1), 0x001);
+    for sig in [0x000u16, 0x7FF, 0x800, 0xFFF] {
+        for delta in [-63, -1, 1, 63] {
+            assert!(Spp::signature_update(sig, delta) <= 0xFFF);
+        }
+    }
+}
+
+/// The regression the golden vectors pinned down: −1 and +127 folded
+/// to the same 7-bit pattern under two's-complement truncation, so an
+/// ascending and a descending stream could alias. Sign-magnitude keeps
+/// every (magnitude, sign) pair distinct.
+#[test]
+fn spp_signature_sign_magnitude_has_no_aliases() {
+    let mut seen = std::collections::BTreeMap::new();
+    for delta in (-63i32..=63).filter(|&d| d != 0) {
+        let sig = Spp::signature_update(0, delta);
+        if let Some(prev) = seen.insert(sig, delta) {
+            panic!("deltas {prev} and {delta} alias to signature {sig:#x}");
+        }
+    }
+}

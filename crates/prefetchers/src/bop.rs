@@ -80,6 +80,12 @@ impl BestOffset {
         self.best
     }
 
+    /// The candidate offset list, in probe order (golden-vector tests
+    /// pin it against Michaud's published list).
+    pub fn offsets(&self) -> &[i32] {
+        &self.offsets
+    }
+
     #[inline]
     fn rr_index(line: u64) -> usize {
         ((line ^ (line >> 8)) % RR_ENTRIES as u64) as usize

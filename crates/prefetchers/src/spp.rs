@@ -188,9 +188,20 @@ impl Spp {
         }
     }
 
+    /// Folds one in-page delta into a 12-bit signature: `(sig << 3) ^
+    /// sig_delta`, where `sig_delta` is the delta in **7-bit
+    /// sign-magnitude** (magnitude in bits 0–5, sign in bit 6), per the
+    /// SPP paper's pseudocode and the ChampSim reference. A
+    /// two's-complement truncation here would hash −1 as `0x7F` instead
+    /// of `0x41`, folding descending streams onto unrelated signatures.
     #[inline]
-    fn sig_update(sig: u16, delta: i32) -> u16 {
-        ((sig << 3) ^ ((delta & 0x7F) as u16)) & SIG_MASK
+    pub fn signature_update(sig: u16, delta: i32) -> u16 {
+        let sig_delta = if delta < 0 {
+            (delta.unsigned_abs() & 0x3F) as u16 | 0x40
+        } else {
+            (delta & 0x3F) as u16
+        };
+        ((sig << 3) ^ sig_delta) & SIG_MASK
     }
 
     #[inline]
@@ -295,7 +306,7 @@ impl Prefetcher for Spp {
                 return;
             }
             let old = e.sig;
-            e.sig = Self::sig_update(old, delta);
+            e.sig = Self::signature_update(old, delta);
             e.last_offset = offset;
             (old, delta)
         };
@@ -345,7 +356,7 @@ impl Prefetcher for Spp {
             if accept {
                 out.push(PrefetchDecision { target, fill_level });
             }
-            sig = Self::sig_update(sig, delta);
+            sig = Self::signature_update(sig, delta);
             cur_offset = next_offset;
         }
     }
@@ -379,6 +390,39 @@ mod tests {
             stored_latency: 0,
             mshr_occupancy: 0.0,
         }
+    }
+
+    #[test]
+    fn signature_update_uses_sign_magnitude_deltas() {
+        // Regression: the signature hash truncated deltas in
+        // two's-complement, so −1 folded in as 0x7F instead of the
+        // paper's sign-magnitude 0x41.
+        assert_eq!(Spp::signature_update(0, -1), 0x41);
+        assert_eq!(Spp::signature_update(0, 1), 0x01);
+        assert_ne!(
+            Spp::signature_update(0, -1),
+            Spp::signature_update(0, 127),
+            "−1 must not alias with +127"
+        );
+    }
+
+    #[test]
+    fn descending_streams_learn_and_run_ahead() {
+        // With two's-complement folding, descending streams hashed onto
+        // signatures unrelated to their ascending twins; sign-magnitude
+        // makes −1 as learnable as +1.
+        let mut p = Spp::default();
+        let mut out = Vec::new();
+        let base = 64 * 1000 + 63; // end of a page
+        for i in 0..20u64 {
+            out.clear();
+            p.on_access(&ev(base - i), &mut out);
+        }
+        assert!(!out.is_empty(), "descending stride must predict");
+        assert!(
+            out.iter().all(|d| d.target.raw() < base - 19),
+            "predictions run ahead (downward): {out:?}"
+        );
     }
 
     #[test]

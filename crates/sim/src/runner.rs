@@ -4,7 +4,7 @@ use berti_cpu::{Core, DataPort, MemOpKind, PortResponse};
 use berti_mem::{DemandAccess, DemandOutcome, Hierarchy, SharedMemory};
 use berti_stats::Registry;
 use berti_traces::{Trace, WorkloadDef};
-use berti_types::{AccessKind, Cycle, Ip, SystemConfig, VAddr};
+use berti_types::{AccessKind, ConfigError, Cycle, Ip, SystemConfig, VAddr};
 
 use crate::choices::{L2PrefetcherChoice, PrefetcherChoice};
 use crate::engine::Engine;
@@ -31,6 +31,31 @@ impl Default for SimOptions {
             sim_instructions: 2_000_000,
             max_cpi: 64,
         }
+    }
+}
+
+impl SimOptions {
+    /// Validates the phase lengths together with the system
+    /// configuration they will drive. Campaign runners call this
+    /// before constructing any simulation state, so a bad grid cell
+    /// fails its own job with a diagnostic instead of panicking inside
+    /// a worker (e.g. a zero-entry MSHR would otherwise stall every
+    /// demand miss forever and burn the whole cycle ceiling).
+    pub fn validate(&self, cfg: &SystemConfig) -> Result<(), ConfigError> {
+        cfg.validate()?;
+        if self.sim_instructions == 0 {
+            return Err(ConfigError::new(
+                "sim.sim_instructions",
+                "measurement phase needs a positive instruction budget",
+            ));
+        }
+        if self.max_cpi == 0 {
+            return Err(ConfigError::new(
+                "sim.max_cpi",
+                "cycle ceiling multiplier must be positive",
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -213,6 +238,31 @@ fn drive_phase(
         }
         if engine == Engine::SkipAhead {
             if let Some(target) = common_skip_target(slots, shared, now, limit) {
+                // `check-invariants`: skip-ahead must never pass a
+                // component's next event or wake a core late — that
+                // would silently diverge from the naive engine.
+                #[cfg(feature = "check-invariants")]
+                {
+                    assert!(target > now && target <= limit, "skip target out of range");
+                    if let Some(ev) = shared.dram.next_event(now) {
+                        assert!(target <= ev, "skip-ahead past DRAM event at {}", ev.raw());
+                    }
+                    for s in slots.iter() {
+                        let wake = s.core.quiescent_until().expect("skipping a busy core");
+                        assert!(
+                            target <= wake,
+                            "skip-ahead past core wake at {}",
+                            wake.raw()
+                        );
+                        if let Some(ev) = s.hier.next_event(now) {
+                            assert!(
+                                target <= ev,
+                                "skip-ahead past hierarchy event at {}",
+                                ev.raw()
+                            );
+                        }
+                    }
+                }
                 for s in slots.iter_mut() {
                     s.core.skip_to(target);
                 }
@@ -432,6 +482,30 @@ mod tests {
             sim_instructions: 100_000,
             ..SimOptions::default()
         }
+    }
+
+    #[test]
+    fn options_validate_catches_bad_grid_cells() {
+        let cfg = SystemConfig::default();
+        assert!(tiny_opts().validate(&cfg).is_ok());
+        let err = SimOptions {
+            sim_instructions: 0,
+            ..SimOptions::default()
+        }
+        .validate(&cfg)
+        .unwrap_err();
+        assert!(err.to_string().contains("sim_instructions"), "{err}");
+        assert!(SimOptions {
+            max_cpi: 0,
+            ..SimOptions::default()
+        }
+        .validate(&cfg)
+        .is_err());
+        // A broken system config propagates through.
+        let mut bad = SystemConfig::default();
+        bad.l1d.mshr_entries = 0;
+        let err = tiny_opts().validate(&bad).unwrap_err();
+        assert!(err.to_string().contains("mshr_entries"), "{err}");
     }
 
     #[test]

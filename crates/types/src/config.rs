@@ -29,7 +29,70 @@ pub struct CacheGeometry {
     pub replacement: ReplacementKind,
 }
 
+/// A structural problem in a [`SystemConfig`] (or the simulation options
+/// wrapping it) that would make a run meaningless or crash mid-flight.
+///
+/// Construction-time panics (e.g. a zero-capacity MSHR) are hostile to
+/// the campaign harness: a single bad grid cell would trip the worker
+/// pool's panic-isolation path and burn a retry. Validation turns the
+/// same mistakes into a value that fails exactly one job with a clear
+/// message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConfigError {
+    /// Dotted path of the offending field, e.g. `"l1d.mshr_entries"`.
+    pub field: String,
+    /// Human-readable description of the constraint that was violated.
+    pub reason: String,
+}
+
+impl ConfigError {
+    /// Creates an error for `field` with `reason`.
+    pub fn new(field: impl Into<String>, reason: impl Into<String>) -> Self {
+        Self {
+            field: field.into(),
+            reason: reason.into(),
+        }
+    }
+}
+
+impl core::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "invalid config `{}`: {}", self.field, self.reason)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 impl CacheGeometry {
+    /// Checks that the geometry is simulable. `level` names the cache in
+    /// error messages (`"l1d"`, `"l2"`, `"llc"`).
+    pub fn validate(&self, level: &str) -> Result<(), ConfigError> {
+        let positive: [(&str, usize); 7] = [
+            ("sets", self.sets),
+            ("ways", self.ways),
+            ("mshr_entries", self.mshr_entries),
+            ("rq_entries", self.rq_entries),
+            ("wq_entries", self.wq_entries),
+            ("pq_entries", self.pq_entries),
+            ("bandwidth", self.bandwidth),
+        ];
+        for (name, value) in positive {
+            if value == 0 {
+                return Err(ConfigError::new(
+                    format!("{level}.{name}"),
+                    "must be at least 1",
+                ));
+            }
+        }
+        if !self.sets.is_power_of_two() {
+            return Err(ConfigError::new(
+                format!("{level}.sets"),
+                format!("must be a power of two, got {}", self.sets),
+            ));
+        }
+        Ok(())
+    }
+
     /// Total number of cache lines.
     #[inline]
     pub const fn lines(&self) -> usize {
@@ -244,6 +307,80 @@ impl Default for SystemConfig {
 }
 
 impl SystemConfig {
+    /// Checks every sub-config for values that would panic or deadlock
+    /// the simulator (zero-capacity structures, zero clocks).
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        self.l1d.validate("l1d")?;
+        self.l2.validate("l2")?;
+        self.llc.validate("llc")?;
+        let dram_positive: [(&str, u64); 4] = [
+            ("mtps", self.dram.mtps),
+            ("burst_length", self.dram.burst_length),
+            ("core_mhz", self.dram.core_mhz),
+            ("row_buffer_bytes", self.dram.row_buffer_bytes),
+        ];
+        for (name, value) in dram_positive {
+            if value == 0 {
+                return Err(ConfigError::new(
+                    format!("dram.{name}"),
+                    "must be at least 1",
+                ));
+            }
+        }
+        let dram_sized: [(&str, usize); 4] = [
+            ("channels", self.dram.channels),
+            ("banks", self.dram.banks),
+            ("rq_entries", self.dram.rq_entries),
+            ("wq_entries", self.dram.wq_entries),
+        ];
+        for (name, value) in dram_sized {
+            if value == 0 {
+                return Err(ConfigError::new(
+                    format!("dram.{name}"),
+                    "must be at least 1",
+                ));
+            }
+        }
+        if self.dram.write_watermark_den == 0
+            || self.dram.write_watermark_num > self.dram.write_watermark_den
+        {
+            return Err(ConfigError::new(
+                "dram.write_watermark_num",
+                "watermark fraction must be <= 1 with a nonzero denominator",
+            ));
+        }
+        let core_positive: [(&str, usize); 5] = [
+            ("rob_entries", self.core.rob_entries),
+            ("issue_width", self.core.issue_width),
+            ("retire_width", self.core.retire_width),
+            ("l1d_read_ports", self.core.l1d_read_ports),
+            ("l1d_write_ports", self.core.l1d_write_ports),
+        ];
+        for (name, value) in core_positive {
+            if value == 0 {
+                return Err(ConfigError::new(
+                    format!("core.{name}"),
+                    "must be at least 1",
+                ));
+            }
+        }
+        let tlb_positive: [(&str, usize); 4] = [
+            ("dtlb_entries", self.tlb.dtlb_entries),
+            ("dtlb_ways", self.tlb.dtlb_ways),
+            ("stlb_entries", self.tlb.stlb_entries),
+            ("stlb_ways", self.tlb.stlb_ways),
+        ];
+        for (name, value) in tlb_positive {
+            if value == 0 {
+                return Err(ConfigError::new(
+                    format!("tlb.{name}"),
+                    "must be at least 1",
+                ));
+            }
+        }
+        Ok(())
+    }
+
     /// Scales the LLC and DRAM MSHR/queue capacity for an `n`-core
     /// simulation (the paper uses 2 MiB LLC and 64 MSHRs *per core*).
     pub fn for_cores(mut self, n: usize) -> Self {
@@ -295,6 +432,36 @@ mod tests {
         assert_eq!(c.llc.mshr_entries, 256);
         // Private levels unchanged.
         assert_eq!(c.l1d.capacity_bytes(), 48 * 1024);
+    }
+
+    #[test]
+    fn default_config_validates() {
+        assert_eq!(SystemConfig::default().validate(), Ok(()));
+    }
+
+    #[test]
+    fn zero_mshr_is_rejected_not_panicked() {
+        let mut c = SystemConfig::default();
+        c.l1d.mshr_entries = 0;
+        let err = c.validate().expect_err("zero MSHR must fail validation");
+        assert_eq!(err.field, "l1d.mshr_entries");
+        assert!(err.to_string().contains("l1d.mshr_entries"));
+    }
+
+    #[test]
+    fn non_power_of_two_sets_rejected() {
+        let mut c = SystemConfig::default();
+        c.l2.sets = 1000;
+        let err = c.validate().expect_err("sets must be a power of two");
+        assert_eq!(err.field, "l2.sets");
+    }
+
+    #[test]
+    fn zero_dram_banks_rejected() {
+        let mut c = SystemConfig::default();
+        c.dram.banks = 0;
+        let err = c.validate().expect_err("zero banks must fail");
+        assert_eq!(err.field, "dram.banks");
     }
 
     #[test]

@@ -27,7 +27,8 @@ mod kinds;
 
 pub use addr::{Delta, Ip, PAddr, PLine, Ppn, VAddr, VLine, Vpn};
 pub use config::{
-    CacheGeometry, CoreConfig, DramConfig, SystemConfig, TlbConfig, DDR3_1600, DDR4_3200, DDR5_6400,
+    CacheGeometry, ConfigError, CoreConfig, DramConfig, SystemConfig, TlbConfig, DDR3_1600,
+    DDR4_3200, DDR5_6400,
 };
 pub use instr::{Instr, MAX_DEP_CHAINS};
 pub use kinds::{AccessKind, Cycle, FillLevel, ReplacementKind};

@@ -1,0 +1,193 @@
+//! Replays every persisted regression seed in `tests/regressions/`.
+//!
+//! Each seed is a minimal input that once exposed a divergence between
+//! a fast structure and its reference oracle (see `crates/oracle`).
+//! The seeds are committed JSON so a fixed bug cannot quietly return;
+//! `tests/regressions/README.md` documents the format and how the
+//! scheduled fuzz job feeds new seeds into this corpus.
+
+use berti_core::{Berti, BertiConfig};
+use berti_mem::{AccessEvent, FillEvent, Prefetcher};
+use berti_prefetchers::Spp;
+use berti_sim::SimOptions;
+use berti_types::{AccessKind, Cycle, Ip, SystemConfig, VLine};
+use serde::Value;
+use std::path::Path;
+
+const IP: Ip = Ip::new(0x401cb0);
+
+fn miss_event(line: u64, at: u64) -> AccessEvent {
+    AccessEvent {
+        ip: IP,
+        line: VLine::new(line),
+        at: Cycle::new(at),
+        kind: AccessKind::Load,
+        hit: false,
+        timely_prefetch_hit: false,
+        late_prefetch_hit: false,
+        stored_latency: 0,
+        mshr_occupancy: 0.0,
+    }
+}
+
+fn fill_event(line: u64, at: u64, latency: u64) -> FillEvent {
+    FillEvent {
+        line: VLine::new(line),
+        ip: IP,
+        at: Cycle::new(at),
+        latency,
+        was_prefetch: false,
+    }
+}
+
+fn u64_field(seed: &Value, key: &str) -> u64 {
+    seed.get(key)
+        .and_then(Value::as_u64)
+        .unwrap_or_else(|| panic!("seed missing u64 field `{key}`"))
+}
+
+fn i64_field(seed: &Value, key: &str) -> i64 {
+    seed.get(key)
+        .and_then(Value::as_i64)
+        .unwrap_or_else(|| panic!("seed missing i64 field `{key}`"))
+}
+
+fn str_field<'a>(seed: &'a Value, key: &str) -> &'a str {
+    seed.get(key)
+        .and_then(Value::as_str)
+        .unwrap_or_else(|| panic!("seed missing string field `{key}`"))
+}
+
+/// A fill claiming more latency than cycles elapsed must be dropped
+/// (and counted), never clamped into the timeliness window.
+fn replay_berti_inconsistent_fill(seed: &Value) {
+    let mut b = Berti::new(BertiConfig::default());
+    let mut out = Vec::new();
+    for access in seed.get("accesses").and_then(Value::as_array).unwrap() {
+        let pair = access.as_array().expect("access is [line, at]");
+        b.on_access(
+            &miss_event(pair[0].as_u64().unwrap(), pair[1].as_u64().unwrap()),
+            &mut out,
+        );
+    }
+    let fill = seed.get("fill").expect("seed has fill");
+    b.on_fill(&fill_event(
+        u64_field(fill, "line"),
+        u64_field(fill, "at"),
+        u64_field(fill, "latency"),
+    ));
+    assert_eq!(
+        b.drop_counters().0,
+        u64_field(seed, "expect_dropped_latency"),
+        "inconsistent fill must be dropped and counted"
+    );
+    assert!(
+        b.learned_deltas(IP).is_empty(),
+        "the impossible sample must not train the delta table"
+    );
+}
+
+/// A learned negative delta triggered near line 0 must drop the
+/// underflowing prediction instead of emitting a wrapped address.
+fn replay_berti_underflow_target(seed: &Value) {
+    let mut b = Berti::new(BertiConfig::default());
+    let mut out = Vec::new();
+    let base = u64_field(seed, "learn_base");
+    let stride = i64_field(seed, "learn_stride");
+    for i in 0..u64_field(seed, "learn_len") {
+        let line = base.checked_add_signed(stride * i as i64).unwrap();
+        let t = 300 * i;
+        b.on_access(&miss_event(line, t), &mut out);
+        b.on_fill(&fill_event(line, t + 100, 100));
+    }
+    assert!(
+        b.learned_deltas(IP).iter().any(|d| d.delta.raw() < 0),
+        "seed must actually teach a negative delta"
+    );
+    out.clear();
+    b.on_access(
+        &miss_event(u64_field(seed, "trigger_line"), 100_000),
+        &mut out,
+    );
+    let max_sane = u64_field(seed, "max_sane_line");
+    assert!(
+        out.iter().all(|d| d.target.raw() < max_sane),
+        "no wrapped prefetch target may escape: {out:?}"
+    );
+    assert!(
+        b.drop_counters().1 >= 1,
+        "underflowing targets must be counted"
+    );
+}
+
+/// SPP signature golden vectors: 7-bit sign-magnitude delta hashing.
+fn replay_spp_signature(seed: &Value) {
+    for v in seed.get("vectors").and_then(Value::as_array).unwrap() {
+        let sig = u64_field(v, "sig") as u16;
+        let delta = i64_field(v, "delta") as i32;
+        let expect = u64_field(v, "expect") as u16;
+        assert_eq!(
+            Spp::signature_update(sig, delta),
+            expect,
+            "signature_update({sig:#x}, {delta})"
+        );
+    }
+}
+
+/// A zero-entry MSHR in a campaign grid cell must be rejected by
+/// config validation (naming the field), not panic a worker thread.
+fn replay_mshr_zero_capacity(seed: &Value) {
+    let mut cfg = SystemConfig::default();
+    match str_field(seed, "level") {
+        "l1d" => cfg.l1d.mshr_entries = 0,
+        "l2" => cfg.l2.mshr_entries = 0,
+        "llc" => cfg.llc.mshr_entries = 0,
+        other => panic!("unknown cache level `{other}` in seed"),
+    }
+    let err = SimOptions::default()
+        .validate(&cfg)
+        .expect_err("zero-entry MSHR must fail validation");
+    let needle = str_field(seed, "expect_error_contains");
+    assert!(
+        err.to_string().contains(needle),
+        "error `{err}` must name `{needle}`"
+    );
+}
+
+#[test]
+fn every_persisted_seed_replays_clean() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/regressions");
+    let mut replayed = 0usize;
+    let mut paths: Vec<_> = std::fs::read_dir(&dir)
+        .expect("tests/regressions exists")
+        .map(|e| e.expect("readable dir entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "json"))
+        .collect();
+    paths.sort();
+    for path in paths {
+        let text = std::fs::read_to_string(&path).expect("readable seed");
+        let seed = serde::json::from_str::<Value>(&text)
+            .unwrap_or_else(|e| panic!("{}: invalid JSON: {e}", path.display()));
+        let name = str_field(&seed, "name");
+        assert_eq!(
+            Some(name),
+            path.file_stem().and_then(|s| s.to_str()),
+            "seed `name` must match its file name"
+        );
+        match str_field(&seed, "kind") {
+            "berti_inconsistent_fill" => replay_berti_inconsistent_fill(&seed),
+            "berti_underflow_target" => replay_berti_underflow_target(&seed),
+            "spp_signature" => replay_spp_signature(&seed),
+            "mshr_zero_capacity" => replay_mshr_zero_capacity(&seed),
+            other => panic!(
+                "{}: unknown seed kind `{other}` — add a dispatch arm",
+                path.display()
+            ),
+        }
+        replayed += 1;
+    }
+    assert!(
+        replayed >= 4,
+        "the committed corpus has at least 4 seeds, replayed {replayed}"
+    );
+}

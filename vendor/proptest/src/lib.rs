@@ -21,8 +21,15 @@ pub struct ProptestConfig {
 }
 
 impl Default for ProptestConfig {
+    /// 256 cases, overridable via `PROPTEST_CASES` (as in upstream
+    /// proptest) so scheduled fuzz jobs can lengthen runs without
+    /// code changes.
     fn default() -> Self {
-        ProptestConfig { cases: 256 }
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(256);
+        ProptestConfig { cases }
     }
 }
 
