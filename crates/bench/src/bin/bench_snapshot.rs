@@ -1,0 +1,229 @@
+//! `bench_snapshot`: runs the Criterion microbenches and records their
+//! medians as a dated JSON snapshot at the repo root.
+//!
+//! ```text
+//! cargo run --release -p berti-bench --bin bench_snapshot
+//! cargo run --release -p berti-bench --bin bench_snapshot -- \
+//!     --bench engine_skip_ahead --date 2026-08-07 --out BENCH_2026-08-07.json
+//! ```
+//!
+//! The tool shells out to `cargo bench` per requested bench target,
+//! parses the `<name> median <N> ns/iter (min …, max …)` lines the
+//! vendored Criterion prints, and writes `BENCH_<date>.json`:
+//!
+//! ```json
+//! {
+//!   "date": "2026-08-07",
+//!   "benches": {
+//!     "engine_skip_ahead/skip-ahead": {"median_ns": …, "min_ns": …, "max_ns": …}
+//!   }
+//! }
+//! ```
+//!
+//! Snapshots are commit-friendly perf baselines: diffing two of them
+//! shows whether an optimisation (or a regression) actually moved the
+//! engine, without wiring a perf gate into CI.
+
+use std::path::PathBuf;
+use std::process::{Command, ExitCode};
+
+use serde::Value;
+
+/// Bench targets snapshotted by default: the event-engine comparison
+/// and one dense end-to-end simulation cell.
+const DEFAULT_BENCHES: &[&str] = &["engine_skip_ahead", "sim_throughput"];
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut benches: Vec<String> = Vec::new();
+    let mut date: Option<String> = None;
+    let mut out: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--bench" => match it.next() {
+                Some(b) => benches.push(b.clone()),
+                None => return usage("--bench needs a value"),
+            },
+            "--date" => date = it.next().cloned(),
+            "--out" => out = it.next().map(PathBuf::from),
+            other => return usage(&format!("unknown flag `{other}`")),
+        }
+    }
+    if benches.is_empty() {
+        benches = DEFAULT_BENCHES.iter().map(|s| s.to_string()).collect();
+    }
+    let date = date.unwrap_or_else(today_utc);
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("repo root resolves");
+    let out = out.unwrap_or_else(|| root.join(format!("BENCH_{date}.json")));
+
+    let mut rows: Vec<(String, Value)> = Vec::new();
+    for bench in &benches {
+        eprintln!("bench_snapshot: running `cargo bench -p berti-bench --bench {bench}` …");
+        let output = Command::new("cargo")
+            .args(["bench", "-p", "berti-bench", "--bench", bench])
+            .current_dir(&root)
+            .output();
+        let output = match output {
+            Ok(o) => o,
+            Err(e) => {
+                eprintln!("bench_snapshot: launching cargo: {e}");
+                return ExitCode::from(1);
+            }
+        };
+        if !output.status.success() {
+            eprintln!(
+                "bench_snapshot: cargo bench --bench {bench} failed:\n{}",
+                String::from_utf8_lossy(&output.stderr)
+            );
+            return ExitCode::from(1);
+        }
+        let stdout = String::from_utf8_lossy(&output.stdout);
+        let parsed = parse_criterion_lines(&stdout);
+        if parsed.is_empty() {
+            eprintln!("bench_snapshot: no median lines in `{bench}` output:\n{stdout}");
+            return ExitCode::from(1);
+        }
+        for (name, stats) in parsed {
+            eprintln!("bench_snapshot:   {name}: median {} ns/iter", stats.median);
+            rows.push((name, stats.to_value()));
+        }
+    }
+
+    let snapshot = Value::Object(vec![
+        ("date".to_string(), Value::Str(date.clone())),
+        ("benches".to_string(), Value::Object(rows)),
+    ]);
+    let mut body = serde::json::to_string_pretty(&snapshot);
+    body.push('\n');
+    if let Err(e) = std::fs::write(&out, body) {
+        eprintln!("bench_snapshot: writing {}: {e}", out.display());
+        return ExitCode::from(1);
+    }
+    println!("bench_snapshot: wrote {}", out.display());
+    ExitCode::SUCCESS
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("bench_snapshot: {msg}");
+    eprintln!("usage: bench_snapshot [--bench NAME]... [--date YYYY-MM-DD] [--out PATH]");
+    ExitCode::from(2)
+}
+
+/// One parsed Criterion result line.
+struct BenchStats {
+    median: f64,
+    min: f64,
+    max: f64,
+}
+
+impl BenchStats {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("median_ns".to_string(), Value::F64(self.median)),
+            ("min_ns".to_string(), Value::F64(self.min)),
+            ("max_ns".to_string(), Value::F64(self.max)),
+        ])
+    }
+}
+
+/// Parses the vendored Criterion's result lines:
+/// `name  median  12345.6 ns/iter  (min 120.0, max 130.5)`.
+fn parse_criterion_lines(stdout: &str) -> Vec<(String, BenchStats)> {
+    let mut rows = Vec::new();
+    for line in stdout.lines() {
+        let mut words = line.split_whitespace();
+        let Some(name) = words.next() else { continue };
+        if words.next() != Some("median") {
+            continue;
+        }
+        let Some(median) = words.next().and_then(|w| w.parse::<f64>().ok()) else {
+            continue;
+        };
+        if words.next() != Some("ns/iter") {
+            continue;
+        }
+        let rest: Vec<&str> = words.collect();
+        let grab = |tag: &str| {
+            rest.iter()
+                .position(|w| w.trim_start_matches('(') == tag)
+                .and_then(|i| rest.get(i + 1))
+                .and_then(|w| w.trim_end_matches([',', ')']).parse::<f64>().ok())
+        };
+        rows.push((
+            name.to_string(),
+            BenchStats {
+                median,
+                min: grab("min").unwrap_or(median),
+                max: grab("max").unwrap_or(median),
+            },
+        ));
+    }
+    rows
+}
+
+/// Today's UTC date as `YYYY-MM-DD`, from `SystemTime` (no external
+/// date crate): days-since-epoch → civil date via the standard
+/// Gregorian conversion.
+fn today_utc() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .expect("clock after 1970")
+        .as_secs();
+    let days = (secs / 86_400) as i64;
+    // Howard Hinnant's civil_from_days.
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if m <= 2 { y + 1 } else { y };
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_criterion_median_lines() {
+        let out = "\
+   Compiling berti-bench v0.1.0\n\
+engine/naive                             median      51234.5 ns/iter  (min 50000.0, max 60000.1)\n\
+engine/skip-ahead                        median        123.4 ns/iter  (min 100.0, max 150.0)\n\
+some unrelated line\n";
+        let rows = parse_criterion_lines(out);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].0, "engine/naive");
+        assert_eq!(rows[0].1.median, 51234.5);
+        assert_eq!(rows[0].1.min, 50000.0);
+        assert_eq!(rows[0].1.max, 60000.1);
+        assert_eq!(rows[1].0, "engine/skip-ahead");
+        assert_eq!(rows[1].1.max, 150.0);
+    }
+
+    #[test]
+    fn civil_date_conversion_is_sane() {
+        // 2026-08-07 00:00:00 UTC = 1786060800 seconds since epoch;
+        // spot-check the conversion without touching the real clock.
+        let days = 1_786_060_800i64 / 86_400;
+        let z = days + 719_468;
+        let era = z.div_euclid(146_097);
+        let doe = z.rem_euclid(146_097);
+        let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+        let y = yoe + era * 400;
+        let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+        let mp = (5 * doy + 2) / 153;
+        let d = doy - (153 * mp + 2) / 5 + 1;
+        let m = if mp < 10 { mp + 3 } else { mp - 9 };
+        let y = if m <= 2 { y + 1 } else { y };
+        assert_eq!((y, m, d), (2026, 8, 7));
+    }
+}

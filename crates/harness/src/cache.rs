@@ -1,19 +1,28 @@
-//! Content-addressed on-disk result cache.
+//! The local-directory [`ResultStore`] backend.
 //!
 //! Each completed cell is stored as `<dir>/<key>.json`, where `key` is
 //! [`JobSpec::key`] — a stable hash of the spec's canonical JSON. A
-//! campaign re-run (or an overlapping campaign) skips any cell whose
-//! file exists and still matches its spec, which is what makes
-//! campaigns resumable after a crash or Ctrl-C.
+//! campaign re-run (or an overlapping campaign, or a daemon sharing the
+//! directory) skips any cell whose file exists and still matches its
+//! spec, which is what makes campaigns resumable after a crash or
+//! Ctrl-C.
+//!
+//! Writes are publish-or-nothing: every writer streams into its own
+//! uniquely named temp file (`.{key}.{pid}-{seq}.tmp`) and atomically
+//! `rename`s it into place. Two daemons — or a worker killed
+//! mid-write — can therefore never publish a torn entry, and readers
+//! racing a writer see either the previous entry or the new one.
 
 use std::fs;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use berti_sim::Report;
 use serde::{Deserialize, Serialize};
 
 use crate::campaign::JobSpec;
+use crate::store::ResultStore;
 
 /// Bump when the cached file layout (or anything that invalidates old
 /// results wholesale) changes; mismatched entries are treated as
@@ -32,11 +41,15 @@ pub struct CachedResult {
     pub report: Report,
 }
 
-/// Handle on a cache directory.
+/// Handle on a cache directory: the local-dir [`ResultStore`].
 #[derive(Clone, Debug)]
 pub struct ResultCache {
     dir: PathBuf,
 }
+
+/// Distinguishes concurrent writers within one process; combined with
+/// the pid it makes temp-file names unique across sharing processes.
+static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
 
 impl ResultCache {
     /// Opens (creating if needed) the cache at `dir`.
@@ -57,33 +70,16 @@ impl ResultCache {
 
     /// Looks up `spec`; returns its report only if a valid entry with a
     /// matching spec exists. Corrupt, stale-schema, or mismatched
-    /// entries read as misses.
+    /// entries read as misses. (Convenience forwarder to the
+    /// [`ResultStore`] provided method, kept so callers don't need the
+    /// trait in scope.)
     pub fn lookup(&self, spec: &JobSpec) -> Option<Report> {
-        let text = fs::read_to_string(self.path_for(&spec.key())).ok()?;
-        let cached: CachedResult = serde::json::from_str(&text).ok()?;
-        if cached.schema_version != CACHE_SCHEMA_VERSION || cached.spec != *spec {
-            return None;
-        }
-        Some(cached.report)
+        ResultStore::lookup(self, spec)
     }
 
-    /// Stores a completed cell. The write goes to a temporary file
-    /// first and is renamed into place, so an interrupted run never
-    /// leaves a torn entry behind.
+    /// Stores a completed cell (see [`ResultStore::store`]).
     pub fn store(&self, spec: &JobSpec, report: &Report) -> std::io::Result<()> {
-        let cached = CachedResult {
-            schema_version: CACHE_SCHEMA_VERSION,
-            spec: spec.clone(),
-            report: report.clone(),
-        };
-        let key = spec.key();
-        let tmp = self.dir.join(format!(".{key}.tmp"));
-        {
-            let mut f = fs::File::create(&tmp)?;
-            f.write_all(serde::json::to_string_pretty(&cached).as_bytes())?;
-            f.write_all(b"\n")?;
-        }
-        fs::rename(&tmp, self.path_for(&key))
+        ResultStore::store(self, spec, report)
     }
 
     /// Number of entries currently cached.
@@ -130,6 +126,38 @@ impl ResultCache {
             }
         }
         Ok(removed)
+    }
+}
+
+impl ResultStore for ResultCache {
+    fn get(&self, key: &str) -> Option<CachedResult> {
+        let text = fs::read_to_string(self.path_for(key)).ok()?;
+        serde::json::from_str(&text).ok()
+    }
+
+    fn put(&self, key: &str, entry: &CachedResult) -> std::io::Result<()> {
+        let seq = TMP_SEQ.fetch_add(1, Ordering::Relaxed);
+        let tmp = self
+            .dir
+            .join(format!(".{key}.{}-{seq}.tmp", std::process::id()));
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(serde::json::to_string_pretty(entry).as_bytes())?;
+            f.write_all(b"\n")?;
+        }
+        let published = fs::rename(&tmp, self.path_for(key));
+        if published.is_err() {
+            let _ = fs::remove_file(&tmp);
+        }
+        published
+    }
+
+    fn list(&self) -> Vec<String> {
+        self.entry_keys()
+    }
+
+    fn clear(&self) -> std::io::Result<usize> {
+        ResultCache::clear(self)
     }
 }
 
@@ -191,6 +219,50 @@ mod tests {
         let s = spec("lbm-like");
         fs::write(cache.dir().join(format!("{}.json", s.key())), b"{ not json").expect("write");
         assert!(cache.lookup(&s).is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// Many writers racing on the same key (as two daemons sharing one
+    /// store dir would) never publish a torn entry: every concurrent
+    /// read sees a complete, spec-matching report, and no temp files
+    /// leak.
+    #[test]
+    fn concurrent_writers_never_publish_a_torn_entry() {
+        let dir =
+            std::env::temp_dir().join(format!("berti-cache-concurrent-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let cache = ResultCache::open(&dir).expect("open");
+        let s = spec("lbm-like");
+        let r = tiny_report(&s);
+        let expected = serde::json::to_string(&r);
+        // Publish once so readers always have something to find.
+        cache.store(&s, &r).expect("initial store");
+
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..25 {
+                        cache.store(&s, &r).expect("concurrent store");
+                    }
+                });
+            }
+            for _ in 0..2 {
+                scope.spawn(|| {
+                    for _ in 0..100 {
+                        let hit = cache.lookup(&s).expect("published entry is always whole");
+                        assert_eq!(serde::json::to_string(&hit), expected, "no torn reads");
+                    }
+                });
+            }
+        });
+
+        assert_eq!(cache.entry_keys(), vec![s.key()], "exactly one entry");
+        let stray_tmps = fs::read_dir(cache.dir())
+            .expect("read dir")
+            .flatten()
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
+            .count();
+        assert_eq!(stray_tmps, 0, "every temp file was renamed into place");
         let _ = fs::remove_dir_all(&dir);
     }
 }

@@ -23,6 +23,14 @@ use std::io::Write;
 
 use serde::{Serialize, Value};
 
+/// Schema version stamped into every serialized event as `"v"`.
+///
+/// Consumers of stored JSONL streams and live SSE feeds key their
+/// parsing on this; bump it whenever an existing event's fields change
+/// meaning or shape (adding a new event variant is not a bump — readers
+/// must already skip unknown `"event"` tags).
+pub const EVENT_SCHEMA_VERSION: u32 = 1;
+
 /// One campaign lifecycle event.
 #[derive(Clone, Debug)]
 pub enum Event {
@@ -108,6 +116,33 @@ pub enum Event {
         /// Captured panic message.
         error: String,
     },
+    /// A campaign was accepted by a service (e.g. `berti-serve`) and is
+    /// waiting for the scheduler; one-shot CLI runs never emit this.
+    CampaignQueued {
+        /// Campaign name.
+        campaign: String,
+        /// Service-assigned campaign id.
+        id: String,
+        /// Total number of cells.
+        cells: usize,
+    },
+    /// A campaign was cancelled before draining its queue; cells
+    /// already completed stay completed (and cached).
+    CampaignCancelled {
+        /// Campaign name.
+        campaign: String,
+        /// Cells that had produced a report before cancellation.
+        completed: usize,
+    },
+    /// A worker *process* died mid-cell (crash or kill, not a caught
+    /// panic); the cell it was running is retried per the usual
+    /// isolation policy. Only process-sharded executors emit this.
+    WorkerCrashed {
+        /// Cache key of the cell the worker was running.
+        key: String,
+        /// OS pid of the dead worker.
+        pid: u32,
+    },
     /// The campaign drained its queue.
     CampaignFinished {
         /// Campaign name.
@@ -126,7 +161,10 @@ pub enum Event {
 impl Serialize for Event {
     fn to_value(&self) -> Value {
         let obj = |tag: &str, fields: Vec<(&str, Value)>| {
-            let mut o = vec![("event".to_string(), Value::Str(tag.to_string()))];
+            let mut o = vec![
+                ("event".to_string(), Value::Str(tag.to_string())),
+                ("v".to_string(), Value::U64(EVENT_SCHEMA_VERSION as u64)),
+            ];
             o.extend(fields.into_iter().map(|(k, v)| (k.to_string(), v)));
             Value::Object(o)
         };
@@ -229,6 +267,32 @@ impl Serialize for Event {
                     ("will_retry", Value::Bool(*will_retry)),
                     ("error", s(error)),
                 ],
+            ),
+            Event::CampaignQueued {
+                campaign,
+                id,
+                cells,
+            } => obj(
+                "campaign_queued",
+                vec![
+                    ("campaign", s(campaign)),
+                    ("id", s(id)),
+                    ("cells", Value::U64(*cells as u64)),
+                ],
+            ),
+            Event::CampaignCancelled {
+                campaign,
+                completed,
+            } => obj(
+                "campaign_cancelled",
+                vec![
+                    ("campaign", s(campaign)),
+                    ("completed", Value::U64(*completed as u64)),
+                ],
+            ),
+            Event::WorkerCrashed { key, pid } => obj(
+                "worker_crashed",
+                vec![("key", s(key)), ("pid", Value::U64(*pid as u64))],
             ),
             Event::CampaignFinished {
                 campaign,
@@ -357,8 +421,91 @@ mod tests {
             v.get("event").and_then(|v| v.as_str()),
             Some("job_finished")
         );
+        assert_eq!(
+            v.get("v").and_then(|v| v.as_u64()),
+            Some(EVENT_SCHEMA_VERSION as u64),
+            "every event carries the schema version"
+        );
         assert_eq!(v.get("wall_ms").and_then(|v| v.as_u64()), Some(412));
         assert_eq!(v.get("ipc").and_then(|v| v.as_f64()), Some(1.93));
+    }
+
+    #[test]
+    fn every_variant_carries_the_schema_version() {
+        let variants = vec![
+            Event::CampaignStarted {
+                campaign: "c".into(),
+                cells: 4,
+                jobs: 2,
+            },
+            Event::JobStarted {
+                key: "k".into(),
+                workload: "w".into(),
+                label: "l".into(),
+            },
+            Event::JobCacheHit {
+                key: "k".into(),
+                workload: "w".into(),
+                label: "l".into(),
+            },
+            Event::JobInterval {
+                key: "k".into(),
+                workload: "w".into(),
+                label: "l".into(),
+                instructions: 1,
+                ipc: 1.0,
+                l1d_mpki: 0.0,
+                l2_mpki: 0.0,
+                llc_mpki: 0.0,
+                l1d_accuracy: None,
+            },
+            Event::JobFinished {
+                key: "k".into(),
+                workload: "w".into(),
+                label: "l".into(),
+                wall_ms: 1,
+                instructions: 1,
+                mips: 1.0,
+                ipc: 1.0,
+            },
+            Event::JobFailed {
+                key: "k".into(),
+                workload: "w".into(),
+                label: "l".into(),
+                attempt: 1,
+                will_retry: true,
+                error: "e".into(),
+            },
+            Event::CampaignQueued {
+                campaign: "c".into(),
+                id: "c1".into(),
+                cells: 4,
+            },
+            Event::CampaignCancelled {
+                campaign: "c".into(),
+                completed: 2,
+            },
+            Event::WorkerCrashed {
+                key: "k".into(),
+                pid: 1234,
+            },
+            Event::CampaignFinished {
+                campaign: "c".into(),
+                completed: 4,
+                failed: 0,
+                cache_hits: 0,
+                wall_ms: 1,
+            },
+        ];
+        for e in variants {
+            let v = serde::json::parse(&serde::json::to_string(&e)).expect("parses");
+            assert_eq!(
+                v.get("v").and_then(|v| v.as_u64()),
+                Some(EVENT_SCHEMA_VERSION as u64),
+                "missing v on {e:?}"
+            );
+            assert!(v.get("event").and_then(|v| v.as_str()).is_some());
+        }
     }
 
     #[test]

@@ -38,13 +38,15 @@ mod cache;
 mod campaign;
 mod events;
 mod pool;
+mod store;
 
 pub mod registry;
 
 pub use cache::{CachedResult, ResultCache, CACHE_SCHEMA_VERSION};
 pub use campaign::{Campaign, CampaignBuilder, JobSpec};
-pub use events::{Event, EventSink};
+pub use events::{Event, EventSink, EVENT_SCHEMA_VERSION};
 pub use pool::{
-    run_campaign, run_campaign_with, run_campaign_with_events, CampaignResult, JobOutcome,
-    JobResult, RunOptions,
+    execute_spec, run_campaign, run_campaign_with, run_campaign_with_events, CampaignResult,
+    JobOutcome, JobResult, RunOptions,
 };
+pub use store::ResultStore;

@@ -190,51 +190,65 @@ impl CampaignResult {
     }
 }
 
-/// Runs a campaign with the real simulator.
-pub fn run_campaign(campaign: &Campaign, opts: &RunOptions) -> CampaignResult {
-    let interval = opts.interval;
-    run_campaign_with_events(campaign, opts, |spec, emit| {
-        let workload = berti_traces::workload_by_name(&spec.workload)
-            .unwrap_or_else(|| panic!("unknown workload `{}`", spec.workload));
-        let mut trace = workload.trace();
-        match interval {
-            None => berti_sim::simulate_with_l2(
+/// Executes one cell with the real simulator: resolves the workload,
+/// runs the simulation (instrumented when `interval` is set, forwarding
+/// each window as an [`Event::JobInterval`] through `emit`), and
+/// returns the report.
+///
+/// This is the single execution path shared by every executor — the
+/// in-process worker pool below and `berti-serve`'s worker processes —
+/// so a cell produces byte-identical reports no matter which engine ran
+/// it. Panics on an unknown workload; callers isolate with
+/// `catch_unwind` (or a process boundary).
+pub fn execute_spec(spec: &JobSpec, interval: Option<u64>, emit: &mut dyn FnMut(Event)) -> Report {
+    let workload = berti_traces::workload_by_name(&spec.workload)
+        .unwrap_or_else(|| panic!("unknown workload `{}`", spec.workload));
+    let mut trace = workload.trace();
+    match interval {
+        None => berti_sim::simulate_with_l2(
+            &spec.config,
+            spec.l1.clone(),
+            spec.l2,
+            &mut trace,
+            &spec.opts,
+        ),
+        Some(n) => {
+            let key = spec.key();
+            let label = spec.label();
+            let mut sink = |s: berti_sim::IntervalSample| {
+                emit(Event::JobInterval {
+                    key: key.clone(),
+                    workload: spec.workload.clone(),
+                    label: label.clone(),
+                    instructions: s.instructions,
+                    ipc: s.ipc,
+                    l1d_mpki: s.l1d_mpki,
+                    l2_mpki: s.l2_mpki,
+                    llc_mpki: s.llc_mpki,
+                    l1d_accuracy: s.l1d_accuracy,
+                });
+            };
+            berti_sim::simulate_instrumented(
                 &spec.config,
                 spec.l1.clone(),
                 spec.l2,
                 &mut trace,
                 &spec.opts,
-            ),
-            Some(n) => {
-                let key = spec.key();
-                let label = spec.label();
-                let mut sink = |s: berti_sim::IntervalSample| {
-                    emit(Event::JobInterval {
-                        key: key.clone(),
-                        workload: spec.workload.clone(),
-                        label: label.clone(),
-                        instructions: s.instructions,
-                        ipc: s.ipc,
-                        l1d_mpki: s.l1d_mpki,
-                        l2_mpki: s.l2_mpki,
-                        llc_mpki: s.llc_mpki,
-                        l1d_accuracy: s.l1d_accuracy,
-                    });
-                };
-                berti_sim::simulate_instrumented(
-                    &spec.config,
-                    spec.l1.clone(),
-                    spec.l2,
-                    &mut trace,
-                    &spec.opts,
-                    berti_sim::Engine::default(),
-                    Some(berti_sim::Sampling {
-                        interval: n,
-                        sink: &mut sink,
-                    }),
-                )
-            }
+                berti_sim::Engine::default(),
+                Some(berti_sim::Sampling {
+                    interval: n,
+                    sink: &mut sink,
+                }),
+            )
         }
+    }
+}
+
+/// Runs a campaign with the real simulator.
+pub fn run_campaign(campaign: &Campaign, opts: &RunOptions) -> CampaignResult {
+    let interval = opts.interval;
+    run_campaign_with_events(campaign, opts, |spec, emit| {
+        execute_spec(spec, interval, emit)
     })
 }
 

@@ -1,0 +1,66 @@
+//! The pluggable result-store abstraction.
+//!
+//! [`ResultStore`] is the storage contract behind the content-addressed
+//! result cache: four primitive operations (`get`/`put`/`list`/`clear`)
+//! keyed by the spec content hash ([`JobSpec::key`]), plus provided
+//! spec-checked [`lookup`](ResultStore::lookup) /
+//! [`store`](ResultStore::store) helpers built on top of them. The
+//! local-directory backend ([`ResultCache`](crate::ResultCache)) is the
+//! first implementation; because the trait is object-safe and entries
+//! are self-validating (`schema_version` + full spec echo), additional
+//! backends (an object store, a remote cache service) drop in without
+//! touching the executor or the daemon.
+//!
+//! Multiple processes — the one-shot `campaign` CLI, several
+//! `berti-serve` daemons, their worker processes — can safely share one
+//! store as long as `put` is atomic (publish-or-nothing), which the
+//! local backend guarantees via unique temp files renamed into place.
+
+use berti_sim::Report;
+
+use crate::cache::{CachedResult, CACHE_SCHEMA_VERSION};
+use crate::campaign::JobSpec;
+
+/// A content-addressed store of completed simulation cells.
+///
+/// Keys are [`JobSpec::key`] hashes. Implementations must make `put`
+/// atomic with respect to concurrent readers and writers: a `get` may
+/// observe the old entry or the new one, never a torn mix, even if a
+/// writer is killed mid-`put`.
+pub trait ResultStore: Send + Sync {
+    /// Fetches the entry stored under `key`, if one exists and parses.
+    /// Corrupt or unreadable entries read as `None`.
+    fn get(&self, key: &str) -> Option<CachedResult>;
+
+    /// Publishes `entry` under `key` (replacing any previous entry).
+    fn put(&self, key: &str, entry: &CachedResult) -> std::io::Result<()>;
+
+    /// Keys of all entries currently stored, sorted.
+    fn list(&self) -> Vec<String>;
+
+    /// Deletes every entry; returns how many were removed.
+    fn clear(&self) -> std::io::Result<usize>;
+
+    /// Looks up `spec`; returns its report only if a valid entry with a
+    /// matching schema version *and* matching spec exists (hash
+    /// collisions and hand-edited entries are detected, not trusted).
+    fn lookup(&self, spec: &JobSpec) -> Option<Report> {
+        let cached = self.get(&spec.key())?;
+        if cached.schema_version != CACHE_SCHEMA_VERSION || cached.spec != *spec {
+            return None;
+        }
+        Some(cached.report)
+    }
+
+    /// Stores a completed cell under its spec's content hash.
+    fn store(&self, spec: &JobSpec, report: &Report) -> std::io::Result<()> {
+        self.put(
+            &spec.key(),
+            &CachedResult {
+                schema_version: CACHE_SCHEMA_VERSION,
+                spec: spec.clone(),
+                report: report.clone(),
+            },
+        )
+    }
+}

@@ -1,0 +1,124 @@
+//! The `berti-serve` daemon binary.
+//!
+//! ```text
+//! berti-serve [--addr HOST:PORT] [--workers N] [--store DIR]
+//!             [--http-threads N] [--in-process] [--worker-cmd PATH]
+//! ```
+//!
+//! With the hidden `--worker` flag the process instead runs the
+//! worker-side frame loop over stdin/stdout (see `berti_serve::proto`);
+//! the daemon re-execs its own binary this way to shard campaign cells
+//! across processes.
+//!
+//! SIGTERM/SIGINT request a graceful shutdown: the accept loop stops,
+//! in-flight cells finish and publish to the result store, and the
+//! process exits 0.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use berti_serve::proto;
+use berti_serve::server::{Server, ServerConfig};
+
+/// Raised by the signal handler; polled by the accept loop.
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn request_shutdown(_signum: i32) {
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+/// Installs `request_shutdown` for SIGTERM (15) and SIGINT (2) via the
+/// libc `signal(2)` symbol — bound directly so the crate needs no
+/// foreign-function dependency. Store + load of an `AtomicBool` is the
+/// whole handler, which is async-signal-safe.
+fn install_signal_handlers() {
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    unsafe {
+        signal(15, request_shutdown); // SIGTERM
+        signal(2, request_shutdown); // SIGINT
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--worker") {
+        return ExitCode::from(proto::worker_main());
+    }
+    let cfg = match parse_args(&args) {
+        Ok(cfg) => cfg,
+        Err(msg) => {
+            eprintln!("berti-serve: {msg}");
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    install_signal_handlers();
+    let server = match Server::bind(&cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("berti-serve: binding {}: {e}", cfg.addr);
+            return ExitCode::from(1);
+        }
+    };
+    let addr = match server.local_addr() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("berti-serve: resolving local addr: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    // The integration suite parses this exact line for the port.
+    println!("berti-serve listening on http://{addr}");
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+
+    if let Err(e) = server.run(&SHUTDOWN) {
+        eprintln!("berti-serve: serving: {e}");
+        return ExitCode::from(1);
+    }
+    println!("berti-serve: drained, shutting down");
+    ExitCode::SUCCESS
+}
+
+const USAGE: &str = "\
+usage: berti-serve [--addr HOST:PORT] [--workers N] [--store DIR]
+                   [--http-threads N] [--in-process] [--worker-cmd PATH]";
+
+fn parse_args(args: &[String]) -> Result<ServerConfig, String> {
+    let mut cfg = ServerConfig::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--addr" => cfg.addr = value("--addr")?,
+            "--workers" => {
+                cfg.workers = value("--workers")?
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|n| *n > 0)
+                    .ok_or("--workers needs a positive integer")?;
+            }
+            "--http-threads" => {
+                cfg.http_threads = value("--http-threads")?
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|n| *n > 0)
+                    .ok_or("--http-threads needs a positive integer")?;
+            }
+            "--store" => cfg.store_dir = PathBuf::from(value("--store")?),
+            "--in-process" => cfg.in_process = true,
+            "--worker-cmd" => cfg.worker_cmd = Some(PathBuf::from(value("--worker-cmd")?)),
+            "--help" | "-h" => return Err("help requested".to_string()),
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(cfg)
+}

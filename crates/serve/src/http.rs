@@ -1,0 +1,275 @@
+//! Minimal HTTP/1.1 support: request parsing and response writing
+//! over a [`std::net::TcpStream`].
+//!
+//! Deliberately small: one request per connection (`Connection:
+//! close`), bounded header and body sizes, percent-decoding only where
+//! the API needs it (query values). Exactly what the daemon's JSON +
+//! SSE API requires and nothing more.
+
+use std::io::{BufRead, Write};
+
+use serde::Value;
+
+/// Largest accepted request body (campaign specs are a few KB; 8 MiB
+/// leaves room for very large grids without letting a client exhaust
+/// memory).
+pub const MAX_BODY_BYTES: usize = 8 * 1024 * 1024;
+
+/// Largest accepted header section.
+const MAX_HEADER_BYTES: usize = 64 * 1024;
+
+/// One parsed HTTP request.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// Uppercased method (`GET`, `POST`, `DELETE`, …).
+    pub method: String,
+    /// Path without the query string, e.g. `/campaigns/c1/events`.
+    pub path: String,
+    /// Decoded query parameters, in order of appearance.
+    pub query: Vec<(String, String)>,
+    /// Headers with lowercased names.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Reads one request from `stream`. Returns `Ok(None)` on a clean
+    /// EOF before any bytes (client connected and left), `Err` on a
+    /// malformed or oversized request.
+    pub fn read(stream: &mut impl BufRead) -> std::io::Result<Option<Request>> {
+        let mut line = String::new();
+        if stream.read_line(&mut line)? == 0 {
+            return Ok(None);
+        }
+        let mut parts = line.split_whitespace();
+        let (Some(method), Some(target)) = (parts.next(), parts.next()) else {
+            return Err(bad("malformed request line"));
+        };
+        let method = method.to_ascii_uppercase();
+        let (path, query) = match target.split_once('?') {
+            Some((p, q)) => (p.to_string(), parse_query(q)),
+            None => (target.to_string(), Vec::new()),
+        };
+
+        let mut headers = Vec::new();
+        let mut header_bytes = 0;
+        loop {
+            let mut h = String::new();
+            if stream.read_line(&mut h)? == 0 {
+                return Err(bad("eof in headers"));
+            }
+            header_bytes += h.len();
+            if header_bytes > MAX_HEADER_BYTES {
+                return Err(bad("header section too large"));
+            }
+            let h = h.trim_end();
+            if h.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = h.split_once(':') {
+                headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+            }
+        }
+
+        let content_length = headers
+            .iter()
+            .find(|(n, _)| n == "content-length")
+            .and_then(|(_, v)| v.parse::<usize>().ok())
+            .unwrap_or(0);
+        if content_length > MAX_BODY_BYTES {
+            return Err(bad("request body too large"));
+        }
+        let mut body = vec![0u8; content_length];
+        stream.read_exact(&mut body)?;
+
+        Ok(Some(Request {
+            method,
+            path,
+            query,
+            headers,
+            body,
+        }))
+    }
+
+    /// The first header with the given (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The first query parameter with the given name.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Path segments, e.g. `/campaigns/c1` → `["campaigns", "c1"]`.
+    pub fn segments(&self) -> Vec<&str> {
+        self.path.split('/').filter(|s| !s.is_empty()).collect()
+    }
+}
+
+fn bad(msg: &str) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg)
+}
+
+fn parse_query(q: &str) -> Vec<(String, String)> {
+    q.split('&')
+        .filter(|kv| !kv.is_empty())
+        .map(|kv| match kv.split_once('=') {
+            Some((k, v)) => (percent_decode(k), percent_decode(v)),
+            None => (percent_decode(kv), String::new()),
+        })
+        .collect()
+}
+
+/// Decodes `%XX` escapes and `+` (space); invalid escapes pass through.
+fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' => {
+                let hex = bytes.get(i + 1..i + 3).and_then(|h| {
+                    std::str::from_utf8(h)
+                        .ok()
+                        .and_then(|h| u8::from_str_radix(h, 16).ok())
+                });
+                match hex {
+                    Some(b) => {
+                        out.push(b);
+                        i += 3;
+                    }
+                    None => {
+                        out.push(bytes[i]);
+                        i += 1;
+                    }
+                }
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Human text for the status codes the daemon uses.
+pub fn status_text(code: u16) -> &'static str {
+    match code {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Writes a complete response with the given body and closes semantics
+/// (`Connection: close`).
+pub fn respond(
+    stream: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+) -> std::io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        status,
+        status_text(status),
+        content_type,
+        body.len()
+    )?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// Writes a JSON response.
+pub fn respond_json(stream: &mut impl Write, status: u16, value: &Value) -> std::io::Result<()> {
+    let mut body = serde::json::to_string_pretty(value);
+    body.push('\n');
+    respond(stream, status, "application/json", body.as_bytes())
+}
+
+/// Writes a JSON error `{"error": msg}`.
+pub fn respond_error(stream: &mut impl Write, status: u16, msg: &str) -> std::io::Result<()> {
+    respond_json(
+        stream,
+        status,
+        &Value::Object(vec![("error".to_string(), Value::Str(msg.to_string()))]),
+    )
+}
+
+/// Writes the SSE response header; the caller then streams
+/// `id:`/`data:` frames on the same connection.
+pub fn respond_sse_header(stream: &mut impl Write) -> std::io::Result<()> {
+    stream.write_all(
+        b"HTTP/1.1 200 OK\r\nContent-Type: text/event-stream\r\nCache-Control: no-cache\r\nConnection: close\r\n\r\n",
+    )?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn parses_request_line_headers_query_and_body() {
+        let raw = b"POST /campaigns?interval=5000&x=a%20b HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nbody";
+        let mut r = BufReader::new(&raw[..]);
+        let req = Request::read(&mut r).expect("parses").expect("present");
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/campaigns");
+        assert_eq!(req.segments(), vec!["campaigns"]);
+        assert_eq!(req.query_param("interval"), Some("5000"));
+        assert_eq!(req.query_param("x"), Some("a b"));
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.body, b"body");
+    }
+
+    #[test]
+    fn clean_eof_reads_as_none() {
+        let mut r = BufReader::new(&b""[..]);
+        assert!(Request::read(&mut r).expect("ok").is_none());
+    }
+
+    #[test]
+    fn oversized_body_is_rejected() {
+        let raw = format!(
+            "POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        let mut r = BufReader::new(raw.as_bytes());
+        assert!(Request::read(&mut r).is_err());
+    }
+
+    #[test]
+    fn responses_carry_length_and_close() {
+        let mut out = Vec::new();
+        respond(&mut out, 404, "text/plain", b"nope").expect("writes");
+        let text = String::from_utf8(out).expect("utf8");
+        assert!(text.starts_with("HTTP/1.1 404 Not Found\r\n"));
+        assert!(text.contains("Content-Length: 4\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("nope"));
+    }
+}

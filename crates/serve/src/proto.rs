@@ -1,0 +1,275 @@
+//! The parent↔worker process protocol.
+//!
+//! The daemon re-execs its own binary with a hidden `--worker` flag;
+//! parent and worker then exchange **length-prefixed JSON frames** over
+//! the child's stdin/stdout: a 4-byte big-endian payload length
+//! followed by that many bytes of UTF-8 JSON. Framing (rather than
+//! line-delimited JSON) keeps the protocol robust to anything the
+//! simulator might print and makes torn messages detectable: a worker
+//! that dies mid-frame yields a short read, which the parent treats as
+//! a crash of the cell in flight.
+//!
+//! One request runs one cell:
+//!
+//! ```text
+//! parent → worker   {"v":1,"spec":{…JobSpec…},"interval":5000}
+//! worker → parent   {"kind":"interval","event_json":"{…job_interval…}"}   (0+ times)
+//! worker → parent   {"kind":"done","report":{…Report…}}                   (or)
+//! worker → parent   {"kind":"error","error":"panic message"}
+//! ```
+//!
+//! The worker is reused for the next cell; closing its stdin shuts it
+//! down cleanly. Panics inside the simulator are caught in the worker
+//! and surface as `"error"` replies (the worker survives); an actual
+//! process death (SIGKILL, abort, OOM) surfaces to the parent as
+//! EOF/short read and fails only the cell in flight.
+
+use std::io::{Read, Write};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use berti_harness::{execute_spec, Event, JobSpec};
+use berti_sim::Report;
+use serde::{Deserialize, Serialize};
+
+/// Protocol version; a worker rejects requests with a different `v`.
+pub const PROTO_VERSION: u32 = 1;
+
+/// Largest accepted frame (reports are a few KB; this is a safety cap,
+/// not a tuning knob).
+pub const MAX_FRAME_BYTES: u32 = 64 * 1024 * 1024;
+
+/// Parent → worker: run one cell.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct WorkerRequest {
+    /// Protocol version ([`PROTO_VERSION`]).
+    pub v: u32,
+    /// The cell to simulate.
+    pub spec: JobSpec,
+    /// Interval-sampler period (forwarded as `"interval"` frames).
+    pub interval: Option<u64>,
+}
+
+/// Worker → parent: one reply frame. `kind` discriminates:
+/// `"interval"` carries `event_json`, `"done"` carries `report`,
+/// `"error"` carries `error`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct WorkerReply {
+    /// `"interval"`, `"done"`, or `"error"`.
+    pub kind: String,
+    /// The report, when `kind == "done"`.
+    pub report: Option<Report>,
+    /// The captured panic/diagnostic, when `kind == "error"`.
+    pub error: Option<String>,
+    /// A pre-serialized JSONL event line, when `kind == "interval"`.
+    pub event_json: Option<String>,
+}
+
+impl WorkerReply {
+    fn done(report: Report) -> Self {
+        WorkerReply {
+            kind: "done".to_string(),
+            report: Some(report),
+            error: None,
+            event_json: None,
+        }
+    }
+
+    fn error(msg: String) -> Self {
+        WorkerReply {
+            kind: "error".to_string(),
+            report: None,
+            error: Some(msg),
+            event_json: None,
+        }
+    }
+
+    fn interval(event_json: String) -> Self {
+        WorkerReply {
+            kind: "interval".to_string(),
+            report: None,
+            error: None,
+            event_json: Some(event_json),
+        }
+    }
+}
+
+/// Writes one length-prefixed frame.
+pub fn write_frame(w: &mut impl Write, json: &str) -> std::io::Result<()> {
+    let len = u32::try_from(json.len())
+        .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidData, "frame too large"))?;
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(json.as_bytes())?;
+    w.flush()
+}
+
+/// Reads one frame. `Ok(None)` on clean EOF at a frame boundary (the
+/// peer closed the pipe between messages); `Err` on a short read or an
+/// oversized/invalid frame.
+pub fn read_frame(r: &mut impl Read) -> std::io::Result<Option<String>> {
+    let mut len_buf = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        let n = r.read(&mut len_buf[filled..])?;
+        if n == 0 {
+            if filled == 0 {
+                return Ok(None);
+            }
+            return Err(torn("eof inside frame length"));
+        }
+        filled += n;
+    }
+    let len = u32::from_be_bytes(len_buf);
+    if len > MAX_FRAME_BYTES {
+        return Err(torn("frame exceeds size cap"));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)
+        .map_err(|_| torn("eof inside frame payload"))?;
+    String::from_utf8(payload)
+        .map(Some)
+        .map_err(|_| torn("frame is not utf-8"))
+}
+
+fn torn(msg: &str) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::UnexpectedEof, msg)
+}
+
+/// Test hook: a worker whose cell's workload matches
+/// `BERTI_SERVE_CRASH_WORKLOAD` aborts the whole process — once,
+/// arbitrated through exclusive creation of the file named by
+/// `BERTI_SERVE_CRASH_MARKER`. This is how the integration suite
+/// simulates a `kill -9` at a deterministic point; both variables
+/// unset means the hook is inert.
+fn maybe_crash_for_test(spec: &JobSpec) {
+    let (Ok(workload), Ok(marker)) = (
+        std::env::var("BERTI_SERVE_CRASH_WORKLOAD"),
+        std::env::var("BERTI_SERVE_CRASH_MARKER"),
+    ) else {
+        return;
+    };
+    if spec.workload == workload
+        && std::fs::OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(&marker)
+            .is_ok()
+    {
+        std::process::abort();
+    }
+}
+
+/// The worker-process main loop: reads [`WorkerRequest`] frames from
+/// stdin, simulates, and writes [`WorkerReply`] frames to stdout until
+/// stdin closes. Returns the process exit code.
+pub fn worker_main() -> u8 {
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut r = stdin.lock();
+    let mut w = stdout.lock();
+    loop {
+        let frame = match read_frame(&mut r) {
+            Ok(Some(f)) => f,
+            Ok(None) => return 0,
+            Err(_) => return 1,
+        };
+        let reply = match serde::json::from_str::<WorkerRequest>(&frame) {
+            Ok(req) if req.v != PROTO_VERSION => WorkerReply::error(format!(
+                "protocol version mismatch: parent {} vs worker {}",
+                req.v, PROTO_VERSION
+            )),
+            Err(e) => WorkerReply::error(format!("malformed request: {e}")),
+            Ok(req) => {
+                maybe_crash_for_test(&req.spec);
+                run_cell(&req, &mut w)
+            }
+        };
+        if write_frame(&mut w, &serde::json::to_string(&reply)).is_err() {
+            return 1;
+        }
+    }
+}
+
+/// Runs one cell under `catch_unwind`, streaming interval events as
+/// frames as they occur so live SSE watchers see them in real time.
+/// Interval-frame write failures are ignored here: if the parent is
+/// gone, the final reply write fails too and the worker exits.
+fn run_cell(req: &WorkerRequest, w: &mut impl Write) -> WorkerReply {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        let mut emit = |e: Event| {
+            let frame = serde::json::to_string(&WorkerReply::interval(serde::json::to_string(&e)));
+            let _ = write_frame(&mut *w, &frame);
+        };
+        execute_spec(&req.spec, req.interval, &mut emit)
+    }));
+    match result {
+        Ok(report) => WorkerReply::done(report),
+        Err(payload) => WorkerReply::error(panic_message(payload)),
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_roundtrip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "{\"a\":1}").expect("writes");
+        write_frame(&mut buf, "second").expect("writes");
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).expect("ok"), Some("{\"a\":1}".into()));
+        assert_eq!(read_frame(&mut r).expect("ok"), Some("second".into()));
+        assert_eq!(read_frame(&mut r).expect("ok"), None, "clean eof");
+    }
+
+    #[test]
+    fn torn_frame_is_an_error_not_eof() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "hello").expect("writes");
+        let torn = &buf[..buf.len() - 2];
+        let mut r = torn;
+        assert!(read_frame(&mut r).is_err(), "short payload is detected");
+        let mut r = &buf[..2];
+        assert!(
+            read_frame(&mut r).is_err(),
+            "short length prefix is detected"
+        );
+    }
+
+    #[test]
+    fn request_and_reply_roundtrip_through_json() {
+        let spec = JobSpec {
+            workload: "lbm-like".to_string(),
+            l1: berti_sim::PrefetcherChoice::Berti,
+            l2: None,
+            opts: berti_sim::SimOptions::default(),
+            config: berti_types::SystemConfig::default(),
+        };
+        let req = WorkerRequest {
+            v: PROTO_VERSION,
+            spec,
+            interval: Some(1000),
+        };
+        let back: WorkerRequest =
+            serde::json::from_str(&serde::json::to_string(&req)).expect("parses");
+        assert_eq!(back.spec.key(), req.spec.key());
+        assert_eq!(back.interval, Some(1000));
+
+        let reply = WorkerReply::error("boom".to_string());
+        let back: WorkerReply =
+            serde::json::from_str(&serde::json::to_string(&reply)).expect("parses");
+        assert_eq!(back.kind, "error");
+        assert_eq!(back.error.as_deref(), Some("boom"));
+        assert!(back.report.is_none());
+    }
+}

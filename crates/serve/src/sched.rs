@@ -1,0 +1,566 @@
+//! The campaign scheduler: drains the submission queue and shards each
+//! campaign's cells across a pool of executors.
+//!
+//! The default executor is a **worker process** ([`ProcessWorker`]):
+//! the daemon re-execs its own binary with `--worker` and speaks the
+//! [`crate::proto`] frame protocol over the child's pipes. Idle worker
+//! processes are parked in a daemon-wide pool and reused across
+//! campaigns, so a steady stream of submissions pays process startup
+//! once, not per campaign. An in-process thread executor
+//! ([`ThreadExecutor`]) exists for `--in-process` mode and tests.
+//!
+//! Per-cell semantics deliberately mirror `berti_harness::pool`, one
+//! level up the isolation ladder: validate → store lookup → attempt →
+//! retry once → fail. What the harness does for a *panicking* cell
+//! (catch, retry, never take siblings down), this layer also does for
+//! a *dying worker process*: the parent sees a torn frame or EOF,
+//! emits `worker_crashed`, respawns a fresh worker, and retries only
+//! the cell that was in flight.
+
+use std::io::{BufReader, Write as _};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
+use std::sync::atomic::Ordering;
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use berti_harness::{execute_spec, Event, JobOutcome, JobResult, JobSpec};
+use berti_sim::Report;
+
+use crate::proto::{read_frame, write_frame, WorkerReply, WorkerRequest, PROTO_VERSION};
+use crate::state::{CampaignEntry, CampaignStatus, Daemon};
+
+/// Attempts per cell (initial + one retry), matching the harness pool.
+const MAX_ATTEMPTS: u32 = 2;
+
+/// Why a cell attempt produced no report.
+#[derive(Debug)]
+pub enum CellError {
+    /// The executor itself died (worker process crash); the caller
+    /// must discard the executor and retry on a fresh one.
+    WorkerDied {
+        /// Pid of the dead worker, if it ever spawned.
+        pid: u32,
+        /// Transport-level diagnostic.
+        error: String,
+    },
+    /// The simulation failed (caught panic / reported error); the
+    /// executor survives and may be reused.
+    Sim(String),
+}
+
+/// Runs one cell to a report or an error. `emit` receives
+/// pre-serialized JSONL event lines (interval samples) as they occur.
+pub trait CellExecutor: Send {
+    /// Executes `spec`.
+    fn run(
+        &mut self,
+        spec: &JobSpec,
+        interval: Option<u64>,
+        emit: &mut dyn FnMut(String),
+    ) -> Result<Report, CellError>;
+
+    /// The worker pid, for process-backed executors.
+    fn pid(&self) -> Option<u32>;
+}
+
+/// How the scheduler obtains executors.
+#[derive(Clone, Debug)]
+pub struct SchedulerConfig {
+    /// Executor-pool size per campaign.
+    pub workers: usize,
+    /// Run cells on threads in the daemon process instead of worker
+    /// processes (loses crash isolation; for tests and constrained
+    /// environments).
+    pub in_process: bool,
+    /// Override the worker binary (default: the daemon's own image via
+    /// `std::env::current_exe`).
+    pub worker_cmd: Option<PathBuf>,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig {
+            workers: 2,
+            in_process: false,
+            worker_cmd: None,
+        }
+    }
+}
+
+/// A worker process plus its framed pipes.
+pub struct ProcessWorker {
+    child: Child,
+    stdin: ChildStdin,
+    stdout: BufReader<ChildStdout>,
+}
+
+impl ProcessWorker {
+    /// Spawns a worker from `cmd` (or the current executable).
+    pub fn spawn(cmd: &Option<PathBuf>) -> std::io::Result<ProcessWorker> {
+        let program = match cmd {
+            Some(p) => p.clone(),
+            None => std::env::current_exe()?,
+        };
+        let mut child = Command::new(program)
+            .arg("--worker")
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()?;
+        let stdin = child.stdin.take().expect("piped stdin");
+        let stdout = BufReader::new(child.stdout.take().expect("piped stdout"));
+        Ok(ProcessWorker {
+            child,
+            stdin,
+            stdout,
+        })
+    }
+
+    /// The worker's OS pid.
+    pub fn pid(&self) -> u32 {
+        self.child.id()
+    }
+}
+
+impl Drop for ProcessWorker {
+    fn drop(&mut self) {
+        // Closing stdin asks the worker loop to exit; kill + wait
+        // guarantees the child is reaped even if it is wedged.
+        let _ = self.stdin.flush();
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+impl CellExecutor for ProcessWorker {
+    fn run(
+        &mut self,
+        spec: &JobSpec,
+        interval: Option<u64>,
+        emit: &mut dyn FnMut(String),
+    ) -> Result<Report, CellError> {
+        let pid = self.pid();
+        let died = |error: String| CellError::WorkerDied { pid, error };
+        let request = WorkerRequest {
+            v: PROTO_VERSION,
+            spec: spec.clone(),
+            interval,
+        };
+        write_frame(&mut self.stdin, &serde::json::to_string(&request))
+            .map_err(|e| died(format!("writing request: {e}")))?;
+        loop {
+            let frame = match read_frame(&mut self.stdout) {
+                Ok(Some(f)) => f,
+                Ok(None) => return Err(died("worker closed its pipe mid-cell".to_string())),
+                Err(e) => return Err(died(format!("reading reply: {e}"))),
+            };
+            let reply: WorkerReply = serde::json::from_str(&frame)
+                .map_err(|e| died(format!("malformed reply frame: {e}")))?;
+            match reply.kind.as_str() {
+                "interval" => {
+                    if let Some(line) = reply.event_json {
+                        emit(line);
+                    }
+                }
+                "done" => {
+                    return reply
+                        .report
+                        .ok_or_else(|| died("done reply without report".to_string()));
+                }
+                "error" => {
+                    return Err(CellError::Sim(
+                        reply
+                            .error
+                            .unwrap_or_else(|| "unknown worker error".to_string()),
+                    ));
+                }
+                other => return Err(died(format!("unknown reply kind `{other}`"))),
+            }
+        }
+    }
+
+    fn pid(&self) -> Option<u32> {
+        Some(ProcessWorker::pid(self))
+    }
+}
+
+/// Runs cells on a thread in the daemon process (no crash isolation).
+#[derive(Default)]
+pub struct ThreadExecutor;
+
+impl CellExecutor for ThreadExecutor {
+    fn run(
+        &mut self,
+        spec: &JobSpec,
+        interval: Option<u64>,
+        emit: &mut dyn FnMut(String),
+    ) -> Result<Report, CellError> {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let mut forward = |e: Event| emit(serde::json::to_string(&e));
+            execute_spec(spec, interval, &mut forward)
+        }));
+        result.map_err(|payload| {
+            CellError::Sim(if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_string()
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "panic with non-string payload".to_string()
+            })
+        })
+    }
+
+    fn pid(&self) -> Option<u32> {
+        None
+    }
+}
+
+/// The executor owned by one shard thread: a concrete enum (rather
+/// than `Box<dyn CellExecutor>`) so a healthy [`ProcessWorker`] can be
+/// recovered and parked back in the [`WorkerPool`] when the shard
+/// finishes.
+pub enum ExecSlot {
+    /// A worker process.
+    Proc(ProcessWorker),
+    /// An in-process thread executor.
+    Thread(ThreadExecutor),
+}
+
+impl CellExecutor for ExecSlot {
+    fn run(
+        &mut self,
+        spec: &JobSpec,
+        interval: Option<u64>,
+        emit: &mut dyn FnMut(String),
+    ) -> Result<Report, CellError> {
+        match self {
+            ExecSlot::Proc(w) => w.run(spec, interval, emit),
+            ExecSlot::Thread(t) => t.run(spec, interval, emit),
+        }
+    }
+
+    fn pid(&self) -> Option<u32> {
+        match self {
+            ExecSlot::Proc(w) => CellExecutor::pid(w),
+            ExecSlot::Thread(t) => t.pid(),
+        }
+    }
+}
+
+/// The daemon-wide pool of idle worker processes, reused across
+/// campaigns so repeat submissions skip process startup.
+#[derive(Default)]
+pub struct WorkerPool {
+    idle: Mutex<Vec<ProcessWorker>>,
+}
+
+impl WorkerPool {
+    /// Takes an idle worker or spawns a fresh one.
+    fn checkout(&self, cfg: &SchedulerConfig, daemon: &Daemon) -> std::io::Result<ProcessWorker> {
+        if let Some(w) = self.idle.lock().expect("worker pool poisoned").pop() {
+            return Ok(w);
+        }
+        let w = ProcessWorker::spawn(&cfg.worker_cmd)?;
+        daemon.stats.lock().expect("stats poisoned").worker_spawns += 1;
+        Ok(w)
+    }
+
+    /// Returns a healthy worker to the pool.
+    fn checkin(&self, worker: ProcessWorker) {
+        self.idle.lock().expect("worker pool poisoned").push(worker);
+    }
+
+    /// Drops every idle worker (shutdown).
+    pub fn drain(&self) {
+        self.idle.lock().expect("worker pool poisoned").clear();
+    }
+}
+
+/// The scheduler loop: runs queued campaigns until `rx` closes or the
+/// daemon's shutdown flag rises. One campaign runs at a time; its
+/// cells are sharded across `cfg.workers` executors.
+pub fn scheduler_loop(
+    daemon: Arc<Daemon>,
+    rx: mpsc::Receiver<Arc<CampaignEntry>>,
+    cfg: SchedulerConfig,
+) {
+    let pool = WorkerPool::default();
+    loop {
+        if daemon.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let entry = match rx.recv_timeout(Duration::from_millis(100)) {
+            Ok(e) => e,
+            Err(mpsc::RecvTimeoutError::Timeout) => continue,
+            Err(mpsc::RecvTimeoutError::Disconnected) => break,
+        };
+        if entry.status() != CampaignStatus::Queued {
+            continue; // cancelled while queued; already terminal
+        }
+        run_one_campaign(&daemon, &entry, &cfg, &pool);
+    }
+    pool.drain();
+}
+
+/// Executes one campaign: shard cells over executors, mirroring the
+/// harness pool's per-cell semantics, with results written through the
+/// daemon's [`ResultStore`].
+pub fn run_one_campaign(
+    daemon: &Daemon,
+    entry: &CampaignEntry,
+    cfg: &SchedulerConfig,
+    pool: &WorkerPool,
+) {
+    let started = Instant::now();
+    entry.set_status(CampaignStatus::Running);
+    let workers = cfg.workers.max(1).min(entry.campaign.cells.len().max(1));
+    entry.events.push(&Event::CampaignStarted {
+        campaign: entry.campaign.name.clone(),
+        cells: entry.campaign.cells.len(),
+        jobs: workers,
+    });
+
+    let (work_tx, work_rx) = mpsc::channel::<usize>();
+    for i in 0..entry.campaign.cells.len() {
+        let _ = work_tx.send(i);
+    }
+    drop(work_tx);
+    let work_rx = Mutex::new(work_rx);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let work_rx = &work_rx;
+            scope.spawn(move || {
+                let mut executor: Option<ExecSlot> = None;
+                loop {
+                    // Stop dispatching once cancelled or shutting
+                    // down; in-flight cells (on other shards) finish
+                    // and publish to the store regardless.
+                    if entry.cancel.load(Ordering::SeqCst) || daemon.shutdown.load(Ordering::SeqCst)
+                    {
+                        break;
+                    }
+                    let idx = match work_rx.lock().expect("work queue poisoned").recv() {
+                        Ok(i) => i,
+                        Err(_) => break,
+                    };
+                    run_cell(daemon, entry, idx, cfg, pool, &mut executor);
+                }
+                // Park a healthy process worker for the next campaign.
+                if let Some(ExecSlot::Proc(worker)) = executor.take() {
+                    pool.checkin(worker);
+                }
+            });
+        }
+    });
+
+    entry
+        .wall_ms
+        .store(started.elapsed().as_millis() as u64, Ordering::Relaxed);
+    let (completed, cached, failed) = entry.counts();
+    let cancelled = entry.cancel.load(Ordering::SeqCst) || daemon.shutdown.load(Ordering::SeqCst);
+    if cancelled {
+        entry.events.push(&Event::CampaignCancelled {
+            campaign: entry.campaign.name.clone(),
+            completed,
+        });
+        entry.set_status(CampaignStatus::Cancelled);
+        daemon
+            .stats
+            .lock()
+            .expect("stats poisoned")
+            .campaigns_cancelled += 1;
+    } else {
+        entry.events.push(&Event::CampaignFinished {
+            campaign: entry.campaign.name.clone(),
+            completed,
+            failed,
+            cache_hits: cached,
+            wall_ms: entry.wall_ms.load(Ordering::Relaxed),
+        });
+        entry.set_status(CampaignStatus::Done);
+        daemon
+            .stats
+            .lock()
+            .expect("stats poisoned")
+            .campaigns_completed += 1;
+    }
+}
+
+fn run_cell(
+    daemon: &Daemon,
+    entry: &CampaignEntry,
+    idx: usize,
+    cfg: &SchedulerConfig,
+    pool: &WorkerPool,
+    executor: &mut Option<ExecSlot>,
+) {
+    let spec = &entry.campaign.cells[idx];
+    let key = spec.key();
+    let workload = spec.workload.clone();
+    let label = spec.label();
+
+    // Reject invalid cells before touching the store or a worker,
+    // exactly like the harness pool: deterministic diagnostic, no
+    // retry.
+    if let Err(err) = spec.opts.validate(&spec.config) {
+        let error = err.to_string();
+        entry.events.push(&Event::JobFailed {
+            key: key.clone(),
+            workload,
+            label,
+            attempt: 1,
+            will_retry: false,
+            error: error.clone(),
+        });
+        daemon.stats.lock().expect("stats poisoned").cells_failed += 1;
+        entry.fill_slot(
+            idx,
+            JobResult {
+                spec: spec.clone(),
+                key,
+                outcome: JobOutcome::Failed { error, attempts: 1 },
+            },
+        );
+        return;
+    }
+
+    if let Some(report) = daemon.store.lookup(spec) {
+        entry.events.push(&Event::JobCacheHit {
+            key: key.clone(),
+            workload,
+            label,
+        });
+        daemon.stats.lock().expect("stats poisoned").cells_cached += 1;
+        entry.fill_slot(
+            idx,
+            JobResult {
+                spec: spec.clone(),
+                key,
+                outcome: JobOutcome::Done {
+                    report,
+                    cached: true,
+                },
+            },
+        );
+        return;
+    }
+
+    entry.events.push(&Event::JobStarted {
+        key: key.clone(),
+        workload: workload.clone(),
+        label: label.clone(),
+    });
+
+    let mut last_error = String::new();
+    for attempt in 1..=MAX_ATTEMPTS {
+        // (Re)acquire an executor; a spawn failure counts as this
+        // attempt failing.
+        if executor.is_none() {
+            *executor = match acquire_executor(cfg, daemon, pool) {
+                Ok(e) => Some(e),
+                Err(e) => {
+                    last_error = format!("spawning worker: {e}");
+                    entry.events.push(&Event::JobFailed {
+                        key: key.clone(),
+                        workload: workload.clone(),
+                        label: label.clone(),
+                        attempt,
+                        will_retry: attempt < MAX_ATTEMPTS,
+                        error: last_error.clone(),
+                    });
+                    continue;
+                }
+            };
+        }
+        let exec = executor.as_mut().expect("just ensured");
+        let started = Instant::now();
+        let mut emit = |line: String| entry.events.push_line(line);
+        match exec.run(spec, entry.interval, &mut emit) {
+            Ok(report) => {
+                let _ = daemon.store.store(spec, &report);
+                let wall_ms = started.elapsed().as_millis() as u64;
+                let wall_s = (wall_ms as f64 / 1000.0).max(1e-9);
+                entry.events.push(&Event::JobFinished {
+                    key: key.clone(),
+                    workload,
+                    label,
+                    wall_ms,
+                    instructions: report.instructions,
+                    mips: report.instructions as f64 / 1e6 / wall_s,
+                    ipc: report.ipc(),
+                });
+                daemon.stats.lock().expect("stats poisoned").cells_completed += 1;
+                entry.fill_slot(
+                    idx,
+                    JobResult {
+                        spec: spec.clone(),
+                        key,
+                        outcome: JobOutcome::Done {
+                            report,
+                            cached: false,
+                        },
+                    },
+                );
+                return;
+            }
+            Err(CellError::WorkerDied { pid, error }) => {
+                // The executor is gone: discard it so the next attempt
+                // (or next cell) starts a fresh worker.
+                *executor = None;
+                last_error = format!("worker process {pid} died: {error}");
+                entry.events.push(&Event::WorkerCrashed {
+                    key: key.clone(),
+                    pid,
+                });
+                daemon.stats.lock().expect("stats poisoned").worker_crashes += 1;
+                entry.events.push(&Event::JobFailed {
+                    key: key.clone(),
+                    workload: workload.clone(),
+                    label: label.clone(),
+                    attempt,
+                    will_retry: attempt < MAX_ATTEMPTS,
+                    error: last_error.clone(),
+                });
+            }
+            Err(CellError::Sim(error)) => {
+                last_error = error;
+                entry.events.push(&Event::JobFailed {
+                    key: key.clone(),
+                    workload: workload.clone(),
+                    label: label.clone(),
+                    attempt,
+                    will_retry: attempt < MAX_ATTEMPTS,
+                    error: last_error.clone(),
+                });
+            }
+        }
+    }
+
+    daemon.stats.lock().expect("stats poisoned").cells_failed += 1;
+    entry.fill_slot(
+        idx,
+        JobResult {
+            spec: spec.clone(),
+            key,
+            outcome: JobOutcome::Failed {
+                error: last_error,
+                attempts: MAX_ATTEMPTS,
+            },
+        },
+    );
+}
+
+fn acquire_executor(
+    cfg: &SchedulerConfig,
+    daemon: &Daemon,
+    pool: &WorkerPool,
+) -> std::io::Result<ExecSlot> {
+    if cfg.in_process {
+        Ok(ExecSlot::Thread(ThreadExecutor))
+    } else {
+        Ok(ExecSlot::Proc(pool.checkout(cfg, daemon)?))
+    }
+}

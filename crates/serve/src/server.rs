@@ -1,0 +1,449 @@
+//! The HTTP front end: accept loop, handler thread pool, and routing.
+//!
+//! ```text
+//! POST   /campaigns               submit a campaign (202 + id)
+//! GET    /campaigns               list submissions
+//! GET    /campaigns/:id           status summary
+//! GET    /campaigns/:id/result    aggregated report (409 until done)
+//! GET    /campaigns/:id/events    JSONL-over-SSE stream with replay
+//! DELETE /campaigns/:id           cancel
+//! GET    /metrics                 daemon counters
+//! GET    /healthz                 liveness probe
+//! ```
+//!
+//! Connections are one-request (`Connection: close`); accepted streams
+//! fan out to a bounded pool of handler threads through a shared
+//! channel. The accept loop polls a shutdown flag, so SIGTERM turns
+//! into: stop accepting → tell the scheduler to stop dispatching →
+//! wait for in-flight cells to publish to the store → exit.
+
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Duration;
+
+use berti_harness::{registry, Campaign, ResultCache};
+use berti_sim::SimOptions;
+use serde::{Deserialize, Value};
+
+use crate::http::{respond_error, respond_json, respond_sse_header, Request};
+use crate::sched::{scheduler_loop, SchedulerConfig};
+use crate::state::{CampaignEntry, Daemon};
+use crate::stats::metrics_json;
+
+/// How often blocked loops (accept, SSE wait) re-check shutdown.
+const POLL: Duration = Duration::from_millis(50);
+
+/// Server configuration, usually built from CLI flags.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:7791` (`:0` for an ephemeral
+    /// port).
+    pub addr: String,
+    /// Worker executors per campaign.
+    pub workers: usize,
+    /// Run cells in-process instead of in worker processes.
+    pub in_process: bool,
+    /// Override the worker binary (tests point this at
+    /// `CARGO_BIN_EXE_berti-serve`).
+    pub worker_cmd: Option<PathBuf>,
+    /// Result-store directory.
+    pub store_dir: PathBuf,
+    /// HTTP handler threads (bounds concurrent connections, including
+    /// long-lived SSE streams).
+    pub http_threads: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:7791".to_string(),
+            workers: 2,
+            in_process: false,
+            worker_cmd: None,
+            store_dir: PathBuf::from("results/cache"),
+            http_threads: 8,
+        }
+    }
+}
+
+/// A bound daemon: listener + shared state + scheduler thread.
+pub struct Server {
+    listener: TcpListener,
+    daemon: Arc<Daemon>,
+    submit_tx: mpsc::Sender<Arc<CampaignEntry>>,
+    scheduler: Option<std::thread::JoinHandle<()>>,
+    http_threads: usize,
+}
+
+impl Server {
+    /// Binds the listener, opens the result store, and starts the
+    /// scheduler thread. The server does not accept connections until
+    /// [`Server::run`].
+    pub fn bind(cfg: &ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let store = ResultCache::open(&cfg.store_dir)?;
+        let daemon = Arc::new(Daemon::new(Arc::new(store)));
+        let (submit_tx, submit_rx) = mpsc::channel::<Arc<CampaignEntry>>();
+        let sched_cfg = SchedulerConfig {
+            workers: cfg.workers,
+            in_process: cfg.in_process,
+            worker_cmd: cfg.worker_cmd.clone(),
+        };
+        let sched_daemon = Arc::clone(&daemon);
+        let scheduler = std::thread::Builder::new()
+            .name("berti-serve-sched".to_string())
+            .spawn(move || scheduler_loop(sched_daemon, submit_rx, sched_cfg))?;
+        Ok(Server {
+            listener,
+            daemon,
+            submit_tx,
+            scheduler: Some(scheduler),
+            http_threads: cfg.http_threads.max(1),
+        })
+    }
+
+    /// The bound address (resolves `:0` to the actual port).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Shared daemon state (tests use this to inspect counters).
+    pub fn daemon(&self) -> Arc<Daemon> {
+        Arc::clone(&self.daemon)
+    }
+
+    /// Serves until `shutdown` becomes true, then drains gracefully:
+    /// stops accepting, lets the scheduler finish in-flight cells
+    /// (they publish to the store), joins every thread.
+    pub fn run(mut self, shutdown: &AtomicBool) -> std::io::Result<()> {
+        self.listener.set_nonblocking(true)?;
+        let (conn_tx, conn_rx) = mpsc::channel::<TcpStream>();
+        let conn_rx = Arc::new(Mutex::new(conn_rx));
+
+        std::thread::scope(|scope| {
+            let mut handlers = Vec::new();
+            for _ in 0..self.http_threads {
+                let conn_rx = Arc::clone(&conn_rx);
+                let daemon = Arc::clone(&self.daemon);
+                let submit_tx = self.submit_tx.clone();
+                handlers.push(scope.spawn(move || loop {
+                    let stream = {
+                        let rx = conn_rx.lock().expect("conn queue poisoned");
+                        rx.recv()
+                    };
+                    match stream {
+                        Ok(s) => handle_connection(s, &daemon, &submit_tx),
+                        Err(_) => break, // accept loop closed the channel
+                    }
+                }));
+            }
+
+            loop {
+                if shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                match self.listener.accept() {
+                    Ok((stream, _)) => {
+                        // Blocking I/O per connection; the handler owns
+                        // pacing from here.
+                        let _ = stream.set_nonblocking(false);
+                        if conn_tx.send(stream).is_err() {
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(POLL);
+                    }
+                    Err(_) => std::thread::sleep(POLL),
+                }
+            }
+
+            // Graceful drain: scheduler observes the flag, stops
+            // dispatching, finishes in-flight cells (which publish to
+            // the store via atomic rename), then exits.
+            self.daemon.shutdown.store(true, Ordering::SeqCst);
+            drop(conn_tx);
+            if let Some(sched) = self.scheduler.take() {
+                let _ = sched.join();
+            }
+            for h in handlers {
+                let _ = h.join();
+            }
+        });
+        Ok(())
+    }
+}
+
+/// Reads one request, routes it, counts it.
+fn handle_connection(
+    stream: TcpStream,
+    daemon: &Arc<Daemon>,
+    submit_tx: &mpsc::Sender<Arc<CampaignEntry>>,
+) {
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut writer = stream;
+    let request = match Request::read(&mut reader) {
+        Ok(Some(r)) => r,
+        Ok(None) => return,
+        Err(e) => {
+            let mut stats = daemon.stats.lock().expect("stats poisoned");
+            stats.http_requests += 1;
+            stats.http_errors += 1;
+            drop(stats);
+            let _ = respond_error(&mut writer, 400, &e.to_string());
+            return;
+        }
+    };
+    daemon.stats.lock().expect("stats poisoned").http_requests += 1;
+    let status = route(&request, &mut writer, daemon, submit_tx);
+    if status >= 400 {
+        daemon.stats.lock().expect("stats poisoned").http_errors += 1;
+    }
+}
+
+/// Dispatches one request; returns the response status for counting.
+fn route(
+    req: &Request,
+    w: &mut TcpStream,
+    daemon: &Arc<Daemon>,
+    submit_tx: &mpsc::Sender<Arc<CampaignEntry>>,
+) -> u16 {
+    let segments = req.segments();
+    match (req.method.as_str(), segments.as_slice()) {
+        ("GET", ["healthz"]) => {
+            let body = Value::Object(vec![("status".to_string(), Value::Str("ok".to_string()))]);
+            let _ = respond_json(w, 200, &body);
+            200
+        }
+        ("GET", ["metrics"]) => {
+            let body = metrics_json(&daemon.stats.lock().expect("stats poisoned").clone());
+            let _ = respond_json(w, 200, &body);
+            200
+        }
+        ("POST", ["campaigns"]) => post_campaign(req, w, daemon, submit_tx),
+        ("GET", ["campaigns"]) => {
+            let list = Value::Array(
+                daemon
+                    .campaigns()
+                    .iter()
+                    .map(|e| e.summary_json())
+                    .collect(),
+            );
+            let body = Value::Object(vec![("campaigns".to_string(), list)]);
+            let _ = respond_json(w, 200, &body);
+            200
+        }
+        ("GET", ["campaigns", id]) => match daemon.find(id) {
+            Some(entry) => {
+                let _ = respond_json(w, 200, &entry.summary_json());
+                200
+            }
+            None => not_found(w, id),
+        },
+        ("GET", ["campaigns", id, "result"]) => match daemon.find(id) {
+            Some(entry) => match entry.aggregated_json() {
+                Some(json) => {
+                    let _ = crate::http::respond(w, 200, "application/json", json.as_bytes());
+                    200
+                }
+                None => {
+                    let _ = respond_error(
+                        w,
+                        409,
+                        &format!(
+                            "campaign {id} is {}, result not ready",
+                            entry.status().name()
+                        ),
+                    );
+                    409
+                }
+            },
+            None => not_found(w, id),
+        },
+        ("GET", ["campaigns", id, "events"]) => match daemon.find(id) {
+            Some(entry) => stream_events(req, w, daemon, &entry),
+            None => not_found(w, id),
+        },
+        ("DELETE", ["campaigns", id]) => match daemon.cancel(id) {
+            Some(status) => {
+                let body = Value::Object(vec![
+                    ("id".to_string(), Value::Str((*id).to_string())),
+                    ("status".to_string(), Value::Str(status.name().to_string())),
+                ]);
+                let _ = respond_json(w, 200, &body);
+                200
+            }
+            None => not_found(w, id),
+        },
+        ("GET" | "POST" | "DELETE", _) => {
+            let _ = respond_error(w, 404, &format!("no route for {}", req.path));
+            404
+        }
+        _ => {
+            let _ = respond_error(w, 405, &format!("method {} not supported", req.method));
+            405
+        }
+    }
+}
+
+fn not_found(w: &mut TcpStream, id: &str) -> u16 {
+    let _ = respond_error(w, 404, &format!("no campaign {id}"));
+    404
+}
+
+/// `POST /campaigns`: the body is either a full [`Campaign`] value
+/// (`{"name": …, "cells": […]}`) or a builtin reference
+/// (`{"builtin": "quick", "warmup": N, "instr": N}`). `?interval=N`
+/// requests interval sampling events.
+fn post_campaign(
+    req: &Request,
+    w: &mut TcpStream,
+    daemon: &Arc<Daemon>,
+    submit_tx: &mpsc::Sender<Arc<CampaignEntry>>,
+) -> u16 {
+    if daemon.shutdown.load(Ordering::SeqCst) {
+        let _ = respond_error(w, 503, "daemon is shutting down");
+        return 503;
+    }
+    let body = match std::str::from_utf8(&req.body) {
+        Ok(s) => s,
+        Err(_) => {
+            let _ = respond_error(w, 400, "body is not utf-8");
+            return 400;
+        }
+    };
+    let value = match serde::json::parse(body) {
+        Ok(v) => v,
+        Err(e) => {
+            let _ = respond_error(w, 400, &format!("body is not json: {e}"));
+            return 400;
+        }
+    };
+    let campaign = if let Some(name) = value.get("builtin").and_then(|v| v.as_str()) {
+        let mut opts = SimOptions::default();
+        if let Some(n) = value.get("warmup").and_then(|v| v.as_u64()) {
+            opts.warmup_instructions = n;
+        }
+        if let Some(n) = value.get("instr").and_then(|v| v.as_u64()) {
+            opts.sim_instructions = n;
+        }
+        match registry::builtin(name, opts) {
+            Some(c) => c,
+            None => {
+                let _ = respond_error(w, 400, &format!("unknown builtin campaign `{name}`"));
+                return 400;
+            }
+        }
+    } else {
+        match Campaign::from_value(&value) {
+            Ok(c) => c,
+            Err(e) => {
+                let _ = respond_error(w, 400, &format!("malformed campaign: {e}"));
+                return 400;
+            }
+        }
+    };
+    if campaign.cells.is_empty() {
+        let _ = respond_error(w, 400, "campaign has no cells");
+        return 400;
+    }
+    let interval = match req.query_param("interval") {
+        Some(raw) => match raw.parse::<u64>() {
+            Ok(0) | Err(_) => {
+                let _ = respond_error(w, 400, "interval must be a positive integer");
+                return 400;
+            }
+            Ok(n) => Some(n),
+        },
+        None => None,
+    };
+
+    let entry = daemon.submit(campaign, interval);
+    if submit_tx.send(Arc::clone(&entry)).is_err() {
+        let _ = respond_error(w, 503, "scheduler is not running");
+        return 503;
+    }
+    let body = Value::Object(vec![
+        ("id".to_string(), Value::Str(entry.id.clone())),
+        (
+            "campaign".to_string(),
+            Value::Str(entry.campaign.name.clone()),
+        ),
+        (
+            "cells".to_string(),
+            Value::U64(entry.campaign.cells.len() as u64),
+        ),
+        (
+            "status".to_string(),
+            Value::Str(entry.status().name().to_string()),
+        ),
+        (
+            "events_url".to_string(),
+            Value::Str(format!("/campaigns/{}/events", entry.id)),
+        ),
+    ]);
+    let _ = respond_json(w, 202, &body);
+    202
+}
+
+/// `GET /campaigns/:id/events`: serves the event log as SSE. Replay
+/// starts at `?offset=N`, or one past `Last-Event-ID`, or 0; each
+/// frame's `id:` is the log index, so reconnecting clients resume
+/// exactly where they left off. The stream ends with an `event: end`
+/// frame once the campaign is terminal and the watcher has seen every
+/// line (or the daemon is shutting down).
+fn stream_events(
+    req: &Request,
+    w: &mut TcpStream,
+    daemon: &Arc<Daemon>,
+    entry: &Arc<CampaignEntry>,
+) -> u16 {
+    let mut next = match req.query_param("offset") {
+        Some(raw) => match raw.parse::<usize>() {
+            Ok(n) => n,
+            Err(_) => {
+                let _ = respond_error(w, 400, "offset must be a non-negative integer");
+                return 400;
+            }
+        },
+        None => req
+            .header("last-event-id")
+            .and_then(|v| v.parse::<usize>().ok())
+            .map(|id| id + 1)
+            .unwrap_or(0),
+    };
+    daemon.stats.lock().expect("stats poisoned").sse_connections += 1;
+    if respond_sse_header(w).is_err() {
+        return 200;
+    }
+    loop {
+        for (i, line) in entry.events.from_offset(next) {
+            use std::io::Write as _;
+            if write!(w, "id: {i}\ndata: {line}\n\n").is_err() {
+                return 200; // client went away
+            }
+            next = i + 1;
+        }
+        {
+            use std::io::Write as _;
+            if w.flush().is_err() {
+                return 200;
+            }
+        }
+        let status = entry.status();
+        let caught_up = next >= entry.events.len();
+        if (status.is_terminal() && caught_up) || daemon.shutdown.load(Ordering::SeqCst) {
+            use std::io::Write as _;
+            let _ = write!(w, "event: end\ndata: {}\n\n", status.name());
+            let _ = w.flush();
+            return 200;
+        }
+        entry.events.wait_beyond(next, POLL);
+    }
+}

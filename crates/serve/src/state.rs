@@ -1,0 +1,407 @@
+//! Daemon state: the campaign registry and the per-campaign event log.
+//!
+//! Every submitted campaign gets a [`CampaignEntry`]: its spec, a
+//! status cell, per-cell result slots, and an append-only
+//! [`EventLog`]. The log is the single source the SSE endpoint serves
+//! from — live watchers block on its condvar, late joiners replay from
+//! any offset — so "catching up" and "tailing" are the same read path.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use berti_harness::{Campaign, CampaignResult, Event, JobOutcome, JobResult, ResultStore};
+use serde::Value;
+
+use crate::stats::ServeStats;
+
+/// Lifecycle of a submitted campaign.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CampaignStatus {
+    /// Accepted, waiting for the scheduler.
+    Queued,
+    /// Cells are executing.
+    Running,
+    /// All cells reached a terminal outcome.
+    Done,
+    /// Cancelled (by `DELETE` or daemon shutdown) before draining;
+    /// completed cells stay completed and cached.
+    Cancelled,
+}
+
+impl CampaignStatus {
+    /// Lowercase wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            CampaignStatus::Queued => "queued",
+            CampaignStatus::Running => "running",
+            CampaignStatus::Done => "done",
+            CampaignStatus::Cancelled => "cancelled",
+        }
+    }
+
+    /// Whether no further events will be appended.
+    pub fn is_terminal(self) -> bool {
+        matches!(self, CampaignStatus::Done | CampaignStatus::Cancelled)
+    }
+}
+
+/// An append-only, replayable log of serialized JSONL event lines.
+///
+/// Lines are indexed from 0; the index doubles as the SSE event id, so
+/// a watcher that saw event `N` resumes with `offset = N + 1`.
+#[derive(Default)]
+pub struct EventLog {
+    lines: Mutex<Vec<Arc<String>>>,
+    grew: Condvar,
+}
+
+impl EventLog {
+    /// Appends a pre-serialized JSON line and wakes waiting watchers.
+    pub fn push_line(&self, line: String) {
+        self.lines
+            .lock()
+            .expect("event log poisoned")
+            .push(Arc::new(line));
+        self.grew.notify_all();
+    }
+
+    /// Serializes and appends one event.
+    pub fn push(&self, event: &Event) {
+        self.push_line(serde::json::to_string(event));
+    }
+
+    /// Number of lines appended so far.
+    pub fn len(&self) -> usize {
+        self.lines.lock().expect("event log poisoned").len()
+    }
+
+    /// Whether the log is still empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lines from `offset` onward, with their indices.
+    pub fn from_offset(&self, offset: usize) -> Vec<(usize, Arc<String>)> {
+        let lines = self.lines.lock().expect("event log poisoned");
+        lines
+            .iter()
+            .enumerate()
+            .skip(offset)
+            .map(|(i, l)| (i, Arc::clone(l)))
+            .collect()
+    }
+
+    /// Blocks until the log grows past `seen` or `timeout` elapses;
+    /// returns the current length either way.
+    pub fn wait_beyond(&self, seen: usize, timeout: Duration) -> usize {
+        let lines = self.lines.lock().expect("event log poisoned");
+        if lines.len() > seen {
+            return lines.len();
+        }
+        let (lines, _) = self
+            .grew
+            .wait_timeout(lines, timeout)
+            .expect("event log poisoned");
+        lines.len()
+    }
+}
+
+/// One submitted campaign: spec, status, results, and event stream.
+pub struct CampaignEntry {
+    /// Daemon-assigned id (`c1`, `c2`, …).
+    pub id: String,
+    /// The submitted grid.
+    pub campaign: Campaign,
+    /// Interval-sampler period requested at submission.
+    pub interval: Option<u64>,
+    /// Current lifecycle state.
+    pub status: Mutex<CampaignStatus>,
+    /// Set by `DELETE` (or shutdown); the scheduler stops dispatching
+    /// new cells once it observes this.
+    pub cancel: AtomicBool,
+    /// The campaign's JSONL event stream.
+    pub events: EventLog,
+    /// Per-cell outcomes, in declaration order; `None` = not finished.
+    pub slots: Mutex<Vec<Option<JobResult>>>,
+    /// End-to-end wall time once terminal, milliseconds.
+    pub wall_ms: AtomicU64,
+}
+
+impl CampaignEntry {
+    fn new(id: String, campaign: Campaign, interval: Option<u64>) -> Self {
+        let cells = campaign.cells.len();
+        CampaignEntry {
+            id,
+            campaign,
+            interval,
+            status: Mutex::new(CampaignStatus::Queued),
+            cancel: AtomicBool::new(false),
+            events: EventLog::default(),
+            slots: Mutex::new(vec![None; cells]),
+            wall_ms: AtomicU64::new(0),
+        }
+    }
+
+    /// Current status.
+    pub fn status(&self) -> CampaignStatus {
+        *self.status.lock().expect("status poisoned")
+    }
+
+    /// Transitions to `status`.
+    pub fn set_status(&self, status: CampaignStatus) {
+        *self.status.lock().expect("status poisoned") = status;
+        // Terminal transitions must wake SSE watchers blocked on the
+        // log, or a watcher that has already read every line would
+        // wait out its full poll timeout before noticing the end.
+        self.events.grew.notify_all();
+    }
+
+    /// (completed, cached, failed) counts over the filled slots.
+    pub fn counts(&self) -> (usize, usize, usize) {
+        let slots = self.slots.lock().expect("slots poisoned");
+        let mut done = 0;
+        let mut cached = 0;
+        let mut failed = 0;
+        for s in slots.iter().flatten() {
+            match s.outcome {
+                JobOutcome::Done { cached: c, .. } => {
+                    done += 1;
+                    if c {
+                        cached += 1;
+                    }
+                }
+                JobOutcome::Failed { .. } => failed += 1,
+            }
+        }
+        (done, cached, failed)
+    }
+
+    /// Records the outcome of cell `idx`.
+    pub fn fill_slot(&self, idx: usize, result: JobResult) {
+        self.slots.lock().expect("slots poisoned")[idx] = Some(result);
+    }
+
+    /// The status summary served by `GET /campaigns/:id`.
+    pub fn summary_json(&self) -> Value {
+        let (completed, cached, failed) = self.counts();
+        Value::Object(vec![
+            ("id".to_string(), Value::Str(self.id.clone())),
+            (
+                "campaign".to_string(),
+                Value::Str(self.campaign.name.clone()),
+            ),
+            (
+                "status".to_string(),
+                Value::Str(self.status().name().to_string()),
+            ),
+            (
+                "cells".to_string(),
+                Value::U64(self.campaign.cells.len() as u64),
+            ),
+            ("completed".to_string(), Value::U64(completed as u64)),
+            ("cache_hits".to_string(), Value::U64(cached as u64)),
+            ("failed".to_string(), Value::U64(failed as u64)),
+            ("events".to_string(), Value::U64(self.events.len() as u64)),
+            (
+                "events_url".to_string(),
+                Value::Str(format!("/campaigns/{}/events", self.id)),
+            ),
+        ])
+    }
+
+    /// The deterministic aggregated result, once every cell has an
+    /// outcome (i.e. status `done`). Byte-identical to the one-shot
+    /// CLI's `--out` file for the same spec.
+    pub fn aggregated_json(&self) -> Option<String> {
+        let slots = self.slots.lock().expect("slots poisoned");
+        if slots.iter().any(|s| s.is_none()) {
+            return None;
+        }
+        let result = CampaignResult {
+            name: self.campaign.name.clone(),
+            jobs: slots.iter().flatten().cloned().collect(),
+            wall_ms: self.wall_ms.load(Ordering::Relaxed),
+        };
+        Some(result.aggregated_json())
+    }
+}
+
+/// Shared daemon state: the store, the campaign registry, counters.
+pub struct Daemon {
+    /// The pluggable result store every executor writes through.
+    pub store: Arc<dyn ResultStore>,
+    campaigns: Mutex<Vec<Arc<CampaignEntry>>>,
+    next_id: AtomicU64,
+    /// Server counters ([`crate::stats`]).
+    pub stats: Mutex<ServeStats>,
+    /// Daemon-wide shutdown flag (mirrors SIGTERM/SIGINT).
+    pub shutdown: AtomicBool,
+}
+
+impl Daemon {
+    /// Creates a daemon around a result store.
+    pub fn new(store: Arc<dyn ResultStore>) -> Self {
+        Daemon {
+            store,
+            campaigns: Mutex::new(Vec::new()),
+            next_id: AtomicU64::new(1),
+            stats: Mutex::new(ServeStats::default()),
+            shutdown: AtomicBool::new(false),
+        }
+    }
+
+    /// Registers a submitted campaign: assigns an id, emits
+    /// `campaign_queued` into its stream, and returns the entry. The
+    /// caller hands the entry to the scheduler queue.
+    pub fn submit(&self, campaign: Campaign, interval: Option<u64>) -> Arc<CampaignEntry> {
+        let id = format!("c{}", self.next_id.fetch_add(1, Ordering::Relaxed));
+        let entry = Arc::new(CampaignEntry::new(id, campaign, interval));
+        entry.events.push(&Event::CampaignQueued {
+            campaign: entry.campaign.name.clone(),
+            id: entry.id.clone(),
+            cells: entry.campaign.cells.len(),
+        });
+        self.campaigns
+            .lock()
+            .expect("campaigns poisoned")
+            .push(Arc::clone(&entry));
+        self.stats
+            .lock()
+            .expect("stats poisoned")
+            .campaigns_submitted += 1;
+        entry
+    }
+
+    /// Looks up a campaign by id.
+    pub fn find(&self, id: &str) -> Option<Arc<CampaignEntry>> {
+        self.campaigns
+            .lock()
+            .expect("campaigns poisoned")
+            .iter()
+            .find(|e| e.id == id)
+            .map(Arc::clone)
+    }
+
+    /// All campaigns, in submission order.
+    pub fn campaigns(&self) -> Vec<Arc<CampaignEntry>> {
+        self.campaigns.lock().expect("campaigns poisoned").clone()
+    }
+
+    /// Requests cancellation. Queued campaigns become `cancelled`
+    /// immediately; running ones stop after their in-flight cells.
+    /// Returns the status after the request, or `None` if unknown id.
+    pub fn cancel(&self, id: &str) -> Option<CampaignStatus> {
+        let entry = self.find(id)?;
+        entry.cancel.store(true, Ordering::SeqCst);
+        let status = entry.status();
+        if status == CampaignStatus::Queued {
+            let (completed, _, _) = entry.counts();
+            entry.events.push(&Event::CampaignCancelled {
+                campaign: entry.campaign.name.clone(),
+                completed,
+            });
+            entry.set_status(CampaignStatus::Cancelled);
+            self.stats
+                .lock()
+                .expect("stats poisoned")
+                .campaigns_cancelled += 1;
+            return Some(CampaignStatus::Cancelled);
+        }
+        Some(status)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use berti_harness::ResultCache;
+    use berti_sim::PrefetcherChoice;
+
+    fn daemon() -> Daemon {
+        let dir = std::env::temp_dir().join(format!(
+            "berti-serve-state-{}-{:p}",
+            std::process::id(),
+            &() as *const ()
+        ));
+        Daemon::new(Arc::new(ResultCache::open(dir).expect("open")))
+    }
+
+    fn tiny_campaign() -> Campaign {
+        Campaign::grid("t")
+            .workload("lbm-like")
+            .l1(PrefetcherChoice::Berti)
+            .build()
+    }
+
+    #[test]
+    fn submit_assigns_sequential_ids_and_queues_event() {
+        let d = daemon();
+        let a = d.submit(tiny_campaign(), None);
+        let b = d.submit(tiny_campaign(), None);
+        assert_eq!(a.id, "c1");
+        assert_eq!(b.id, "c2");
+        assert_eq!(a.status(), CampaignStatus::Queued);
+        assert_eq!(a.events.len(), 1);
+        let line = &a.events.from_offset(0)[0].1;
+        let v = serde::json::parse(line).expect("parses");
+        assert_eq!(
+            v.get("event").and_then(|e| e.as_str()),
+            Some("campaign_queued")
+        );
+        assert_eq!(v.get("id").and_then(|e| e.as_str()), Some("c1"));
+        assert!(d.find("c2").is_some());
+        assert!(d.find("c99").is_none());
+    }
+
+    #[test]
+    fn cancel_of_queued_campaign_is_immediate_and_terminal() {
+        let d = daemon();
+        let e = d.submit(tiny_campaign(), None);
+        assert_eq!(d.cancel(&e.id), Some(CampaignStatus::Cancelled));
+        assert!(e.status().is_terminal());
+        assert!(e.cancel.load(Ordering::SeqCst));
+        let tags: Vec<String> = e
+            .events
+            .from_offset(0)
+            .iter()
+            .map(|(_, l)| {
+                serde::json::parse(l)
+                    .unwrap()
+                    .get("event")
+                    .and_then(|v| v.as_str())
+                    .unwrap()
+                    .to_string()
+            })
+            .collect();
+        assert_eq!(tags, vec!["campaign_queued", "campaign_cancelled"]);
+    }
+
+    #[test]
+    fn event_log_replays_from_any_offset_and_wakes_waiters() {
+        let log = EventLog::default();
+        log.push_line("a".to_string());
+        log.push_line("b".to_string());
+        log.push_line("c".to_string());
+        let tail = log.from_offset(1);
+        assert_eq!(tail.len(), 2);
+        assert_eq!(tail[0].0, 1);
+        assert_eq!(*tail[0].1, "b");
+        assert_eq!(log.wait_beyond(0, Duration::from_millis(1)), 3);
+
+        std::thread::scope(|s| {
+            let log = &log;
+            let waiter = s.spawn(move || log.wait_beyond(3, Duration::from_secs(5)));
+            std::thread::sleep(Duration::from_millis(20));
+            log.push_line("d".to_string());
+            assert_eq!(waiter.join().expect("join"), 4, "push wakes the waiter");
+        });
+    }
+
+    #[test]
+    fn aggregated_json_requires_every_slot() {
+        let d = daemon();
+        let e = d.submit(tiny_campaign(), None);
+        assert!(e.aggregated_json().is_none(), "incomplete campaign");
+    }
+}

@@ -1,0 +1,501 @@
+//! End-to-end tests: a real `berti-serve` daemon process, real worker
+//! processes, real sockets.
+//!
+//! Each test boots the compiled binary on an ephemeral port with its
+//! own store directory, drives it over hand-rolled HTTP, and asserts
+//! the daemon-side invariants the subsystem promises:
+//!
+//! - a daemon campaign's aggregated result is **byte-identical** to a
+//!   one-shot `run_campaign` of the same spec against the same cache,
+//! - live and late SSE watchers both receive the complete stream
+//!   (replay-from-offset covers the late joiner),
+//! - a dying worker process fails exactly one cell, which succeeds on
+//!   retry,
+//! - SIGTERM drains in-flight cells into the store and exits 0.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, ChildStdout, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use berti_harness::{registry, run_campaign, RunOptions};
+use berti_sim::SimOptions;
+
+/// How long a test waits for the daemon to reach a state before
+/// giving up (debug-build cells are slow; CI is slower).
+const DEADLINE: Duration = Duration::from_secs(120);
+
+fn tiny_opts() -> SimOptions {
+    SimOptions {
+        warmup_instructions: 1_000,
+        sim_instructions: 2_000,
+        ..SimOptions::default()
+    }
+}
+
+/// A running daemon process bound to an ephemeral port.
+struct DaemonProc {
+    child: Child,
+    addr: String,
+    stdout: BufReader<ChildStdout>,
+}
+
+impl DaemonProc {
+    fn start(store: &Path, envs: &[(&str, &str)], extra_args: &[&str]) -> DaemonProc {
+        let mut cmd = Command::new(env!("CARGO_BIN_EXE_berti-serve"));
+        cmd.arg("--addr")
+            .arg("127.0.0.1:0")
+            .arg("--store")
+            .arg(store)
+            .arg("--workers")
+            .arg("2")
+            .args(extra_args)
+            .stdin(Stdio::null())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit());
+        for (k, v) in envs {
+            cmd.env(k, v);
+        }
+        let mut child = cmd.spawn().expect("daemon spawns");
+        let mut stdout = BufReader::new(child.stdout.take().expect("piped stdout"));
+        let mut banner = String::new();
+        stdout.read_line(&mut banner).expect("daemon prints banner");
+        let addr = banner
+            .trim()
+            .rsplit("http://")
+            .next()
+            .expect("banner carries the address")
+            .to_string();
+        assert!(
+            banner.starts_with("berti-serve listening on"),
+            "unexpected banner: {banner:?}"
+        );
+        DaemonProc {
+            child,
+            addr,
+            stdout,
+        }
+    }
+
+    fn sigterm(&self) {
+        let status = Command::new("kill")
+            .arg("-TERM")
+            .arg(self.child.id().to_string())
+            .status()
+            .expect("kill runs");
+        assert!(status.success(), "kill -TERM delivered");
+    }
+}
+
+impl Drop for DaemonProc {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("berti-serve-e2e-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    dir
+}
+
+/// One-shot HTTP exchange; returns (status, body).
+fn http(addr: &str, method: &str, path: &str, body: Option<&str>) -> (u16, String) {
+    let mut s = TcpStream::connect(addr).expect("connect");
+    s.set_read_timeout(Some(DEADLINE)).expect("timeout");
+    let payload = body.unwrap_or("");
+    write!(
+        s,
+        "{method} {path} HTTP/1.1\r\nHost: e2e\r\nContent-Length: {}\r\n\r\n{payload}",
+        payload.len()
+    )
+    .expect("request writes");
+    let mut raw = String::new();
+    s.read_to_string(&mut raw).expect("response reads");
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .expect("status line")
+        .parse()
+        .expect("numeric status");
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+fn get_json(addr: &str, path: &str) -> serde::Value {
+    let (status, body) = http(addr, "GET", path, None);
+    assert_eq!(status, 200, "GET {path} -> {body}");
+    serde::json::parse(&body).expect("json body")
+}
+
+/// Collected SSE stream: (id, event-json) pairs plus the `end` payload.
+struct SseStream {
+    frames: Vec<(usize, String)>,
+    end: Option<String>,
+}
+
+impl SseStream {
+    fn tags(&self) -> Vec<String> {
+        self.frames
+            .iter()
+            .map(|(_, line)| {
+                serde::json::parse(line)
+                    .expect("event parses")
+                    .get("event")
+                    .and_then(|v| v.as_str())
+                    .expect("tagged event")
+                    .to_string()
+            })
+            .collect()
+    }
+}
+
+/// Connects to an SSE endpoint and reads to end-of-stream.
+fn sse_collect(addr: &str, path: &str, last_event_id: Option<usize>) -> SseStream {
+    let mut s = TcpStream::connect(addr).expect("connect");
+    s.set_read_timeout(Some(DEADLINE)).expect("timeout");
+    let resume = match last_event_id {
+        Some(id) => format!("Last-Event-ID: {id}\r\n"),
+        None => String::new(),
+    };
+    write!(s, "GET {path} HTTP/1.1\r\nHost: e2e\r\n{resume}\r\n").expect("request writes");
+    let mut raw = String::new();
+    s.read_to_string(&mut raw).expect("stream reads to eof");
+    let (headers, body) = raw.split_once("\r\n\r\n").expect("header split");
+    assert!(
+        headers.contains("text/event-stream"),
+        "SSE content type in {headers:?}"
+    );
+    let mut frames = Vec::new();
+    let mut end = None;
+    for frame in body.split("\n\n").filter(|f| !f.trim().is_empty()) {
+        let mut id = None;
+        let mut data = None;
+        let mut is_end = false;
+        for line in frame.lines() {
+            if let Some(v) = line.strip_prefix("id: ") {
+                id = v.parse::<usize>().ok();
+            } else if let Some(v) = line.strip_prefix("data: ") {
+                data = Some(v.to_string());
+            } else if line == "event: end" {
+                is_end = true;
+            }
+        }
+        if is_end {
+            end = data;
+        } else if let (Some(id), Some(data)) = (id, data) {
+            frames.push((id, data));
+        }
+    }
+    SseStream { frames, end }
+}
+
+/// Polls `GET /campaigns/:id` until `pred` accepts the summary.
+fn wait_for(
+    addr: &str,
+    id: &str,
+    what: &str,
+    pred: impl Fn(&serde::Value) -> bool,
+) -> serde::Value {
+    let started = Instant::now();
+    loop {
+        let summary = get_json(addr, &format!("/campaigns/{id}"));
+        if pred(&summary) {
+            return summary;
+        }
+        assert!(
+            started.elapsed() < DEADLINE,
+            "timed out waiting for {what}; last summary: {}",
+            serde::json::to_string(&summary)
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+fn status_of(summary: &serde::Value) -> String {
+    summary
+        .get("status")
+        .and_then(|v| v.as_str())
+        .expect("status field")
+        .to_string()
+}
+
+#[test]
+fn daemon_result_is_byte_identical_to_one_shot_run_and_streams_replay() {
+    let store = fresh_dir("identical");
+    let daemon = DaemonProc::start(&store, &[], &[]);
+    let addr = daemon.addr.clone();
+
+    // Submit the builtin 2×2 grid (2 workloads × {ip-stride, berti}).
+    let (status, body) = http(
+        &addr,
+        "POST",
+        "/campaigns",
+        Some(r#"{"builtin": "quick", "warmup": 1000, "instr": 2000}"#),
+    );
+    assert_eq!(status, 202, "submit accepted: {body}");
+    let submitted = serde::json::parse(&body).expect("submit response json");
+    let id = submitted
+        .get("id")
+        .and_then(|v| v.as_str())
+        .expect("id")
+        .to_string();
+    assert_eq!(submitted.get("cells").and_then(|v| v.as_u64()), Some(4));
+
+    // Live watcher: connects while the campaign runs, reads to end.
+    let live_addr = addr.clone();
+    let live_path = format!("/campaigns/{id}/events");
+    let live = std::thread::spawn(move || sse_collect(&live_addr, &live_path, None));
+
+    let summary = wait_for(&addr, &id, "campaign done", |s| status_of(s) == "done");
+    assert_eq!(summary.get("completed").and_then(|v| v.as_u64()), Some(4));
+    assert_eq!(summary.get("failed").and_then(|v| v.as_u64()), Some(0));
+
+    // Late watcher: joins after completion; replay must reproduce the
+    // entire stream from offset 0.
+    let late = sse_collect(&addr, &format!("/campaigns/{id}/events?offset=0"), None);
+    let live = live.join().expect("live watcher");
+
+    assert_eq!(late.end.as_deref(), Some("done"));
+    assert_eq!(live.end.as_deref(), Some("done"));
+    assert_eq!(
+        live.frames, late.frames,
+        "live and late watchers saw the same complete stream"
+    );
+    let tags = late.tags();
+    assert_eq!(tags.first().map(String::as_str), Some("campaign_queued"));
+    assert_eq!(tags.last().map(String::as_str), Some("campaign_finished"));
+    assert_eq!(tags.iter().filter(|t| *t == "job_finished").count(), 4);
+
+    // A reconnect that saw event N resumes at N+1 via Last-Event-ID.
+    let resumed = sse_collect(
+        &addr,
+        &format!("/campaigns/{id}/events"),
+        Some(live.frames[1].0),
+    );
+    assert_eq!(resumed.frames, live.frames[2..].to_vec());
+
+    // Byte-identical to a one-shot run of the same spec against the
+    // same cache directory.
+    let (status, daemon_result) = http(&addr, "GET", &format!("/campaigns/{id}/result"), None);
+    assert_eq!(status, 200);
+    let campaign = registry::builtin("quick", tiny_opts()).expect("builtin exists");
+    let one_shot = run_campaign(
+        &campaign,
+        &RunOptions {
+            jobs: 2,
+            cache_dir: Some(store.clone()),
+            ..RunOptions::default()
+        },
+    );
+    assert_eq!(
+        daemon_result,
+        one_shot.aggregated_json(),
+        "daemon and CLI aggregate byte-identically"
+    );
+
+    // /metrics went through the stats registry.
+    let metrics = get_json(&addr, "/metrics");
+    let serve = metrics.get("serve").expect("serve group");
+    assert_eq!(
+        serve.get("campaigns_completed").and_then(|v| v.as_u64()),
+        Some(1)
+    );
+    assert_eq!(
+        serve.get("cells_completed").and_then(|v| v.as_u64()),
+        Some(4)
+    );
+    assert_eq!(
+        serve.get("worker_crashes").and_then(|v| v.as_u64()),
+        Some(0)
+    );
+    assert!(
+        serve.get("worker_spawns").and_then(|v| v.as_u64()) >= Some(1),
+        "process workers actually spawned"
+    );
+}
+
+#[test]
+fn worker_crash_fails_exactly_one_cell_which_succeeds_on_retry() {
+    let store = fresh_dir("crash");
+    let marker = store.join("crash.marker");
+    let daemon = DaemonProc::start(
+        &store,
+        &[
+            ("BERTI_SERVE_CRASH_WORKLOAD", "lbm-like"),
+            ("BERTI_SERVE_CRASH_MARKER", marker.to_str().expect("utf-8")),
+        ],
+        &[],
+    );
+    let addr = daemon.addr.clone();
+
+    let (status, body) = http(
+        &addr,
+        "POST",
+        "/campaigns",
+        Some(r#"{"builtin": "quick", "warmup": 1000, "instr": 2000}"#),
+    );
+    assert_eq!(status, 202, "{body}");
+    let id = serde::json::parse(&body)
+        .expect("json")
+        .get("id")
+        .and_then(|v| v.as_str())
+        .expect("id")
+        .to_string();
+
+    let summary = wait_for(&addr, &id, "campaign done", |s| status_of(s) == "done");
+    assert_eq!(
+        summary.get("completed").and_then(|v| v.as_u64()),
+        Some(4),
+        "the crashed cell succeeded on retry"
+    );
+    assert_eq!(summary.get("failed").and_then(|v| v.as_u64()), Some(0));
+    assert!(marker.exists(), "the crash hook fired");
+
+    let stream = sse_collect(&addr, &format!("/campaigns/{id}/events?offset=0"), None);
+    let tags = stream.tags();
+    assert_eq!(
+        tags.iter().filter(|t| *t == "worker_crashed").count(),
+        1,
+        "exactly one worker died: {tags:?}"
+    );
+    let failed_then_retried = stream.frames.iter().any(|(_, line)| {
+        let v = serde::json::parse(line).expect("parses");
+        v.get("event").and_then(|e| e.as_str()) == Some("job_failed")
+            && v.get("will_retry").and_then(|w| w.as_bool()) == Some(true)
+    });
+    assert!(
+        failed_then_retried,
+        "the crash surfaced as a retryable failure"
+    );
+
+    let metrics = get_json(&addr, "/metrics");
+    let serve = metrics.get("serve").expect("serve group");
+    assert_eq!(
+        serve.get("worker_crashes").and_then(|v| v.as_u64()),
+        Some(1)
+    );
+    assert_eq!(serve.get("cells_failed").and_then(|v| v.as_u64()), Some(0));
+}
+
+#[test]
+fn sigterm_drains_in_flight_cells_and_flushes_the_store() {
+    let store = fresh_dir("sigterm");
+    let cache = store.join("cache");
+    let mut daemon = DaemonProc::start(&cache, &[], &[]);
+    let addr = daemon.addr.clone();
+
+    // Enough work per cell that SIGTERM lands mid-campaign.
+    let (status, body) = http(
+        &addr,
+        "POST",
+        "/campaigns",
+        Some(r#"{"builtin": "quick", "warmup": 5000, "instr": 40000}"#),
+    );
+    assert_eq!(status, 202, "{body}");
+    let id = serde::json::parse(&body)
+        .expect("json")
+        .get("id")
+        .and_then(|v| v.as_str())
+        .expect("id")
+        .to_string();
+
+    // Wait until at least one cell has been published, then SIGTERM.
+    wait_for(&addr, &id, "first completed cell", |s| {
+        s.get("completed").and_then(|v| v.as_u64()) >= Some(1)
+    });
+    daemon.sigterm();
+    let exit = daemon.child.wait().expect("daemon exits");
+    assert!(exit.success(), "graceful shutdown exits 0 (got {exit:?})");
+
+    let mut rest = String::new();
+    daemon
+        .stdout
+        .read_to_string(&mut rest)
+        .expect("drained stdout");
+    assert!(
+        rest.contains("drained, shutting down"),
+        "daemon reported a drained shutdown, got {rest:?}"
+    );
+
+    let published = std::fs::read_dir(&cache)
+        .expect("cache dir")
+        .filter_map(|e| e.ok())
+        .filter(|e| e.path().extension().is_some_and(|x| x == "json"))
+        .count();
+    assert!(published >= 1, "completed cells were flushed to the store");
+    let stray_tmp = std::fs::read_dir(&cache)
+        .expect("cache dir")
+        .filter_map(|e| e.ok())
+        .filter(|e| e.path().to_string_lossy().ends_with(".tmp"))
+        .count();
+    assert_eq!(stray_tmp, 0, "no torn temp files survive shutdown");
+}
+
+#[test]
+fn cancel_stops_dispatch_and_rejects_unknown_ids() {
+    let store = fresh_dir("cancel");
+    let daemon = DaemonProc::start(&store, &[], &[]);
+    let addr = daemon.addr.clone();
+
+    let (status, _) = http(&addr, "DELETE", "/campaigns/c99", None);
+    assert_eq!(status, 404);
+
+    let (status, body) = http(
+        &addr,
+        "POST",
+        "/campaigns",
+        Some(r#"{"builtin": "quick", "warmup": 5000, "instr": 40000}"#),
+    );
+    assert_eq!(status, 202, "{body}");
+    let id = serde::json::parse(&body)
+        .expect("json")
+        .get("id")
+        .and_then(|v| v.as_str())
+        .expect("id")
+        .to_string();
+
+    let (status, _) = http(&addr, "DELETE", &format!("/campaigns/{id}"), None);
+    assert_eq!(status, 200);
+    let summary = wait_for(&addr, &id, "cancellation", |s| status_of(s) == "cancelled");
+    assert!(
+        summary.get("completed").and_then(|v| v.as_u64()) < Some(4),
+        "cancel stopped dispatch before the grid drained"
+    );
+    let (status, body) = http(&addr, "GET", &format!("/campaigns/{id}/result"), None);
+    assert_eq!(status, 409, "cancelled campaign has no aggregate: {body}");
+
+    let stream = sse_collect(&addr, &format!("/campaigns/{id}/events?offset=0"), None);
+    assert_eq!(stream.end.as_deref(), Some("cancelled"));
+    assert!(stream.tags().contains(&"campaign_cancelled".to_string()));
+}
+
+#[test]
+fn malformed_submissions_are_rejected() {
+    let store = fresh_dir("reject");
+    let daemon = DaemonProc::start(&store, &[], &[]);
+    let addr = daemon.addr.clone();
+
+    let (status, _) = http(&addr, "POST", "/campaigns", Some("not json"));
+    assert_eq!(status, 400);
+    let (status, _) = http(&addr, "POST", "/campaigns", Some(r#"{"builtin": "nope"}"#));
+    assert_eq!(status, 400);
+    let (status, _) = http(
+        &addr,
+        "POST",
+        "/campaigns?interval=zero",
+        Some(r#"{"builtin": "quick"}"#),
+    );
+    assert_eq!(status, 400);
+    let (status, _) = http(&addr, "GET", "/campaigns/c1", None);
+    assert_eq!(status, 404, "nothing was actually submitted");
+
+    let health = get_json(&addr, "/healthz");
+    assert_eq!(health.get("status").and_then(|v| v.as_str()), Some("ok"));
+}
