@@ -1,0 +1,32 @@
+//! Criterion microbench: `.btrc` codec throughput — how fast a
+//! pre-decoded trace replays (decode) versus how fast conversion
+//! writes it (encode), over a realistic instruction stream.
+
+use berti_traces::ingest::{decode_btrc, encode_btrc};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_btrc(c: &mut Criterion) {
+    // A realistic mix: the lbm-like generator's stream (strided loads
+    // and stores with branches), the same content `btrc gen` would
+    // pre-decode.
+    let trace = berti_traces::workload_by_name("lbm-like")
+        .expect("builtin exists")
+        .try_trace()
+        .expect("generates");
+    let instrs = trace.instrs().to_vec();
+    let bytes = encode_btrc(&instrs);
+
+    let mut group = c.benchmark_group("btrc_replay");
+    group.sample_size(20);
+    group.bench_function("encode", |b| {
+        b.iter(|| black_box(encode_btrc(black_box(&instrs))).len())
+    });
+    group.bench_function("decode", |b| {
+        b.iter(|| black_box(decode_btrc(black_box(&bytes)).expect("valid")).len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_btrc);
+criterion_main!(benches);

@@ -29,9 +29,9 @@ use std::process::{Command, ExitCode};
 
 use serde::Value;
 
-/// Bench targets snapshotted by default: the event-engine comparison
-/// and one dense end-to-end simulation cell.
-const DEFAULT_BENCHES: &[&str] = &["engine_skip_ahead", "sim_throughput"];
+/// Bench targets snapshotted by default: the event-engine comparison,
+/// one dense end-to-end simulation cell, and the `.btrc` trace codec.
+const DEFAULT_BENCHES: &[&str] = &["engine_skip_ahead", "sim_throughput", "btrc_replay"];
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();

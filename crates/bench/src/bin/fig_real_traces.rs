@@ -1,0 +1,170 @@
+//! Berti vs. the L1D baselines over *user-supplied* trace files — the
+//! paper's per-trace evaluation (Fig. 8/9 shape) for real ChampSim or
+//! pre-decoded `.btrc` traces instead of the synthetic suites.
+//!
+//! ```text
+//! fig_real_traces --trace-dir DIR [--out results.json]
+//! ```
+//!
+//! Every trace file discovered in `DIR` (`.btrc`, `.trace`,
+//! `.champsim[trace]`, optionally `.xz`/`.gz`-compressed) runs under
+//! IP-stride, MLOP, IPCP, and Berti; the table reports each
+//! prefetcher's speedup over IP-stride per trace plus the geometric
+//! mean. `--out` additionally writes the IPCs and speedups as JSON.
+//! Run lengths follow `BERTI_WARMUP` / `BERTI_INSTR` as for the other
+//! figure binaries.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use berti_bench::{experiment_options, harness_options, header, l1d_contenders};
+use berti_harness::{Campaign, JobOutcome};
+use berti_sim::{PrefetcherChoice, Report};
+use berti_traces::TraceRegistry;
+use serde::Value;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut trace_dir: Option<PathBuf> = std::env::var("BERTI_TRACE_DIR").ok().map(Into::into);
+    let mut out: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--trace-dir" => trace_dir = it.next().map(PathBuf::from),
+            "--out" => out = it.next().map(PathBuf::from),
+            other => return usage(&format!("unknown flag `{other}`")),
+        }
+    }
+    let Some(trace_dir) = trace_dir else {
+        return usage("--trace-dir is required (or set BERTI_TRACE_DIR)");
+    };
+
+    let registry = match TraceRegistry::with_trace_dir(&trace_dir) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("fig_real_traces: scanning {}: {e}", trace_dir.display());
+            return ExitCode::from(1);
+        }
+    };
+    let traces: Vec<_> = registry.trace_workloads().cloned().collect();
+    if traces.is_empty() {
+        eprintln!(
+            "fig_real_traces: no trace files in {} (looked for .btrc/.trace/.champsim[.xz|.gz])",
+            trace_dir.display()
+        );
+        return ExitCode::from(1);
+    }
+
+    header(
+        "Real traces — L1D prefetcher speedup over IP-stride",
+        "paper Fig. 8/9 per-trace methodology on user traces",
+    );
+    let opts = experiment_options();
+    let mut configs = vec![(PrefetcherChoice::IpStride, None)];
+    configs.extend(l1d_contenders().into_iter().map(|p| (p, None)));
+    let campaign = Campaign::grid("fig-real-traces")
+        .workloads(&traces)
+        .configs(configs.iter().cloned())
+        .opts(opts)
+        .build();
+    let mut run_opts = harness_options();
+    run_opts.trace_dir = Some(trace_dir.clone());
+    let result = berti_harness::run_campaign(&campaign, &run_opts);
+
+    // Cells are configuration-major: ci * T + ti.
+    let t = traces.len();
+    let grid: Vec<(String, Vec<Report>)> = configs
+        .iter()
+        .enumerate()
+        .map(|(ci, _)| {
+            let runs: Vec<Report> = (0..t)
+                .map(|ti| {
+                    let job = &result.jobs[ci * t + ti];
+                    match &job.outcome {
+                        JobOutcome::Done { report, .. } => report.clone(),
+                        JobOutcome::Failed { error, attempts } => panic!(
+                            "cell {}/{} failed after {attempts} attempts: {error}",
+                            job.spec.workload,
+                            job.spec.label()
+                        ),
+                    }
+                })
+                .collect();
+            (result.jobs[ci * t].spec.label(), runs)
+        })
+        .collect();
+    let (_, baseline) = &grid[0];
+
+    print!("{:<24}", "trace");
+    for (label, _) in &grid[1..] {
+        print!(" {label:>10}");
+    }
+    println!();
+    for (ti, w) in traces.iter().enumerate() {
+        print!("{:<24}", w.name);
+        for (_, runs) in &grid[1..] {
+            print!(
+                " {:>9.1}%",
+                (runs[ti].speedup_over(&baseline[ti]) - 1.0) * 100.0
+            );
+        }
+        println!();
+    }
+    print!("{:<24}", "geomean");
+    for (_, runs) in &grid[1..] {
+        let ratios: Vec<f64> = runs
+            .iter()
+            .zip(baseline)
+            .map(|(r, b)| r.speedup_over(b))
+            .collect();
+        print!(
+            " {:>9.1}%",
+            (berti_sim::geometric_mean(&ratios) - 1.0) * 100.0
+        );
+    }
+    println!();
+
+    if let Some(out) = out {
+        let rows: Vec<(String, Value)> = grid
+            .iter()
+            .map(|(label, runs)| {
+                let per_trace: Vec<(String, Value)> = traces
+                    .iter()
+                    .zip(runs)
+                    .zip(baseline)
+                    .map(|((w, r), b)| {
+                        (
+                            w.name.clone(),
+                            Value::Object(vec![
+                                ("ipc".to_string(), Value::F64(r.ipc())),
+                                ("speedup".to_string(), Value::F64(r.speedup_over(b))),
+                            ]),
+                        )
+                    })
+                    .collect();
+                (label.clone(), Value::Object(per_trace))
+            })
+            .collect();
+        let doc = Value::Object(vec![
+            (
+                "trace_dir".to_string(),
+                Value::Str(trace_dir.display().to_string()),
+            ),
+            ("results".to_string(), Value::Object(rows)),
+        ]);
+        let mut body = serde::json::to_string_pretty(&doc);
+        body.push('\n');
+        if let Err(e) = std::fs::write(&out, body) {
+            eprintln!("fig_real_traces: writing {}: {e}", out.display());
+            return ExitCode::from(1);
+        }
+        println!("wrote {}", out.display());
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("fig_real_traces: {msg}");
+    eprintln!("usage: fig_real_traces --trace-dir DIR [--out results.json]");
+    ExitCode::from(2)
+}

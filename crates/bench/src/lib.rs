@@ -58,6 +58,7 @@ pub fn harness_options() -> RunOptions {
         interval: std::env::var("BERTI_INTERVAL")
             .ok()
             .and_then(|v| v.parse().ok()),
+        trace_dir: None,
     }
 }
 

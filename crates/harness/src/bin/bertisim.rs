@@ -135,11 +135,17 @@ fn main() {
         i += 1;
     }
 
+    let registry = berti_traces::TraceRegistry::builtin();
     let chosen: Vec<WorkloadDef> = workloads
         .iter()
         .map(|name| {
-            berti_traces::workload_by_name(name).unwrap_or_else(|| {
-                eprintln!("unknown workload: {name} (try --list)");
+            registry.get(name).cloned().unwrap_or_else(|| {
+                if let Err(msg) = berti_harness::check_workload(&registry, name) {
+                    eprintln!("{msg}");
+                } else {
+                    eprintln!("unknown workload: {name}");
+                }
+                eprintln!("(try --list)");
                 std::process::exit(2);
             })
         })
@@ -187,6 +193,7 @@ fn main() {
             interval: std::env::var("BERTI_INTERVAL")
                 .ok()
                 .and_then(|v| v.parse().ok()),
+            trace_dir: None,
         };
         let result = run_campaign(&campaign, &run_opts);
         let mut failed = false;

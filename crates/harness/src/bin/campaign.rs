@@ -1,16 +1,20 @@
 //! `campaign` — run, inspect, and clean experiment campaigns.
 //!
 //! ```text
-//! campaign list
+//! campaign list [--trace-dir DIR]
 //! campaign run <name> [--jobs N] [--cache DIR] [--no-cache]
 //!                     [--events FILE] [--out FILE] [--interval N]
-//!                     [--warmup N] [--instr N] [--quiet]
+//!                     [--warmup N] [--instr N] [--trace-dir DIR] [--quiet]
 //! campaign status <name> [--cache DIR] [--warmup N] [--instr N]
 //! campaign clean [--cache DIR]
 //! ```
 //!
 //! `run` executes a built-in campaign on the worker pool, prints a
 //! per-cell summary table, and exits nonzero if any cell failed.
+//! With `--trace-dir`, trace files discovered in the directory join
+//! the workload registry and the trace-dir campaigns (`traces`,
+//! `quick-traces`) become runnable. `list` shows every campaign and
+//! every workload with its source (builtin suite or trace file path).
 //! `status` shows how many of a campaign's cells are already cached.
 //! The default cache directory is `results/cache/`; phase lengths
 //! default to `BERTI_WARMUP` / `BERTI_INSTR` (or the harness
@@ -21,6 +25,7 @@ use std::process::ExitCode;
 
 use berti_harness::{registry, run_campaign, JobOutcome, RunOptions};
 use berti_sim::SimOptions;
+use berti_traces::TraceRegistry;
 
 fn usage() -> ! {
     eprintln!(
@@ -42,6 +47,8 @@ fn usage() -> ! {
          \x20 --out <FILE>             write deterministic aggregated JSON to FILE\n\
          \x20 --warmup <N>             warm-up instructions (default: $BERTI_WARMUP or 100000)\n\
          \x20 --instr <N>              measured instructions (default: $BERTI_INSTR or 400000)\n\
+         \x20 --trace-dir <DIR>        register trace files (.btrc, .champsimtrace[.xz|.gz])\n\
+         \x20                          as workloads; enables the trace-dir campaigns\n\
          \x20 --quiet                  no stderr progress line"
     );
     std::process::exit(2)
@@ -58,6 +65,7 @@ struct Args {
     interval: Option<u64>,
     warmup: Option<u64>,
     instr: Option<u64>,
+    trace_dir: Option<PathBuf>,
     quiet: bool,
 }
 
@@ -82,6 +90,7 @@ fn parse_args() -> Args {
         interval: None,
         warmup: None,
         instr: None,
+        trace_dir: None,
         quiet: false,
     };
     while let Some(a) = args.next() {
@@ -105,6 +114,9 @@ fn parse_args() -> Args {
             }
             "--warmup" => parsed.warmup = value(&mut args, "--warmup").parse().ok(),
             "--instr" => parsed.instr = value(&mut args, "--instr").parse().ok(),
+            "--trace-dir" => {
+                parsed.trace_dir = Some(PathBuf::from(value(&mut args, "--trace-dir")))
+            }
             "--quiet" => parsed.quiet = true,
             _ if parsed.name.is_none() && !a.starts_with('-') => parsed.name = Some(a),
             _ => {
@@ -134,21 +146,43 @@ fn sim_options(args: &Args) -> SimOptions {
     }
 }
 
-fn campaign_or_exit(args: &Args) -> berti_harness::Campaign {
+fn registry_or_exit(args: &Args) -> TraceRegistry {
+    match &args.trace_dir {
+        None => TraceRegistry::builtin(),
+        Some(dir) => TraceRegistry::with_trace_dir(dir).unwrap_or_else(|e| {
+            eprintln!("error: trace dir {}: {e}", dir.display());
+            std::process::exit(2)
+        }),
+    }
+}
+
+fn campaign_or_exit(args: &Args, reg: &TraceRegistry) -> berti_harness::Campaign {
     let Some(name) = &args.name else {
         eprintln!("error: `{}` needs a campaign name", args.command);
         usage()
     };
-    registry::builtin(name, sim_options(args)).unwrap_or_else(|| {
-        eprintln!("error: no built-in campaign `{name}` (try `campaign list`)");
-        std::process::exit(2)
-    })
+    if let Some(c) = registry::builtin(name, sim_options(args)) {
+        return c;
+    }
+    if let Some(c) = registry::trace_campaign(name, reg, sim_options(args)) {
+        if c.cells.is_empty() {
+            eprintln!(
+                "error: campaign `{name}` runs over trace files — pass --trace-dir with \
+                 .btrc/.champsimtrace files in it"
+            );
+            std::process::exit(2)
+        }
+        return c;
+    }
+    eprintln!("error: no campaign `{name}` (try `campaign list`)");
+    std::process::exit(2)
 }
 
 fn main() -> ExitCode {
     let args = parse_args();
     match args.command.as_str() {
         "list" => {
+            let reg = registry_or_exit(&args);
             println!("built-in campaigns:");
             for (name, desc) in registry::builtin_campaigns() {
                 let cells = registry::builtin(name, SimOptions::default())
@@ -156,16 +190,28 @@ fn main() -> ExitCode {
                     .unwrap_or(0);
                 println!("  {name:<12} {desc} [{cells} cells]");
             }
+            println!("\ntrace-dir campaigns (need --trace-dir):");
+            for (name, desc) in registry::trace_campaigns() {
+                let cells = registry::trace_campaign(name, &reg, SimOptions::default())
+                    .map(|c| c.cells.len())
+                    .unwrap_or(0);
+                println!("  {name:<12} {desc} [{cells} cells]");
+            }
+            println!("\nworkloads:");
+            for w in reg.workloads() {
+                println!("  {:<24} {}", w.name, w.source_desc());
+            }
             ExitCode::SUCCESS
         }
         "run" => {
-            let campaign = campaign_or_exit(&args);
+            let campaign = campaign_or_exit(&args, &registry_or_exit(&args));
             let opts = RunOptions {
                 jobs: args.jobs,
                 cache_dir: (!args.no_cache).then(|| args.cache_dir.clone()),
                 events_path: args.events.clone(),
                 progress: !args.quiet,
                 interval: args.interval,
+                trace_dir: args.trace_dir.clone(),
             };
             let result = run_campaign(&campaign, &opts);
             println!(
@@ -217,7 +263,7 @@ fn main() -> ExitCode {
             }
         }
         "status" => {
-            let campaign = campaign_or_exit(&args);
+            let campaign = campaign_or_exit(&args, &registry_or_exit(&args));
             let cache = berti_harness::ResultCache::open(&args.cache_dir).unwrap_or_else(|e| {
                 eprintln!("error: opening cache {}: {e}", args.cache_dir.display());
                 std::process::exit(1)

@@ -3,12 +3,13 @@
 //! result cache in front of the simulator.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::mpsc;
 use std::sync::Mutex;
 use std::time::Instant;
 
 use berti_sim::Report;
+use berti_traces::TraceRegistry;
 use serde::Value;
 
 use crate::cache::ResultCache;
@@ -31,6 +32,12 @@ pub struct RunOptions {
     /// disables interval sampling. Sampling is observation-only: it
     /// never changes reports (or therefore cache keys/contents).
     pub interval: Option<u64>,
+    /// Directory of trace files (`--trace-dir`); discovered traces
+    /// join the builtin workloads in the campaign's registry. Note
+    /// that cache keys are derived from workload *names*: point
+    /// different trace dirs at the same cache only if same-named
+    /// files are the same traces.
+    pub trace_dir: Option<PathBuf>,
 }
 
 impl Default for RunOptions {
@@ -41,6 +48,7 @@ impl Default for RunOptions {
             events_path: None,
             progress: false,
             interval: None,
+            trace_dir: None,
         }
     }
 }
@@ -190,20 +198,62 @@ impl CampaignResult {
     }
 }
 
-/// Executes one cell with the real simulator: resolves the workload,
-/// runs the simulation (instrumented when `interval` is set, forwarding
-/// each window as an [`Event::JobInterval`] through `emit`), and
-/// returns the report.
+/// Builds the workload registry a campaign resolves against: builtins
+/// plus anything discovered under `trace_dir`.
+///
+/// # Panics
+///
+/// Panics when the trace dir cannot be scanned or a file clashes with
+/// a registered name — both are configuration errors the caller
+/// should have caught pre-dispatch (see [`check_workload`]).
+pub fn build_registry(trace_dir: Option<&Path>) -> TraceRegistry {
+    match trace_dir {
+        None => TraceRegistry::builtin(),
+        Some(dir) => TraceRegistry::with_trace_dir(dir)
+            .unwrap_or_else(|e| panic!("trace dir {}: {e}", dir.display())),
+    }
+}
+
+/// Pre-dispatch workload check: `Err` with a "did you mean" diagnostic
+/// when `name` is not in the registry. Mirrors `SimOptions::validate` —
+/// reject bad cells with a deterministic message before the cache or
+/// the simulator ever sees them.
+pub fn check_workload(registry: &TraceRegistry, name: &str) -> Result<(), String> {
+    if registry.get(name).is_some() {
+        return Ok(());
+    }
+    let near = registry.suggest(name, 3);
+    let mut msg = format!("unknown workload `{name}`");
+    if near.is_empty() {
+        msg.push_str(" (run `campaign list` for all names)");
+    } else {
+        msg.push_str(&format!(" — did you mean {}?", near.join(", ")));
+    }
+    Err(msg)
+}
+
+/// Executes one cell with the real simulator: resolves the workload
+/// against `registry`, runs the simulation (instrumented when
+/// `interval` is set, forwarding each window as an
+/// [`Event::JobInterval`] through `emit`), and returns the report.
 ///
 /// This is the single execution path shared by every executor — the
 /// in-process worker pool below and `berti-serve`'s worker processes —
 /// so a cell produces byte-identical reports no matter which engine ran
-/// it. Panics on an unknown workload; callers isolate with
-/// `catch_unwind` (or a process boundary).
-pub fn execute_spec(spec: &JobSpec, interval: Option<u64>, emit: &mut dyn FnMut(Event)) -> Report {
-    let workload = berti_traces::workload_by_name(&spec.workload)
+/// it. Panics on an unknown workload or an unreadable trace file;
+/// callers isolate with `catch_unwind` (or a process boundary).
+pub fn execute_spec_in(
+    registry: &TraceRegistry,
+    spec: &JobSpec,
+    interval: Option<u64>,
+    emit: &mut dyn FnMut(Event),
+) -> Report {
+    let workload = registry
+        .get(&spec.workload)
         .unwrap_or_else(|| panic!("unknown workload `{}`", spec.workload));
-    let mut trace = workload.trace();
+    let mut trace = workload
+        .try_trace()
+        .unwrap_or_else(|e| panic!("workload `{}`: {e}", spec.workload));
     match interval {
         None => berti_sim::simulate_with_l2(
             &spec.config,
@@ -244,12 +294,32 @@ pub fn execute_spec(spec: &JobSpec, interval: Option<u64>, emit: &mut dyn FnMut(
     }
 }
 
-/// Runs a campaign with the real simulator.
+/// One-shot variant of [`execute_spec_in`]: builds the registry for
+/// `trace_dir` (builtins only when `None`) and executes the cell.
+/// `berti-serve` workers use this — one cell per request, the
+/// registry rebuild is noise next to the simulation.
+pub fn execute_spec(
+    spec: &JobSpec,
+    trace_dir: Option<&Path>,
+    interval: Option<u64>,
+    emit: &mut dyn FnMut(Event),
+) -> Report {
+    execute_spec_in(&build_registry(trace_dir), spec, interval, emit)
+}
+
+/// Runs a campaign with the real simulator. The registry (builtins +
+/// `opts.trace_dir`) is built once and shared by all workers; cells
+/// naming unknown workloads fail pre-dispatch with a "did you mean"
+/// diagnostic instead of burning a retry on a panic.
 pub fn run_campaign(campaign: &Campaign, opts: &RunOptions) -> CampaignResult {
     let interval = opts.interval;
-    run_campaign_with_events(campaign, opts, |spec, emit| {
-        execute_spec(spec, interval, emit)
-    })
+    let registry = build_registry(opts.trace_dir.as_deref());
+    run_campaign_inner(
+        campaign,
+        opts,
+        Some(&|spec: &JobSpec| check_workload(&registry, &spec.workload)),
+        |spec, emit| execute_spec_in(&registry, spec, interval, emit),
+    )
 }
 
 /// Runs a campaign with an arbitrary executor (tests inject failing or
@@ -273,6 +343,22 @@ where
 pub fn run_campaign_with_events<F>(
     campaign: &Campaign,
     opts: &RunOptions,
+    exec: F,
+) -> CampaignResult
+where
+    F: Fn(&JobSpec, &mut dyn FnMut(Event)) -> Report + Sync,
+{
+    // No workload precheck on the generic path: injected executors are
+    // free to use workload names the registry has never heard of.
+    run_campaign_inner(campaign, opts, None, exec)
+}
+
+type Precheck<'a> = &'a (dyn Fn(&JobSpec) -> Result<(), String> + Sync);
+
+fn run_campaign_inner<F>(
+    campaign: &Campaign,
+    opts: &RunOptions,
+    precheck: Option<Precheck<'_>>,
     exec: F,
 ) -> CampaignResult
 where
@@ -328,7 +414,7 @@ where
                     return;
                 };
                 let spec = &campaign.cells[idx];
-                let result = run_cell(spec, cache, exec, &event_tx);
+                let result = run_cell(spec, cache, precheck, exec, &event_tx);
                 *slots[idx].lock().expect("result slot poisoned") = Some(result);
             });
         }
@@ -369,6 +455,7 @@ fn next_index(work_rx: &Mutex<mpsc::Receiver<usize>>) -> Option<usize> {
 fn run_cell<F>(
     spec: &JobSpec,
     cache: Option<&ResultCache>,
+    precheck: Option<Precheck<'_>>,
     exec: &F,
     events: &mpsc::Sender<Event>,
 ) -> JobResult
@@ -382,8 +469,13 @@ where
     // Reject invalid grid cells before touching the cache or the
     // simulator: a deterministic diagnostic on this one cell, not a
     // panic caught (and pointlessly retried) by the isolation path.
-    if let Err(err) = spec.opts.validate(&spec.config) {
-        let error = err.to_string();
+    // The precheck (unknown-workload rejection) runs the same way.
+    let rejected = spec
+        .opts
+        .validate(&spec.config)
+        .map_err(|e| e.to_string())
+        .and_then(|()| precheck.map_or(Ok(()), |check| check(spec)));
+    if let Err(error) = rejected {
         let _ = events.send(Event::JobFailed {
             key: key.clone(),
             workload,

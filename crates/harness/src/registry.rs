@@ -5,6 +5,7 @@
 //! their grids from them.
 
 use berti_sim::{L2PrefetcherChoice, PrefetcherChoice, SimOptions};
+use berti_traces::TraceRegistry;
 
 use crate::campaign::Campaign;
 
@@ -76,6 +77,42 @@ pub fn builtin(name: &str, opts: SimOptions) -> Option<Campaign> {
     Some(c.opts(opts).build())
 }
 
+/// Campaigns over the trace files of a `--trace-dir`, with a one-line
+/// description each. They resolve against a [`TraceRegistry`] rather
+/// than the builtin list, so they only exist when a trace dir is given.
+pub fn trace_campaigns() -> Vec<(&'static str, &'static str)> {
+    vec![
+        (
+            "traces",
+            "every discovered trace × {ip-stride, mlop, ipcp, berti}",
+        ),
+        (
+            "quick-traces",
+            "every discovered trace × {ip-stride, berti} smoke grid",
+        ),
+    ]
+}
+
+/// Builds a trace-dir campaign by name over `registry`'s discovered
+/// trace files. `None` for unknown names; a campaign with zero cells
+/// when the registry has no trace workloads (callers turn that into
+/// "no trace files found").
+pub fn trace_campaign(name: &str, registry: &TraceRegistry, opts: SimOptions) -> Option<Campaign> {
+    let traces: Vec<_> = registry.trace_workloads().cloned().collect();
+    let c = match name {
+        "traces" => Campaign::grid("traces")
+            .workloads(&traces)
+            .l1(PrefetcherChoice::IpStride)
+            .configs(l1d_contenders().into_iter().map(|p| (p, None))),
+        "quick-traces" => Campaign::grid("quick-traces")
+            .workloads(&traces)
+            .l1(PrefetcherChoice::IpStride)
+            .l1(PrefetcherChoice::Berti),
+        _ => return None,
+    };
+    Some(c.opts(opts).build())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -94,6 +131,31 @@ mod tests {
             }
         }
         assert!(builtin("no-such-campaign", SimOptions::default()).is_none());
+    }
+
+    #[test]
+    fn trace_campaigns_build_over_discovered_files() {
+        let dir = std::env::temp_dir().join(format!("berti-trace-camp-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let instrs = vec![berti_types::Instr::load(
+            berti_types::Ip::new(0x400),
+            berti_types::VAddr::new(64),
+        )];
+        berti_traces::ingest::write_btrc(&dir.join("tiny.btrc"), &instrs).expect("writes");
+        let reg = TraceRegistry::with_trace_dir(&dir).expect("scans");
+
+        let c = trace_campaign("quick-traces", &reg, SimOptions::default()).expect("exists");
+        assert_eq!(c.cells.len(), 2, "1 trace × 2 prefetchers");
+        assert!(c.cells.iter().all(|cell| cell.workload == "tiny"));
+        let c = trace_campaign("traces", &reg, SimOptions::default()).expect("exists");
+        assert_eq!(c.cells.len(), 4, "1 trace × 4 prefetchers");
+        assert!(trace_campaign("no-such", &reg, SimOptions::default()).is_none());
+
+        let empty = TraceRegistry::builtin();
+        let c = trace_campaign("traces", &empty, SimOptions::default()).expect("exists");
+        assert!(c.cells.is_empty(), "no trace files, no cells");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -3,6 +3,7 @@
 //! ```text
 //! berti-serve [--addr HOST:PORT] [--workers N] [--store DIR]
 //!             [--http-threads N] [--in-process] [--worker-cmd PATH]
+//!             [--trace-dir DIR]
 //! ```
 //!
 //! With the hidden `--worker` flag the process instead runs the
@@ -86,7 +87,8 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "\
 usage: berti-serve [--addr HOST:PORT] [--workers N] [--store DIR]
-                   [--http-threads N] [--in-process] [--worker-cmd PATH]";
+                   [--http-threads N] [--in-process] [--worker-cmd PATH]
+                   [--trace-dir DIR]";
 
 fn parse_args(args: &[String]) -> Result<ServerConfig, String> {
     let mut cfg = ServerConfig::default();
@@ -116,6 +118,7 @@ fn parse_args(args: &[String]) -> Result<ServerConfig, String> {
             "--store" => cfg.store_dir = PathBuf::from(value("--store")?),
             "--in-process" => cfg.in_process = true,
             "--worker-cmd" => cfg.worker_cmd = Some(PathBuf::from(value("--worker-cmd")?)),
+            "--trace-dir" => cfg.trace_dir = Some(PathBuf::from(value("--trace-dir")?)),
             "--help" | "-h" => return Err("help requested".to_string()),
             other => return Err(format!("unknown flag `{other}`")),
         }

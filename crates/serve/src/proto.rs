@@ -12,7 +12,7 @@
 //! One request runs one cell:
 //!
 //! ```text
-//! parent → worker   {"v":1,"spec":{…JobSpec…},"interval":5000}
+//! parent → worker   {"v":2,"spec":{…JobSpec…},"interval":5000,"trace_dir":null}
 //! worker → parent   {"kind":"interval","event_json":"{…job_interval…}"}   (0+ times)
 //! worker → parent   {"kind":"done","report":{…Report…}}                   (or)
 //! worker → parent   {"kind":"error","error":"panic message"}
@@ -32,7 +32,10 @@ use berti_sim::Report;
 use serde::{Deserialize, Serialize};
 
 /// Protocol version; a worker rejects requests with a different `v`.
-pub const PROTO_VERSION: u32 = 1;
+/// v2 added `trace_dir` to [`WorkerRequest`] (the field is required on
+/// the wire — the vendored serde derive has no missing-field defaults —
+/// hence the version bump).
+pub const PROTO_VERSION: u32 = 2;
 
 /// Largest accepted frame (reports are a few KB; this is a safety cap,
 /// not a tuning knob).
@@ -47,6 +50,9 @@ pub struct WorkerRequest {
     pub spec: JobSpec,
     /// Interval-sampler period (forwarded as `"interval"` frames).
     pub interval: Option<u64>,
+    /// Trace directory whose files join the workload registry for
+    /// this cell (`--trace-dir` campaigns); `null` for builtins only.
+    pub trace_dir: Option<String>,
 }
 
 /// Worker → parent: one reply frame. `kind` discriminates:
@@ -199,7 +205,8 @@ fn run_cell(req: &WorkerRequest, w: &mut impl Write) -> WorkerReply {
             let frame = serde::json::to_string(&WorkerReply::interval(serde::json::to_string(&e)));
             let _ = write_frame(&mut *w, &frame);
         };
-        execute_spec(&req.spec, req.interval, &mut emit)
+        let trace_dir = req.trace_dir.as_deref().map(std::path::Path::new);
+        execute_spec(&req.spec, trace_dir, req.interval, &mut emit)
     }));
     match result {
         Ok(report) => WorkerReply::done(report),
@@ -259,11 +266,13 @@ mod tests {
             v: PROTO_VERSION,
             spec,
             interval: Some(1000),
+            trace_dir: Some("/tmp/traces".to_string()),
         };
         let back: WorkerRequest =
             serde::json::from_str(&serde::json::to_string(&req)).expect("parses");
         assert_eq!(back.spec.key(), req.spec.key());
         assert_eq!(back.interval, Some(1000));
+        assert_eq!(back.trace_dir.as_deref(), Some("/tmp/traces"));
 
         let reply = WorkerReply::error("boom".to_string());
         let back: WorkerReply =

@@ -25,8 +25,9 @@ use std::sync::atomic::Ordering;
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use berti_harness::{execute_spec, Event, JobOutcome, JobResult, JobSpec};
+use berti_harness::{check_workload, execute_spec, Event, JobOutcome, JobResult, JobSpec};
 use berti_sim::Report;
+use berti_traces::TraceRegistry;
 
 use crate::proto::{read_frame, write_frame, WorkerReply, WorkerRequest, PROTO_VERSION};
 use crate::state::{CampaignEntry, CampaignStatus, Daemon};
@@ -53,10 +54,12 @@ pub enum CellError {
 /// Runs one cell to a report or an error. `emit` receives
 /// pre-serialized JSONL event lines (interval samples) as they occur.
 pub trait CellExecutor: Send {
-    /// Executes `spec`.
+    /// Executes `spec`, resolving workloads against builtins plus the
+    /// optional `trace_dir`.
     fn run(
         &mut self,
         spec: &JobSpec,
+        trace_dir: Option<&str>,
         interval: Option<u64>,
         emit: &mut dyn FnMut(String),
     ) -> Result<Report, CellError>;
@@ -138,6 +141,7 @@ impl CellExecutor for ProcessWorker {
     fn run(
         &mut self,
         spec: &JobSpec,
+        trace_dir: Option<&str>,
         interval: Option<u64>,
         emit: &mut dyn FnMut(String),
     ) -> Result<Report, CellError> {
@@ -147,6 +151,7 @@ impl CellExecutor for ProcessWorker {
             v: PROTO_VERSION,
             spec: spec.clone(),
             interval,
+            trace_dir: trace_dir.map(str::to_string),
         };
         write_frame(&mut self.stdin, &serde::json::to_string(&request))
             .map_err(|e| died(format!("writing request: {e}")))?;
@@ -194,12 +199,14 @@ impl CellExecutor for ThreadExecutor {
     fn run(
         &mut self,
         spec: &JobSpec,
+        trace_dir: Option<&str>,
         interval: Option<u64>,
         emit: &mut dyn FnMut(String),
     ) -> Result<Report, CellError> {
         let result = catch_unwind(AssertUnwindSafe(|| {
             let mut forward = |e: Event| emit(serde::json::to_string(&e));
-            execute_spec(spec, interval, &mut forward)
+            let trace_dir = trace_dir.map(std::path::Path::new);
+            execute_spec(spec, trace_dir, interval, &mut forward)
         }));
         result.map_err(|payload| {
             CellError::Sim(if let Some(s) = payload.downcast_ref::<&str>() {
@@ -232,12 +239,13 @@ impl CellExecutor for ExecSlot {
     fn run(
         &mut self,
         spec: &JobSpec,
+        trace_dir: Option<&str>,
         interval: Option<u64>,
         emit: &mut dyn FnMut(String),
     ) -> Result<Report, CellError> {
         match self {
-            ExecSlot::Proc(w) => w.run(spec, interval, emit),
-            ExecSlot::Thread(t) => t.run(spec, interval, emit),
+            ExecSlot::Proc(w) => w.run(spec, trace_dir, interval, emit),
+            ExecSlot::Thread(t) => t.run(spec, trace_dir, interval, emit),
         }
     }
 
@@ -322,6 +330,17 @@ pub fn run_one_campaign(
         jobs: workers,
     });
 
+    // One registry per campaign for the pre-dispatch workload check
+    // (workers build their own when executing; this one only answers
+    // "does this name resolve, and if not, what is close?"). An
+    // unreadable trace dir fails every cell with the same diagnostic.
+    let registry = match entry.trace_dir.as_deref() {
+        None => Ok(TraceRegistry::builtin()),
+        Some(dir) => TraceRegistry::with_trace_dir(std::path::Path::new(dir))
+            .map_err(|e| format!("trace dir {dir}: {e}")),
+    };
+    let registry = &registry;
+
     let (work_tx, work_rx) = mpsc::channel::<usize>();
     for i in 0..entry.campaign.cells.len() {
         let _ = work_tx.send(i);
@@ -346,7 +365,7 @@ pub fn run_one_campaign(
                         Ok(i) => i,
                         Err(_) => break,
                     };
-                    run_cell(daemon, entry, idx, cfg, pool, &mut executor);
+                    run_cell(daemon, entry, idx, cfg, pool, registry, &mut executor);
                 }
                 // Park a healthy process worker for the next campaign.
                 if let Some(ExecSlot::Proc(worker)) = executor.take() {
@@ -395,6 +414,7 @@ fn run_cell(
     idx: usize,
     cfg: &SchedulerConfig,
     pool: &WorkerPool,
+    registry: &Result<TraceRegistry, String>,
     executor: &mut Option<ExecSlot>,
 ) {
     let spec = &entry.campaign.cells[idx];
@@ -404,9 +424,17 @@ fn run_cell(
 
     // Reject invalid cells before touching the store or a worker,
     // exactly like the harness pool: deterministic diagnostic, no
-    // retry.
-    if let Err(err) = spec.opts.validate(&spec.config) {
-        let error = err.to_string();
+    // retry. Unknown workloads get the same treatment, with a "did
+    // you mean" pointing at near-miss registry entries.
+    let rejected = spec
+        .opts
+        .validate(&spec.config)
+        .map_err(|e| e.to_string())
+        .and_then(|()| match registry {
+            Ok(reg) => check_workload(reg, &spec.workload),
+            Err(e) => Err(e.clone()),
+        });
+    if let Err(error) = rejected {
         entry.events.push(&Event::JobFailed {
             key: key.clone(),
             workload,
@@ -478,7 +506,7 @@ fn run_cell(
         let exec = executor.as_mut().expect("just ensured");
         let started = Instant::now();
         let mut emit = |line: String| entry.events.push_line(line);
-        match exec.run(spec, entry.interval, &mut emit) {
+        match exec.run(spec, entry.trace_dir.as_deref(), entry.interval, &mut emit) {
             Ok(report) => {
                 let _ = daemon.store.store(spec, &report);
                 let wall_ms = started.elapsed().as_millis() as u64;

@@ -54,6 +54,10 @@ pub struct ServerConfig {
     /// HTTP handler threads (bounds concurrent connections, including
     /// long-lived SSE streams).
     pub http_threads: usize,
+    /// Default trace directory for submissions that don't carry their
+    /// own `"trace_dir"`; discovered trace files join the workload
+    /// registry.
+    pub trace_dir: Option<PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -65,6 +69,7 @@ impl Default for ServerConfig {
             worker_cmd: None,
             store_dir: PathBuf::from("results/cache"),
             http_threads: 8,
+            trace_dir: None,
         }
     }
 }
@@ -85,7 +90,9 @@ impl Server {
     pub fn bind(cfg: &ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&cfg.addr)?;
         let store = ResultCache::open(&cfg.store_dir)?;
-        let daemon = Arc::new(Daemon::new(Arc::new(store)));
+        let mut daemon = Daemon::new(Arc::new(store));
+        daemon.default_trace_dir = cfg.trace_dir.as_ref().map(|p| p.display().to_string());
+        let daemon = Arc::new(daemon);
         let (submit_tx, submit_rx) = mpsc::channel::<Arc<CampaignEntry>>();
         let sched_cfg = SchedulerConfig {
             workers: cfg.workers,
@@ -299,7 +306,12 @@ fn not_found(w: &mut TcpStream, id: &str) -> u16 {
 
 /// `POST /campaigns`: the body is either a full [`Campaign`] value
 /// (`{"name": …, "cells": […]}`) or a builtin reference
-/// (`{"builtin": "quick", "warmup": N, "instr": N}`). `?interval=N`
+/// (`{"builtin": "quick", "warmup": N, "instr": N}`). A `"trace_dir"`
+/// key (or the daemon's `--trace-dir` default) registers that
+/// directory's trace files as workloads, enabling the trace-dir
+/// campaigns (`traces`, `quick-traces`); every cell's workload is
+/// validated against the registry at submission, so unknown names are
+/// a 400 with a "did you mean" rather than a failed cell. `?interval=N`
 /// requests interval sampling events.
 fn post_campaign(
     req: &Request,
@@ -325,6 +337,21 @@ fn post_campaign(
             return 400;
         }
     };
+    let trace_dir = value
+        .get("trace_dir")
+        .and_then(|v| v.as_str())
+        .map(str::to_string)
+        .or_else(|| daemon.default_trace_dir.clone());
+    let workload_registry = match trace_dir.as_deref() {
+        None => berti_traces::TraceRegistry::builtin(),
+        Some(dir) => match berti_traces::TraceRegistry::with_trace_dir(std::path::Path::new(dir)) {
+            Ok(r) => r,
+            Err(e) => {
+                let _ = respond_error(w, 400, &format!("trace dir {dir}: {e}"));
+                return 400;
+            }
+        },
+    };
     let campaign = if let Some(name) = value.get("builtin").and_then(|v| v.as_str()) {
         let mut opts = SimOptions::default();
         if let Some(n) = value.get("warmup").and_then(|v| v.as_u64()) {
@@ -333,7 +360,9 @@ fn post_campaign(
         if let Some(n) = value.get("instr").and_then(|v| v.as_u64()) {
             opts.sim_instructions = n;
         }
-        match registry::builtin(name, opts) {
+        let named = registry::builtin(name, opts)
+            .or_else(|| registry::trace_campaign(name, &workload_registry, opts));
+        match named {
             Some(c) => c,
             None => {
                 let _ = respond_error(w, 400, &format!("unknown builtin campaign `{name}`"));
@@ -353,6 +382,12 @@ fn post_campaign(
         let _ = respond_error(w, 400, "campaign has no cells");
         return 400;
     }
+    for cell in &campaign.cells {
+        if let Err(msg) = berti_harness::check_workload(&workload_registry, &cell.workload) {
+            let _ = respond_error(w, 400, &msg);
+            return 400;
+        }
+    }
     let interval = match req.query_param("interval") {
         Some(raw) => match raw.parse::<u64>() {
             Ok(0) | Err(_) => {
@@ -364,7 +399,7 @@ fn post_campaign(
         None => None,
     };
 
-    let entry = daemon.submit(campaign, interval);
+    let entry = daemon.submit(campaign, interval, trace_dir);
     if submit_tx.send(Arc::clone(&entry)).is_err() {
         let _ = respond_error(w, 503, "scheduler is not running");
         return 503;

@@ -115,6 +115,9 @@ pub struct CampaignEntry {
     pub campaign: Campaign,
     /// Interval-sampler period requested at submission.
     pub interval: Option<u64>,
+    /// Trace directory requested at submission; cells resolve
+    /// workloads against builtins + this directory's trace files.
+    pub trace_dir: Option<String>,
     /// Current lifecycle state.
     pub status: Mutex<CampaignStatus>,
     /// Set by `DELETE` (or shutdown); the scheduler stops dispatching
@@ -129,12 +132,18 @@ pub struct CampaignEntry {
 }
 
 impl CampaignEntry {
-    fn new(id: String, campaign: Campaign, interval: Option<u64>) -> Self {
+    fn new(
+        id: String,
+        campaign: Campaign,
+        interval: Option<u64>,
+        trace_dir: Option<String>,
+    ) -> Self {
         let cells = campaign.cells.len();
         CampaignEntry {
             id,
             campaign,
             interval,
+            trace_dir,
             status: Mutex::new(CampaignStatus::Queued),
             cancel: AtomicBool::new(false),
             events: EventLog::default(),
@@ -237,6 +246,9 @@ pub struct Daemon {
     pub stats: Mutex<ServeStats>,
     /// Daemon-wide shutdown flag (mirrors SIGTERM/SIGINT).
     pub shutdown: AtomicBool,
+    /// Default trace dir applied to submissions that don't name one
+    /// (the daemon's `--trace-dir` flag).
+    pub default_trace_dir: Option<String>,
 }
 
 impl Daemon {
@@ -248,15 +260,21 @@ impl Daemon {
             next_id: AtomicU64::new(1),
             stats: Mutex::new(ServeStats::default()),
             shutdown: AtomicBool::new(false),
+            default_trace_dir: None,
         }
     }
 
     /// Registers a submitted campaign: assigns an id, emits
     /// `campaign_queued` into its stream, and returns the entry. The
     /// caller hands the entry to the scheduler queue.
-    pub fn submit(&self, campaign: Campaign, interval: Option<u64>) -> Arc<CampaignEntry> {
+    pub fn submit(
+        &self,
+        campaign: Campaign,
+        interval: Option<u64>,
+        trace_dir: Option<String>,
+    ) -> Arc<CampaignEntry> {
         let id = format!("c{}", self.next_id.fetch_add(1, Ordering::Relaxed));
-        let entry = Arc::new(CampaignEntry::new(id, campaign, interval));
+        let entry = Arc::new(CampaignEntry::new(id, campaign, interval, trace_dir));
         entry.events.push(&Event::CampaignQueued {
             campaign: entry.campaign.name.clone(),
             id: entry.id.clone(),
@@ -337,8 +355,8 @@ mod tests {
     #[test]
     fn submit_assigns_sequential_ids_and_queues_event() {
         let d = daemon();
-        let a = d.submit(tiny_campaign(), None);
-        let b = d.submit(tiny_campaign(), None);
+        let a = d.submit(tiny_campaign(), None, None);
+        let b = d.submit(tiny_campaign(), None, None);
         assert_eq!(a.id, "c1");
         assert_eq!(b.id, "c2");
         assert_eq!(a.status(), CampaignStatus::Queued);
@@ -357,7 +375,7 @@ mod tests {
     #[test]
     fn cancel_of_queued_campaign_is_immediate_and_terminal() {
         let d = daemon();
-        let e = d.submit(tiny_campaign(), None);
+        let e = d.submit(tiny_campaign(), None, None);
         assert_eq!(d.cancel(&e.id), Some(CampaignStatus::Cancelled));
         assert!(e.status().is_terminal());
         assert!(e.cancel.load(Ordering::SeqCst));
@@ -401,7 +419,7 @@ mod tests {
     #[test]
     fn aggregated_json_requires_every_slot() {
         let d = daemon();
-        let e = d.submit(tiny_campaign(), None);
+        let e = d.submit(tiny_campaign(), None, None);
         assert!(e.aggregated_json().is_none(), "incomplete campaign");
     }
 }

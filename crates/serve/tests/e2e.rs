@@ -499,3 +499,85 @@ fn malformed_submissions_are_rejected() {
     let health = get_json(&addr, "/healthz");
     assert_eq!(health.get("status").and_then(|v| v.as_str()), Some("ok"));
 }
+
+#[test]
+fn trace_dir_campaign_matches_cli_and_validates_workloads() {
+    let store = fresh_dir("tracedir");
+    let traces = store.join("traces");
+    std::fs::create_dir_all(&traces).expect("mkdir traces");
+
+    // Pre-decode a slice of a builtin workload into a .btrc file so the
+    // daemon discovers a real trace workload named `slice`.
+    let source = berti_traces::workload_by_name("lbm-like")
+        .expect("builtin exists")
+        .try_trace()
+        .expect("generates");
+    let instrs = &source.instrs()[..500.min(source.len())];
+    berti_traces::ingest::write_btrc(&traces.join("slice.btrc"), instrs).expect("writes");
+
+    let cache = store.join("cache");
+    let daemon = DaemonProc::start(
+        &cache,
+        &[],
+        &["--trace-dir", traces.to_str().expect("utf-8")],
+    );
+    let addr = daemon.addr.clone();
+
+    // Unknown workloads are rejected at submission with a suggestion.
+    let mut bad = registry::builtin("quick", tiny_opts()).expect("builtin exists");
+    bad.cells.truncate(1);
+    bad.cells[0].workload = "slcie".to_string();
+    let bad_body = serde::json::to_string(&serde::Serialize::to_value(&bad));
+    let (status, body) = http(&addr, "POST", "/campaigns", Some(&bad_body));
+    assert_eq!(status, 400, "{body}");
+    assert!(
+        body.contains("slice"),
+        "rejection suggests the near-miss name: {body}"
+    );
+
+    // The trace-dir campaign resolves against the daemon's --trace-dir.
+    let (status, body) = http(
+        &addr,
+        "POST",
+        "/campaigns",
+        Some(r#"{"builtin": "quick-traces", "warmup": 1000, "instr": 2000}"#),
+    );
+    assert_eq!(status, 202, "submit accepted: {body}");
+    let submitted = serde::json::parse(&body).expect("json");
+    let id = submitted
+        .get("id")
+        .and_then(|v| v.as_str())
+        .expect("id")
+        .to_string();
+    assert_eq!(
+        submitted.get("cells").and_then(|v| v.as_u64()),
+        Some(2),
+        "1 trace × {{ip-stride, berti}}"
+    );
+
+    let summary = wait_for(&addr, &id, "campaign done", |s| status_of(s) == "done");
+    assert_eq!(summary.get("completed").and_then(|v| v.as_u64()), Some(2));
+    assert_eq!(summary.get("failed").and_then(|v| v.as_u64()), Some(0));
+
+    // Byte-identical to the CLI path: same campaign, same cache, same
+    // trace dir, via in-process `run_campaign`.
+    let (status, daemon_result) = http(&addr, "GET", &format!("/campaigns/{id}/result"), None);
+    assert_eq!(status, 200);
+    let registry = berti_traces::TraceRegistry::with_trace_dir(&traces).expect("scans");
+    let campaign =
+        registry::trace_campaign("quick-traces", &registry, tiny_opts()).expect("exists");
+    let one_shot = run_campaign(
+        &campaign,
+        &RunOptions {
+            jobs: 2,
+            cache_dir: Some(cache.clone()),
+            trace_dir: Some(traces.clone()),
+            ..RunOptions::default()
+        },
+    );
+    assert_eq!(
+        daemon_result,
+        one_shot.aggregated_json(),
+        "daemon and CLI aggregate byte-identically for trace-dir campaigns"
+    );
+}

@@ -14,7 +14,7 @@ fn main() {
     let all = berti_traces::memory_intensive_suite();
     let names: Vec<String> = std::env::args().skip(1).collect();
     for w in &all {
-        if !names.is_empty() && !names.iter().any(|n| n == w.name) {
+        if !names.is_empty() && !names.contains(&w.name) {
             continue;
         }
         let base = simulate(&cfg, PrefetcherChoice::IpStride, &mut w.trace(), &opts);

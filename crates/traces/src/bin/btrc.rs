@@ -1,0 +1,95 @@
+//! `btrc` — trace-format utility.
+//!
+//! ```text
+//! btrc convert <in> <out.btrc>   decode any supported trace (ChampSim
+//!                                binary, .btrc, .xz/.gz-compressed)
+//!                                and write it pre-decoded
+//! btrc gen <workload> <out.btrc> pre-decode a builtin synthetic
+//!                                workload into a .btrc file
+//! btrc info <file>               print record count and a summary
+//! btrc list                      list builtin workload names
+//! ```
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use berti_traces::ingest::{read_trace_file, write_btrc};
+use berti_traces::TraceRegistry;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("convert") if args.len() == 3 => convert(Path::new(&args[1]), Path::new(&args[2])),
+        Some("gen") if args.len() == 3 => gen(&args[1], Path::new(&args[2])),
+        Some("info") if args.len() == 2 => info(Path::new(&args[1])),
+        Some("list") if args.len() == 1 => {
+            for w in TraceRegistry::builtin().workloads() {
+                println!("{:24} {}", w.name, w.suite);
+            }
+            Ok(())
+        }
+        _ => {
+            eprintln!(
+                "usage: btrc convert <in> <out.btrc>\n       btrc gen <workload> <out.btrc>\n       btrc info <file>\n       btrc list"
+            );
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("btrc: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn convert(input: &Path, output: &Path) -> Result<(), String> {
+    let instrs = read_trace_file(input).map_err(|e| e.to_string())?;
+    write_btrc(output, &instrs).map_err(|e| e.to_string())?;
+    println!(
+        "{} -> {} ({} records)",
+        input.display(),
+        output.display(),
+        instrs.len()
+    );
+    Ok(())
+}
+
+fn gen(workload: &str, output: &Path) -> Result<(), String> {
+    let reg = TraceRegistry::builtin();
+    let w = reg.get(workload).ok_or_else(|| {
+        let mut msg = format!("unknown workload '{workload}'");
+        let near = reg.suggest(workload, 3);
+        if !near.is_empty() {
+            msg.push_str(&format!(" — did you mean {}?", near.join(", ")));
+        }
+        msg
+    })?;
+    let trace = w.try_trace().map_err(|e| e.to_string())?;
+    write_btrc(output, trace.instrs()).map_err(|e| e.to_string())?;
+    println!(
+        "{workload} -> {} ({} records)",
+        output.display(),
+        trace.len()
+    );
+    Ok(())
+}
+
+fn info(path: &Path) -> Result<(), String> {
+    let instrs = read_trace_file(path).map_err(|e| e.to_string())?;
+    let loads = instrs
+        .iter()
+        .map(|i| i.loads.iter().flatten().count())
+        .sum::<usize>();
+    let stores = instrs.iter().filter(|i| i.store.is_some()).count();
+    let branches = instrs.iter().filter(|i| i.mispredicted_branch).count();
+    let chained = instrs.iter().filter(|i| i.dep_chain.is_some()).count();
+    println!("{}", path.display());
+    println!("  records:              {}", instrs.len());
+    println!("  load operands:        {loads}");
+    println!("  store operands:       {stores}");
+    println!("  mispredicted branches:{branches}");
+    println!("  dep-chained records:  {chained}");
+    Ok(())
+}

@@ -519,7 +519,7 @@ mod tests {
     fn suite_covers_six_kernels_times_two_graphs() {
         let s = suite();
         assert_eq!(s.len(), 12);
-        let names: HashSet<_> = s.iter().map(|w| w.name).collect();
+        let names: HashSet<_> = s.iter().map(|w| w.name.clone()).collect();
         assert_eq!(names.len(), 12);
         assert!(s.iter().all(|w| w.suite == Suite::Gap));
     }

@@ -22,14 +22,17 @@
 
 pub mod cloud;
 pub mod gap;
+pub mod ingest;
 pub mod mix;
 pub mod spec;
 
 mod builder;
+mod registry;
 mod trace;
 
 pub use builder::TraceBuilder;
-pub use trace::{Suite, Trace, WorkloadDef};
+pub use registry::TraceRegistry;
+pub use trace::{GenSource, InstrSource, Suite, Trace, WorkloadDef};
 
 /// All memory-intensive workloads (SPEC-like + GAP-like), the set most
 /// figures average over.
@@ -46,8 +49,9 @@ pub fn all_workloads() -> Vec<WorkloadDef> {
     v
 }
 
-/// Resolves a workload by its display name (e.g. `"bfs-kron"`), the
-/// form campaign specs store.
+/// Resolves a *builtin* workload by its display name (e.g.
+/// `"bfs-kron"`), the form campaign specs store. File-backed
+/// workloads resolve through [`TraceRegistry`] instead.
 pub fn workload_by_name(name: &str) -> Option<WorkloadDef> {
     all_workloads().into_iter().find(|w| w.name == name)
 }

@@ -33,8 +33,8 @@ mod tests {
         assert_eq!(a.len(), 10);
         assert!(a.iter().all(|m| m.len() == 4));
         for (x, y) in a.iter().zip(&b) {
-            let nx: Vec<_> = x.iter().map(|w| w.name).collect();
-            let ny: Vec<_> = y.iter().map(|w| w.name).collect();
+            let nx: Vec<_> = x.iter().map(|w| w.name.clone()).collect();
+            let ny: Vec<_> = y.iter().map(|w| w.name.clone()).collect();
             assert_eq!(nx, ny);
         }
     }
@@ -42,7 +42,7 @@ mod tests {
     #[test]
     fn mixes_are_heterogeneous_overall() {
         let mixes = random_mixes(20, 4, 7);
-        let names: HashSet<_> = mixes.iter().flatten().map(|w| w.name).collect();
+        let names: HashSet<_> = mixes.iter().flatten().map(|w| w.name.clone()).collect();
         assert!(names.len() > 10, "sampling should cover the pool");
     }
 }

@@ -468,7 +468,7 @@ mod tests {
     fn suite_has_eighteen_memory_intensive_workloads() {
         let s = suite();
         assert_eq!(s.len(), 18);
-        let names: HashSet<_> = s.iter().map(|w| w.name).collect();
+        let names: HashSet<_> = s.iter().map(|w| w.name.clone()).collect();
         assert_eq!(names.len(), 18, "names must be unique");
         assert!(s.iter().all(|w| w.suite == Suite::Spec));
     }

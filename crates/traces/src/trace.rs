@@ -1,8 +1,16 @@
 //! Trace containers and workload definitions.
+//!
+//! A [`WorkloadDef`] names an [`InstrSource`] — either a builtin
+//! synthetic generator or a trace file discovered on disk — so that
+//! file-backed and generated workloads flow through one registry
+//! (see [`crate::TraceRegistry`]).
 
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use berti_types::Instr;
+
+use crate::ingest::IngestError;
 
 /// Benchmark suite a workload belongs to (used for per-suite averages,
 /// matching the paper's SPEC/GAP/CloudSuite breakdowns).
@@ -14,6 +22,8 @@ pub enum Suite {
     Gap,
     /// CloudSuite-like scale-out services.
     Cloud,
+    /// A trace file supplied by the user (`--trace-dir`).
+    Trace,
 }
 
 impl std::fmt::Display for Suite {
@@ -22,18 +32,43 @@ impl std::fmt::Display for Suite {
             Suite::Spec => f.write_str("SPEC"),
             Suite::Gap => f.write_str("GAP"),
             Suite::Cloud => f.write_str("CloudSuite"),
+            Suite::Trace => f.write_str("trace"),
         }
     }
 }
 
-/// A named workload that can generate its trace on demand.
+/// Something that can produce an instruction stream: a synthetic
+/// generator or a trace-file decoder.
+pub trait InstrSource: Send + Sync {
+    /// Produces the full instruction sequence (deterministic; safe to
+    /// call repeatedly).
+    fn instrs(&self) -> Result<Vec<Instr>, IngestError>;
+
+    /// The backing file, when the source reads one (used by
+    /// `campaign list` to show where a workload comes from).
+    fn path(&self) -> Option<&Path> {
+        None
+    }
+}
+
+/// An [`InstrSource`] wrapping a deterministic generator function — the
+/// form every builtin suite uses.
+pub struct GenSource(pub fn() -> Vec<Instr>);
+
+impl InstrSource for GenSource {
+    fn instrs(&self) -> Result<Vec<Instr>, IngestError> {
+        Ok((self.0)())
+    }
+}
+
+/// A named workload that can produce its trace on demand.
 #[derive(Clone)]
 pub struct WorkloadDef {
     /// Display name (e.g. "mcf-1554-like", "bfs-kron").
-    pub name: &'static str,
+    pub name: String,
     /// Owning suite.
     pub suite: Suite,
-    generate: fn() -> Vec<Instr>,
+    source: Arc<dyn InstrSource>,
 }
 
 impl std::fmt::Debug for WorkloadDef {
@@ -41,23 +76,71 @@ impl std::fmt::Debug for WorkloadDef {
         f.debug_struct("WorkloadDef")
             .field("name", &self.name)
             .field("suite", &self.suite)
+            .field("path", &self.source.path())
             .finish()
     }
 }
 
 impl WorkloadDef {
     /// Defines a workload from a deterministic generator function.
-    pub const fn new(name: &'static str, suite: Suite, generate: fn() -> Vec<Instr>) -> Self {
+    pub fn new(name: impl Into<String>, suite: Suite, generate: fn() -> Vec<Instr>) -> Self {
         Self {
-            name,
+            name: name.into(),
             suite,
-            generate,
+            source: Arc::new(GenSource(generate)),
         }
     }
 
-    /// Generates the trace (deterministic; safe to call repeatedly).
+    /// Defines a workload from an arbitrary source (e.g. a trace file).
+    pub fn from_source(
+        name: impl Into<String>,
+        suite: Suite,
+        source: Arc<dyn InstrSource>,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            suite,
+            source,
+        }
+    }
+
+    /// The backing file for file-backed workloads, `None` for builtins.
+    pub fn source_path(&self) -> Option<&Path> {
+        self.source.path()
+    }
+
+    /// Human-readable origin: the file path for file-backed workloads,
+    /// `builtin (<suite>)` otherwise.
+    pub fn source_desc(&self) -> String {
+        match self.source.path() {
+            Some(p) => p.display().to_string(),
+            None => format!("builtin ({})", self.suite),
+        }
+    }
+
+    /// Produces the trace, surfacing decode/I-O failures as errors.
+    pub fn try_trace(&self) -> Result<Trace, IngestError> {
+        let instrs = self.source.instrs()?;
+        if instrs.is_empty() {
+            return Err(IngestError::EmptyTrace(
+                self.source
+                    .path()
+                    .map_or_else(|| PathBuf::from(&self.name), Path::to_path_buf),
+            ));
+        }
+        Ok(Trace::new(self.name.clone(), instrs))
+    }
+
+    /// Produces the trace (deterministic; safe to call repeatedly).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the source fails (file unreadable, corrupt trace).
+    /// Builtin generators never fail; callers holding file-backed
+    /// workloads should prefer [`WorkloadDef::try_trace`].
     pub fn trace(&self) -> Trace {
-        Trace::new(self.name, (self.generate)())
+        self.try_trace()
+            .unwrap_or_else(|e| panic!("workload '{}': {e}", self.name))
     }
 }
 
@@ -65,29 +148,33 @@ impl WorkloadDef {
 /// replays SimPoint traces when a core needs more instructions.
 #[derive(Clone, Debug)]
 pub struct Trace {
-    name: &'static str,
+    name: Arc<str>,
     instrs: Arc<Vec<Instr>>,
     pos: usize,
 }
 
+// `is_empty` would be dead code: construction rejects empty traces, so
+// the length is always >= 1 and `len` is a loop bound, not a container
+// query.
+#[allow(clippy::len_without_is_empty)]
 impl Trace {
     /// Wraps a generated instruction sequence.
     ///
     /// # Panics
     ///
     /// Panics if `instrs` is empty.
-    pub fn new(name: &'static str, instrs: Vec<Instr>) -> Self {
+    pub fn new(name: impl Into<Arc<str>>, instrs: Vec<Instr>) -> Self {
         assert!(!instrs.is_empty(), "a trace needs instructions");
         Self {
-            name,
+            name: name.into(),
             instrs: Arc::new(instrs),
             pos: 0,
         }
     }
 
     /// The workload name.
-    pub fn name(&self) -> &'static str {
-        self.name
+    pub fn name(&self) -> &str {
+        &self.name
     }
 
     /// Unique instructions before the trace loops.
@@ -95,9 +182,9 @@ impl Trace {
         self.instrs.len()
     }
 
-    /// Whether the trace is empty (never true by construction).
-    pub fn is_empty(&self) -> bool {
-        self.instrs.is_empty()
+    /// The underlying instruction sequence (one replay period).
+    pub fn instrs(&self) -> &[Instr] {
+        &self.instrs
     }
 
     /// The next instruction (cycling).
@@ -114,7 +201,7 @@ impl Trace {
     /// A fresh replay handle sharing the same underlying trace.
     pub fn restarted(&self) -> Trace {
         Trace {
-            name: self.name,
+            name: Arc::clone(&self.name),
             instrs: Arc::clone(&self.instrs),
             pos: 0,
         }
@@ -140,5 +227,19 @@ mod tests {
     #[should_panic(expected = "needs instructions")]
     fn empty_trace_rejected() {
         let _ = Trace::new("t", vec![]);
+    }
+
+    #[test]
+    fn builtin_workloads_describe_their_origin() {
+        let w = WorkloadDef::new("t", Suite::Spec, || vec![Instr::alu(Ip::new(1))]);
+        assert_eq!(w.source_desc(), "builtin (SPEC)");
+        assert!(w.source_path().is_none());
+        assert_eq!(w.try_trace().expect("generates").len(), 1);
+    }
+
+    #[test]
+    fn empty_source_is_a_typed_error_not_a_panic() {
+        let w = WorkloadDef::new("hollow", Suite::Spec, Vec::new);
+        assert!(matches!(w.try_trace(), Err(IngestError::EmptyTrace(_))));
     }
 }

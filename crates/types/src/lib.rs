@@ -24,6 +24,7 @@ mod addr;
 mod config;
 mod instr;
 mod kinds;
+mod record;
 
 pub use addr::{Delta, Ip, PAddr, PLine, Ppn, VAddr, VLine, Vpn};
 pub use config::{
@@ -32,6 +33,7 @@ pub use config::{
 };
 pub use instr::{Instr, MAX_DEP_CHAINS};
 pub use kinds::{AccessKind, Cycle, FillLevel, ReplacementKind};
+pub use record::{decode_record, encode_record, RecordError, RECORD_BYTES};
 
 /// Bytes per cache line (64 B, as in ChampSim and the paper).
 pub const LINE_BYTES: u64 = 64;

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Deterministic generator for tests/fixtures/champsim_500.trace.
+
+Emits 500 ChampSim `input_instr` records (64-byte little-endian) that
+exercise every decode path: plain loads, multi-operand loads that spill
+into follow-up records, stores, double stores, branches (taken and
+not-taken, so the 2-bit predictor mispredicts some), and register
+dependence chains (loads whose destination register feeds a later
+load's address register). Re-running this script reproduces the file
+byte-for-byte; the golden test in crates/traces pins the decode.
+"""
+import struct
+import sys
+
+RECORDS = 500
+
+
+def lcg(seed):
+    state = seed
+    while True:
+        state = (state * 6364136223846793005 + 1442695040888963407) % (1 << 64)
+        yield state >> 33
+
+
+def main(path):
+    rng = lcg(0xBE271)
+    out = bytearray()
+    for i in range(RECORDS):
+        ip = 0x40_0000 + (i % 97) * 4
+        is_branch = 1 if i % 7 == 3 else 0
+        # Taken-ness flips on a coarse period so the saturating counter
+        # both trains and mispredicts.
+        branch_taken = 1 if is_branch and (i // 21) % 2 == 0 else 0
+        dst_regs = [0, 0]
+        src_regs = [0, 0, 0, 0]
+        dst_mem = [0, 0]
+        src_mem = [0, 0, 0, 0]
+        if not is_branch:
+            kind = i % 5
+            if kind in (0, 1):  # single load, chained dest reg
+                src_mem[0] = 0x10_0000 + (i % 13) * 64 + i * 8
+                dst_regs[0] = 8 + (i % 4)
+                src_regs[0] = 8 + ((i + 1) % 4)  # consume an earlier load's reg
+            elif kind == 2:  # three loads: spills one follow-up record
+                base = 0x20_0000 + i * 16
+                src_mem[0] = base
+                src_mem[1] = base + 64
+                src_mem[2] = base + 128
+                dst_regs[0] = 16
+            elif kind == 3:  # load + store pair
+                src_mem[0] = 0x30_0000 + i * 8
+                dst_mem[0] = 0x38_0000 + i * 8
+                src_regs[0] = 16
+            else:  # double store: second spills
+                dst_mem[0] = 0x48_0000 + i * 8
+                dst_mem[1] = 0x50_0000 + i * 8
+                src_regs[0] = 8 + (i % 4)
+        if i % 41 == 40:  # rare 4-operand gather: spills two records
+            src_mem = [0x60_0000 + i * 32 + k * 8 for k in range(4)]
+            dst_mem = [0, 0]
+            dst_regs = [24, 0]
+        out += struct.pack(
+            "<QBB2B4s2Q4Q",
+            ip,
+            is_branch,
+            branch_taken,
+            *dst_regs,
+            bytes(src_regs),
+            *dst_mem,
+            *src_mem,
+        )
+    with open(path, "wb") as f:
+        f.write(out)
+    print(f"{path}: {RECORDS} records, {len(out)} bytes")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "tests/fixtures/champsim_500.trace")
