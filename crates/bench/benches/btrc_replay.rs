@@ -10,11 +10,11 @@ fn bench_btrc(c: &mut Criterion) {
     // A realistic mix: the lbm-like generator's stream (strided loads
     // and stores with branches), the same content `btrc gen` would
     // pre-decode.
-    let trace = berti_traces::workload_by_name("lbm-like")
+    let instrs = berti_traces::workload_by_name("lbm-like")
         .expect("builtin exists")
-        .try_trace()
-        .expect("generates");
-    let instrs = trace.instrs().to_vec();
+        .instrs()
+        .expect("generates")
+        .to_vec();
     let bytes = encode_btrc(&instrs);
 
     let mut group = c.benchmark_group("btrc_replay");

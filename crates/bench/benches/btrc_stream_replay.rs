@@ -1,0 +1,74 @@
+//! Criterion microbench: streamed `.btrc` replay throughput — how fast
+//! the chunked cursor paths deliver instructions, compared head-to-head
+//! with materialize-then-iterate. Three shapes:
+//!
+//! - `mem_cursor`: the memoized in-memory stream builtins use (the
+//!   `Trace` double-buffered hot path over a `MemStream`).
+//! - `mmap_cursor`: the zero-copy mmap'd `.btrc` stream, lazy per-chunk
+//!   record decode, checksum latch already verified.
+//! - `materialized`: one-shot decode into a `Vec` then index replay —
+//!   the pre-streaming baseline the cursors must not regress.
+
+use berti_traces::ingest::{open_streaming, write_btrc};
+use berti_traces::Trace;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_stream_replay(c: &mut Criterion) {
+    let instrs = berti_traces::workload_by_name("lbm-like")
+        .expect("builtin exists")
+        .instrs()
+        .expect("generates")
+        .to_vec();
+    let dir = std::env::temp_dir().join(format!("berti-bench-stream-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let path = dir.join("lbm.btrc");
+    write_btrc(&path, &instrs).expect("writes");
+    let pulls = instrs.len() + instrs.len() / 2; // one full pass + wrap
+
+    let mut group = c.benchmark_group("btrc_stream_replay");
+    group.sample_size(20);
+
+    group.bench_function("materialized", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for k in 0..pulls {
+                acc = acc.wrapping_add(instrs[k % instrs.len()].ip.raw());
+            }
+            black_box(acc)
+        })
+    });
+
+    // Cursors are built once and replay cyclically across iterations,
+    // so iterations measure the pull hot path, not construction.
+    let mut mem_trace = Trace::new("mem", instrs.clone());
+    group.bench_function("mem_cursor", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..pulls {
+                acc = acc.wrapping_add(mem_trace.next_instr().ip.raw());
+            }
+            black_box(acc)
+        })
+    });
+
+    // Open once outside the loop: the first pass verifies the checksum,
+    // so iterations measure steady-state lazy decode, not hashing.
+    let stream = open_streaming(&path).expect("opens");
+    let mut mmap_trace = Trace::from_stream("mmap", stream).expect("primes");
+    group.bench_function("mmap_cursor", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..pulls {
+                acc = acc.wrapping_add(mmap_trace.next_instr().ip.raw());
+            }
+            black_box(acc)
+        })
+    });
+
+    group.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(benches, bench_stream_replay);
+criterion_main!(benches);

@@ -30,8 +30,14 @@ use std::process::{Command, ExitCode};
 use serde::Value;
 
 /// Bench targets snapshotted by default: the event-engine comparison,
-/// one dense end-to-end simulation cell, and the `.btrc` trace codec.
-const DEFAULT_BENCHES: &[&str] = &["engine_skip_ahead", "sim_throughput", "btrc_replay"];
+/// one dense end-to-end simulation cell, the `.btrc` trace codec, and
+/// the streamed-replay cursor paths.
+const DEFAULT_BENCHES: &[&str] = &[
+    "engine_skip_ahead",
+    "sim_throughput",
+    "btrc_replay",
+    "btrc_stream_replay",
+];
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();

@@ -214,7 +214,14 @@ fn main() {
         }
     } else {
         for w in &chosen {
-            let r = simulate_with_l2(&cfg, l1.clone(), l2, &mut w.trace(), &opts);
+            let mut trace = match w.try_trace() {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("{}: cannot open trace: {e}", w.name);
+                    std::process::exit(1);
+                }
+            };
+            let r = simulate_with_l2(&cfg, l1.clone(), l2, &mut trace, &opts);
             print_report(&r);
         }
     }

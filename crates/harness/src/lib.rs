@@ -46,7 +46,8 @@ pub use cache::{CachedResult, ResultCache, CACHE_SCHEMA_VERSION};
 pub use campaign::{Campaign, CampaignBuilder, JobSpec};
 pub use events::{Event, EventSink, EVENT_SCHEMA_VERSION};
 pub use pool::{
-    build_registry, check_workload, execute_spec, execute_spec_in, run_campaign, run_campaign_with,
-    run_campaign_with_events, CampaignResult, JobOutcome, JobResult, RunOptions,
+    build_registry, check_workload, execute_spec, execute_spec_in, run_campaign,
+    run_campaign_try_with, run_campaign_with, run_campaign_with_events, CampaignResult, JobOutcome,
+    JobResult, RunOptions,
 };
 pub use store::ResultStore;

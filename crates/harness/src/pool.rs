@@ -86,7 +86,8 @@ pub enum JobOutcome {
         /// The validation diagnostic or the captured panic message of
         /// the last attempt.
         error: String,
-        /// Attempts made: 1 for cells rejected by config validation
+        /// Attempts made: 1 for cells rejected by config validation or
+        /// failing with a typed executor error such as a corrupt trace
         /// (retrying cannot help), 2 for panicking cells (initial +
         /// one retry).
         attempts: u32,
@@ -240,21 +241,23 @@ pub fn check_workload(registry: &TraceRegistry, name: &str) -> Result<(), String
 /// This is the single execution path shared by every executor — the
 /// in-process worker pool below and `berti-serve`'s worker processes —
 /// so a cell produces byte-identical reports no matter which engine ran
-/// it. Panics on an unknown workload or an unreadable trace file;
-/// callers isolate with `catch_unwind` (or a process boundary).
+/// it. An unknown workload or an unreadable/corrupt trace file is a
+/// typed `Err` — deterministic, so callers fail the cell without
+/// retrying; only genuine simulator panics need `catch_unwind` (or a
+/// process boundary).
 pub fn execute_spec_in(
     registry: &TraceRegistry,
     spec: &JobSpec,
     interval: Option<u64>,
     emit: &mut dyn FnMut(Event),
-) -> Report {
+) -> Result<Report, String> {
     let workload = registry
         .get(&spec.workload)
-        .unwrap_or_else(|| panic!("unknown workload `{}`", spec.workload));
+        .ok_or_else(|| format!("unknown workload `{}`", spec.workload))?;
     let mut trace = workload
         .try_trace()
-        .unwrap_or_else(|e| panic!("workload `{}`: {e}", spec.workload));
-    match interval {
+        .map_err(|e| format!("workload `{}`: {e}", spec.workload))?;
+    Ok(match interval {
         None => berti_sim::simulate_with_l2(
             &spec.config,
             spec.l1.clone(),
@@ -291,19 +294,20 @@ pub fn execute_spec_in(
                 }),
             )
         }
-    }
+    })
 }
 
 /// One-shot variant of [`execute_spec_in`]: builds the registry for
 /// `trace_dir` (builtins only when `None`) and executes the cell.
-/// `berti-serve` workers use this — one cell per request, the
-/// registry rebuild is noise next to the simulation.
+/// `berti-serve` workers use this — one cell per request; the registry
+/// rebuild is cheap, and the decoded-trace cache means repeated cells
+/// naming the same trace decode it once per worker process.
 pub fn execute_spec(
     spec: &JobSpec,
     trace_dir: Option<&Path>,
     interval: Option<u64>,
     emit: &mut dyn FnMut(Event),
-) -> Report {
+) -> Result<Report, String> {
     execute_spec_in(&build_registry(trace_dir), spec, interval, emit)
 }
 
@@ -331,6 +335,16 @@ where
     run_campaign_with_events(campaign, opts, |spec, _emit| exec(spec))
 }
 
+/// Like [`run_campaign_with`], for executors that fail with a typed
+/// error: an `Err` cell fails immediately without a retry (the error is
+/// deterministic), unlike a panicking one.
+pub fn run_campaign_try_with<F>(campaign: &Campaign, opts: &RunOptions, exec: F) -> CampaignResult
+where
+    F: Fn(&JobSpec) -> Result<Report, String> + Sync,
+{
+    run_campaign_inner(campaign, opts, None, |spec, _emit| exec(spec))
+}
+
 /// Runs a campaign with an executor that can also emit events into the
 /// campaign's stream (the real simulator uses this to forward interval
 /// time-series points as [`Event::JobInterval`]).
@@ -350,7 +364,7 @@ where
 {
     // No workload precheck on the generic path: injected executors are
     // free to use workload names the registry has never heard of.
-    run_campaign_inner(campaign, opts, None, exec)
+    run_campaign_inner(campaign, opts, None, |spec, emit| Ok(exec(spec, emit)))
 }
 
 type Precheck<'a> = &'a (dyn Fn(&JobSpec) -> Result<(), String> + Sync);
@@ -362,7 +376,7 @@ fn run_campaign_inner<F>(
     exec: F,
 ) -> CampaignResult
 where
-    F: Fn(&JobSpec, &mut dyn FnMut(Event)) -> Report + Sync,
+    F: Fn(&JobSpec, &mut dyn FnMut(Event)) -> Result<Report, String> + Sync,
 {
     let started = Instant::now();
     let cache = opts
@@ -460,7 +474,7 @@ fn run_cell<F>(
     events: &mpsc::Sender<Event>,
 ) -> JobResult
 where
-    F: Fn(&JobSpec, &mut dyn FnMut(Event)) -> Report + Sync,
+    F: Fn(&JobSpec, &mut dyn FnMut(Event)) -> Result<Report, String> + Sync,
 {
     let key = spec.key();
     let workload = spec.workload.clone();
@@ -521,7 +535,28 @@ where
             let _ = events.send(e);
         };
         match catch_unwind(AssertUnwindSafe(|| exec(spec, &mut emit))) {
-            Ok(report) => {
+            Ok(Err(error)) => {
+                // A typed executor failure (unknown workload, corrupt
+                // or unreadable trace) is deterministic: fail the cell
+                // now, a retry cannot change the answer.
+                let _ = events.send(Event::JobFailed {
+                    key: key.clone(),
+                    workload,
+                    label,
+                    attempt,
+                    will_retry: false,
+                    error: error.clone(),
+                });
+                return JobResult {
+                    spec: spec.clone(),
+                    key,
+                    outcome: JobOutcome::Failed {
+                        error,
+                        attempts: attempt,
+                    },
+                };
+            }
+            Ok(Ok(report)) => {
                 if let Some(c) = cache {
                     let _ = c.store(spec, &report);
                 }

@@ -209,7 +209,10 @@ fn run_cell(req: &WorkerRequest, w: &mut impl Write) -> WorkerReply {
         execute_spec(&req.spec, trace_dir, req.interval, &mut emit)
     }));
     match result {
-        Ok(report) => WorkerReply::done(report),
+        Ok(Ok(report)) => WorkerReply::done(report),
+        // Typed executor failure (corrupt/unreadable trace, unknown
+        // workload): the worker stays healthy and reports the error.
+        Ok(Err(error)) => WorkerReply::error(error),
         Err(payload) => WorkerReply::error(panic_message(payload)),
     }
 }

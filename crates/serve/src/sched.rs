@@ -208,15 +208,21 @@ impl CellExecutor for ThreadExecutor {
             let trace_dir = trace_dir.map(std::path::Path::new);
             execute_spec(spec, trace_dir, interval, &mut forward)
         }));
-        result.map_err(|payload| {
-            CellError::Sim(if let Some(s) = payload.downcast_ref::<&str>() {
-                (*s).to_string()
-            } else if let Some(s) = payload.downcast_ref::<String>() {
-                s.clone()
-            } else {
-                "panic with non-string payload".to_string()
-            })
-        })
+        match result {
+            Ok(Ok(report)) => Ok(report),
+            // Typed executor failure: deterministic, no isolation or
+            // retry semantics needed.
+            Ok(Err(error)) => Err(CellError::Sim(error)),
+            Err(payload) => Err(CellError::Sim(
+                if let Some(s) = payload.downcast_ref::<&str>() {
+                    (*s).to_string()
+                } else if let Some(s) = payload.downcast_ref::<String>() {
+                    s.clone()
+                } else {
+                    "panic with non-string payload".to_string()
+                },
+            )),
+        }
     }
 
     fn pid(&self) -> Option<u32> {

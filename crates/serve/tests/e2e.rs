@@ -510,9 +510,9 @@ fn trace_dir_campaign_matches_cli_and_validates_workloads() {
     // daemon discovers a real trace workload named `slice`.
     let source = berti_traces::workload_by_name("lbm-like")
         .expect("builtin exists")
-        .try_trace()
+        .instrs()
         .expect("generates");
-    let instrs = &source.instrs()[..500.min(source.len())];
+    let instrs = &source[..500.min(source.len())];
     berti_traces::ingest::write_btrc(&traces.join("slice.btrc"), instrs).expect("writes");
 
     let cache = store.join("cache");

@@ -2,25 +2,36 @@
 //!
 //! ```text
 //! btrc convert <in> <out.btrc>   decode any supported trace (ChampSim
-//!                                binary, .btrc, .xz/.gz-compressed)
+//!                                binary, .btrc, .xz/.gz/.zst-compressed)
 //!                                and write it pre-decoded
-//! btrc gen <workload> <out.btrc> pre-decode a builtin synthetic
-//!                                workload into a .btrc file
+//! btrc gen [--tile N] <workload> <out.btrc>
+//!                                pre-decode a builtin synthetic
+//!                                workload into a .btrc file, repeated
+//!                                N times (for building big fixtures)
 //! btrc info <file>               print record count and a summary
+//!                                (streamed: never materializes the
+//!                                whole trace)
 //! btrc list                      list builtin workload names
 //! ```
 
 use std::path::Path;
 use std::process::ExitCode;
 
-use berti_traces::ingest::{read_trace_file, write_btrc};
-use berti_traces::TraceRegistry;
+use berti_traces::ingest::{
+    encode_btrc, fnv1a64_update, open_streaming, read_trace_file, write_btrc, FNV_OFFSET_BASIS,
+};
+use berti_traces::{TraceRegistry, STREAM_CHUNK_INSTRS};
+use berti_types::Instr;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("convert") if args.len() == 3 => convert(Path::new(&args[1]), Path::new(&args[2])),
-        Some("gen") if args.len() == 3 => gen(&args[1], Path::new(&args[2])),
+        Some("gen") if args.len() == 3 => gen(&args[1], Path::new(&args[2]), 1),
+        Some("gen") if args.len() == 5 && args[1] == "--tile" => match args[2].parse::<u64>() {
+            Ok(n) if n >= 1 => gen(&args[3], Path::new(&args[4]), n),
+            _ => Err(format!("--tile takes a positive count, got '{}'", args[2])),
+        },
         Some("info") if args.len() == 2 => info(Path::new(&args[1])),
         Some("list") if args.len() == 1 => {
             for w in TraceRegistry::builtin().workloads() {
@@ -30,7 +41,7 @@ fn main() -> ExitCode {
         }
         _ => {
             eprintln!(
-                "usage: btrc convert <in> <out.btrc>\n       btrc gen <workload> <out.btrc>\n       btrc info <file>\n       btrc list"
+                "usage: btrc convert <in> <out.btrc>\n       btrc gen [--tile N] <workload> <out.btrc>\n       btrc info <file>\n       btrc list"
             );
             return ExitCode::from(2);
         }
@@ -56,7 +67,7 @@ fn convert(input: &Path, output: &Path) -> Result<(), String> {
     Ok(())
 }
 
-fn gen(workload: &str, output: &Path) -> Result<(), String> {
+fn gen(workload: &str, output: &Path, tile: u64) -> Result<(), String> {
     let reg = TraceRegistry::builtin();
     let w = reg.get(workload).ok_or_else(|| {
         let mut msg = format!("unknown workload '{workload}'");
@@ -66,27 +77,63 @@ fn gen(workload: &str, output: &Path) -> Result<(), String> {
         }
         msg
     })?;
-    let trace = w.try_trace().map_err(|e| e.to_string())?;
-    write_btrc(output, trace.instrs()).map_err(|e| e.to_string())?;
+    let instrs = w.instrs().map_err(|e| e.to_string())?;
+    if tile == 1 {
+        write_btrc(output, &instrs).map_err(|e| e.to_string())?;
+    } else {
+        // Tiling repeats the sequence to build arbitrarily large
+        // fixtures (e.g. for memory-ceiling CI runs) without holding
+        // more than one period plus its encoding in memory: encode the
+        // period once, then write the body again per tile and patch
+        // the header's count and checksum.
+        let one = encode_btrc(&instrs);
+        let (header, body) = one.split_at(32);
+        let mut header: Vec<u8> = header.to_vec();
+        let count = instrs.len() as u64 * tile;
+        header[8..16].copy_from_slice(&count.to_le_bytes());
+        let mut hash = FNV_OFFSET_BASIS;
+        for _ in 0..tile {
+            hash = fnv1a64_update(hash, body);
+        }
+        header[16..24].copy_from_slice(&hash.to_le_bytes());
+        use std::io::Write;
+        let f = std::fs::File::create(output).map_err(|e| e.to_string())?;
+        let mut f = std::io::BufWriter::new(f);
+        f.write_all(&header).map_err(|e| e.to_string())?;
+        for _ in 0..tile {
+            f.write_all(body).map_err(|e| e.to_string())?;
+        }
+        f.flush().map_err(|e| e.to_string())?;
+    }
     println!(
         "{workload} -> {} ({} records)",
         output.display(),
-        trace.len()
+        instrs.len() as u64 * tile
     );
     Ok(())
 }
 
 fn info(path: &Path) -> Result<(), String> {
-    let instrs = read_trace_file(path).map_err(|e| e.to_string())?;
-    let loads = instrs
-        .iter()
-        .map(|i| i.loads.iter().flatten().count())
-        .sum::<usize>();
-    let stores = instrs.iter().filter(|i| i.store.is_some()).count();
-    let branches = instrs.iter().filter(|i| i.mispredicted_branch).count();
-    let chained = instrs.iter().filter(|i| i.dep_chain.is_some()).count();
+    // Streamed: a multi-GB trace summarizes in one chunk of memory.
+    let mut stream = open_streaming(path).map_err(|e| e.to_string())?;
+    let mut buf = vec![Instr::default(); STREAM_CHUNK_INSTRS];
+    let (mut records, mut loads, mut stores, mut branches, mut chained) =
+        (0u64, 0u64, 0u64, 0u64, 0u64);
+    loop {
+        let n = stream.next_chunk(&mut buf).map_err(|e| e.to_string())?;
+        if n == 0 {
+            break;
+        }
+        records += n as u64;
+        for i in &buf[..n] {
+            loads += i.loads.iter().flatten().count() as u64;
+            stores += u64::from(i.store.is_some());
+            branches += u64::from(i.mispredicted_branch);
+            chained += u64::from(i.dep_chain.is_some());
+        }
+    }
     println!("{}", path.display());
-    println!("  records:              {}", instrs.len());
+    println!("  records:              {records}");
     println!("  load operands:        {loads}");
     println!("  store operands:       {stores}");
     println!("  mispredicted branches:{branches}");

@@ -36,14 +36,72 @@ pub const BTRC_VERSION: u16 = 1;
 /// Header size.
 pub const BTRC_HEADER_BYTES: usize = 32;
 
-/// FNV-1a 64-bit hash (the header checksum function).
-pub fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
+/// FNV-1a-64 offset basis: the running-hash seed for
+/// [`fnv1a64_update`].
+pub const FNV_OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Folds `bytes` into a running FNV-1a-64 hash. Streaming backends
+/// hash a trace body chunk by chunk with this; `fnv1a64(b)` equals
+/// `fnv1a64_update(FNV_OFFSET_BASIS, b)` for any split of `b`.
+pub fn fnv1a64_update(mut h: u64, bytes: &[u8]) -> u64 {
     for &b in bytes {
         h ^= b as u64;
         h = h.wrapping_mul(0x0000_0100_0000_01b3);
     }
     h
+}
+
+/// FNV-1a 64-bit hash (the header checksum function).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    fnv1a64_update(FNV_OFFSET_BASIS, bytes)
+}
+
+/// A validated `.btrc` header: what remains after magic, version,
+/// record size, and reserved bits have all been checked.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BtrcHeader {
+    /// Records (= instructions) the body holds.
+    pub record_count: u64,
+    /// FNV-1a-64 checksum the body must hash to.
+    pub checksum: u64,
+}
+
+impl BtrcHeader {
+    /// Length of the body this header promises, in bytes.
+    pub fn body_bytes(&self) -> u64 {
+        self.record_count * RECORD_BYTES as u64
+    }
+}
+
+/// Parses and fully validates the fixed 32-byte `.btrc` header. Every
+/// reader — the materializing decoder, the mmap stream, the pipe
+/// stream — goes through this one function, so a malformed header is
+/// the same typed error no matter which backend saw it.
+pub fn parse_btrc_header(header: &[u8; BTRC_HEADER_BYTES]) -> Result<BtrcHeader, IngestError> {
+    if header[0..4] != BTRC_MAGIC {
+        return Err(IngestError::BadMagic(
+            header[0..4].try_into().expect("4 bytes"),
+        ));
+    }
+    let u16_at = |off: usize| u16::from_le_bytes(header[off..off + 2].try_into().expect("2 bytes"));
+    let u64_at = |off: usize| u64::from_le_bytes(header[off..off + 8].try_into().expect("8 bytes"));
+    let version = u16_at(4);
+    if version != BTRC_VERSION {
+        return Err(IngestError::UnsupportedVersion(version));
+    }
+    let record_bytes = u16_at(6);
+    if record_bytes as usize != RECORD_BYTES {
+        return Err(IngestError::BadRecordSize(record_bytes));
+    }
+    if u64_at(24) != 0 {
+        // Reserved bits are part of the canonical form; a nonzero value
+        // means a writer newer than this reader.
+        return Err(IngestError::UnsupportedVersion(version));
+    }
+    Ok(BtrcHeader {
+        record_count: u64_at(8),
+        checksum: u64_at(16),
+    })
 }
 
 /// Encodes an instruction stream into `.btrc` bytes.
@@ -73,28 +131,11 @@ pub fn decode_btrc(bytes: &[u8]) -> Result<Vec<Instr>, IngestError> {
         return Err(IngestError::TruncatedHeader { got: bytes.len() });
     }
     let (header, body) = bytes.split_at(BTRC_HEADER_BYTES);
-    if header[0..4] != BTRC_MAGIC {
-        return Err(IngestError::BadMagic(
-            header[0..4].try_into().expect("4 bytes"),
-        ));
-    }
-    let u16_at = |off: usize| u16::from_le_bytes(header[off..off + 2].try_into().expect("2 bytes"));
-    let u64_at = |off: usize| u64::from_le_bytes(header[off..off + 8].try_into().expect("8 bytes"));
-    let version = u16_at(4);
-    if version != BTRC_VERSION {
-        return Err(IngestError::UnsupportedVersion(version));
-    }
-    let record_bytes = u16_at(6);
-    if record_bytes as usize != RECORD_BYTES {
-        return Err(IngestError::BadRecordSize(record_bytes));
-    }
-    let count = u64_at(8);
-    let checksum = u64_at(16);
-    if u64_at(24) != 0 {
-        // Reserved bits are part of the canonical form; a nonzero value
-        // means a writer newer than this reader.
-        return Err(IngestError::UnsupportedVersion(version));
-    }
+    let header: &[u8; BTRC_HEADER_BYTES] = header.try_into().expect("split at header size");
+    let BtrcHeader {
+        record_count: count,
+        checksum,
+    } = parse_btrc_header(header)?;
     let expected_len = count as usize * RECORD_BYTES;
     if body.len() < expected_len {
         return Err(IngestError::Truncated {

@@ -48,16 +48,12 @@ pub const CHAMPSIM_RECORD_BYTES: usize = 64;
 /// Branch-predictor table size (IP folded to 12 bits).
 const PREDICTOR_BITS: u32 = 12;
 
-/// Reads a trace file's raw bytes, piping `.xz`/`.gz` files through
-/// the system decompressor (`xz -dc` / `gzip -dc`). A missing tool is
-/// a clear [`IngestError::MissingTool`], not an opaque I/O failure.
+/// Reads a trace file's raw bytes, piping `.xz`/`.gz`/`.zst` files
+/// through the system decompressor (`xz -dc` / `gzip -dc` /
+/// `zstd -dc`). A missing tool is a clear [`IngestError::MissingTool`],
+/// not an opaque I/O failure.
 pub fn read_trace_bytes(path: &Path) -> Result<Vec<u8>, IngestError> {
-    let tool = match path.extension().and_then(|e| e.to_str()) {
-        Some("xz") => Some("xz"),
-        Some("gz") => Some("gzip"),
-        _ => None,
-    };
-    let Some(tool) = tool else {
+    let Some(tool) = super::compression_tool(path) else {
         return std::fs::read(path).map_err(|e| IngestError::io(path, &e));
     };
     if !path.exists() {
@@ -73,7 +69,7 @@ pub fn read_trace_bytes(path: &Path) -> Result<Vec<u8>, IngestError> {
         .map_err(|e| {
             if e.kind() == std::io::ErrorKind::NotFound {
                 IngestError::MissingTool {
-                    tool: if tool == "xz" { "xz" } else { "gzip" },
+                    tool,
                     path: path.to_path_buf(),
                 }
             } else {
@@ -82,7 +78,7 @@ pub fn read_trace_bytes(path: &Path) -> Result<Vec<u8>, IngestError> {
         })?;
     if !out.status.success() {
         return Err(IngestError::ToolFailed {
-            tool: if tool == "xz" { "xz" } else { "gzip" },
+            tool,
             path: path.to_path_buf(),
             stderr: String::from_utf8_lossy(&out.stderr).into_owned(),
         });
@@ -106,12 +102,49 @@ pub fn decode_champsim(bytes: &[u8]) -> Result<Vec<Instr>, IngestError> {
         });
     }
     let mut out = Vec::with_capacity(bytes.len() / CHAMPSIM_RECORD_BYTES);
-    let mut predictor = BranchPredictor::new();
-    let mut chains = ChainTracker::new();
+    let mut decoder = ChampsimDecoder::new();
     for rec in bytes.chunks_exact(CHAMPSIM_RECORD_BYTES) {
-        decode_one(rec, &mut predictor, &mut chains, &mut out);
+        decoder.decode_record(rec, &mut out);
     }
     Ok(out)
+}
+
+/// The sequential decode state a ChampSim trace carries from record to
+/// record: the branch predictor (mispredict bits depend on every
+/// earlier branch outcome) and the register dependence-chain tracker.
+/// The streaming decoder owns one of these and resets it on rewind, so
+/// a chunked pass produces the byte-identical sequence a one-shot
+/// [`decode_champsim`] does.
+pub(crate) struct ChampsimDecoder {
+    predictor: BranchPredictor,
+    chains: ChainTracker,
+}
+
+impl ChampsimDecoder {
+    pub(crate) fn new() -> Self {
+        Self {
+            predictor: BranchPredictor::new(),
+            chains: ChainTracker::new(),
+        }
+    }
+
+    /// Decodes one 64-byte record, appending the 1–4 [`Instr`]s it
+    /// expands to (primary plus operand spills) onto `out`.
+    pub(crate) fn decode_record(&mut self, rec: &[u8], out: &mut Vec<Instr>) {
+        decode_one(rec, &mut self.predictor, &mut self.chains, out);
+    }
+}
+
+/// How many [`Instr`]s one 64-byte record expands to: 1 primary, plus
+/// a spill record per extra pair of source-memory operands, plus one
+/// for a second destination-memory operand. Pure — unlike decoding, it
+/// needs no predictor or chain state, which is what lets the streaming
+/// decoder's counting pass learn a trace's exact length cheaply.
+pub(crate) fn instrs_per_record(rec: &[u8]) -> usize {
+    let word = |off: usize| u64::from_le_bytes(rec[off..off + 8].try_into().expect("8 bytes"));
+    let dst_mem = (0..2).filter(|&i| word(16 + 8 * i) != 0).count();
+    let src_mem = (0..4).filter(|&i| word(32 + 8 * i) != 0).count();
+    1 + src_mem.saturating_sub(2).div_ceil(2) + usize::from(dst_mem > 1)
 }
 
 fn decode_one(
@@ -404,5 +437,44 @@ mod tests {
     fn missing_file_is_a_typed_error() {
         let e = read_trace_bytes(Path::new("/nonexistent/trace.xz")).unwrap_err();
         assert!(matches!(e, IngestError::Io { .. }));
+        let e = read_trace_bytes(Path::new("/nonexistent/trace.zst")).unwrap_err();
+        assert!(matches!(e, IngestError::Io { .. }));
+    }
+
+    #[test]
+    fn instrs_per_record_matches_the_decoder() {
+        let cases = [
+            record(0x400, None, [0; 2], [0; 4], [0; 2], [0; 4]),
+            record(0x400, None, [0; 2], [0; 4], [0; 2], [0x1000, 0, 0, 0]),
+            record(
+                0x400,
+                None,
+                [0; 2],
+                [0; 4],
+                [0x9000, 0],
+                [0x1000, 0x2000, 0, 0],
+            ),
+            record(
+                0x400,
+                None,
+                [0; 2],
+                [0; 4],
+                [0; 2],
+                [0x1000, 0x2000, 0x3000, 0],
+            ),
+            record(
+                0x400,
+                Some(true),
+                [0; 2],
+                [0; 4],
+                [0x9000, 0xa000],
+                [0x1000, 0x2000, 0x3000, 0x4000],
+            ),
+        ];
+        for rec in cases {
+            let mut out = Vec::new();
+            ChampsimDecoder::new().decode_record(&rec, &mut out);
+            assert_eq!(instrs_per_record(&rec), out.len());
+        }
     }
 }

@@ -1,0 +1,427 @@
+//! Zero-copy `.btrc` replay: the file is mapped read-only, the header
+//! is validated eagerly (including that the file really holds the body
+//! the header promises — a shorter file is a typed error at open, not
+//! a fault at replay), and 40-byte records decode lazily per chunk.
+//! The FNV body checksum is verified once per shared handle, on the
+//! first full pass any cursor completes.
+//!
+//! ## Mapping lifetime and safety
+//!
+//! A [`MmapBtrc`] owns its mapping for as long as any stream holds the
+//! `Arc`; cursors borrow the mapped bytes only inside `next_chunk`, so
+//! no reference outlives the handle. The mapping is `PROT_READ` +
+//! `MAP_PRIVATE`: nothing in this process can write through it. The
+//! one residual hazard inherent to mmap — another process truncating
+//! the file *after* we validated its length — is the same fault every
+//! mmap consumer accepts; we remove the common case (a file that was
+//! already short) by checking `metadata.len()` against the header
+//! before the first access.
+
+use std::fs::File;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use berti_types::{decode_record_chunk, Instr, RECORD_BYTES};
+
+use super::btrc::{parse_btrc_header, BtrcHeader, FNV_OFFSET_BASIS};
+use super::{fnv1a64_update, IngestError, BTRC_HEADER_BYTES};
+use crate::stream::InstrStream;
+
+/// A read-only memory mapping of a whole file. On non-Unix targets
+/// (no `mmap`) this degrades to reading the file into memory — same
+/// API, no zero-copy.
+#[cfg(unix)]
+mod map {
+    use std::fs::File;
+    use std::io;
+    use std::os::unix::io::AsRawFd;
+
+    /// Minimal `mmap(2)` binding: the build environment has no
+    /// crates.io access, so the usual `memmap2`/`libc` route is
+    /// unavailable; these two symbols come straight from the platform
+    /// libc the binary already links.
+    #[allow(unsafe_code)]
+    mod sys {
+        use std::os::raw::{c_int, c_void};
+
+        pub const PROT_READ: c_int = 1;
+        pub const MAP_PRIVATE: c_int = 2;
+
+        extern "C" {
+            pub fn mmap(
+                addr: *mut c_void,
+                len: usize,
+                prot: c_int,
+                flags: c_int,
+                fd: c_int,
+                offset: i64,
+            ) -> *mut c_void;
+            pub fn munmap(addr: *mut c_void, len: usize) -> c_int;
+        }
+    }
+
+    pub struct Mmap {
+        ptr: *mut u8,
+        len: usize,
+    }
+
+    // SAFETY: the mapping is read-only (`PROT_READ`) and private; no
+    // alias can write through it, so shared references from any thread
+    // are sound.
+    #[allow(unsafe_code)]
+    unsafe impl Send for Mmap {}
+    #[allow(unsafe_code)]
+    unsafe impl Sync for Mmap {}
+
+    impl Mmap {
+        #[allow(unsafe_code)]
+        pub fn map(file: &File, len: u64) -> io::Result<Mmap> {
+            let len = usize::try_from(len)
+                .map_err(|_| io::Error::new(io::ErrorKind::OutOfMemory, "file exceeds usize"))?;
+            if len == 0 {
+                return Ok(Mmap {
+                    ptr: std::ptr::null_mut(),
+                    len: 0,
+                });
+            }
+            // SAFETY: fd is a live, readable file descriptor borrowed
+            // for the duration of the call; a private read-only
+            // mapping of it has no aliasing or mutation hazards. The
+            // result is checked against MAP_FAILED before use.
+            let ptr = unsafe {
+                sys::mmap(
+                    std::ptr::null_mut(),
+                    len,
+                    sys::PROT_READ,
+                    sys::MAP_PRIVATE,
+                    file.as_raw_fd(),
+                    0,
+                )
+            };
+            if ptr as isize == -1 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(Mmap {
+                ptr: ptr.cast(),
+                len,
+            })
+        }
+
+        pub fn bytes(&self) -> &[u8] {
+            if self.len == 0 {
+                return &[];
+            }
+            // SAFETY: `ptr` is a live PROT_READ mapping of exactly
+            // `len` bytes, valid until `Drop` unmaps it; `&self`
+            // borrows guarantee the slice cannot outlive that.
+            #[allow(unsafe_code)]
+            unsafe {
+                std::slice::from_raw_parts(self.ptr, self.len)
+            }
+        }
+    }
+
+    impl Drop for Mmap {
+        #[allow(unsafe_code)]
+        fn drop(&mut self) {
+            if self.len > 0 {
+                // SAFETY: this is the unique owner of the mapping; no
+                // borrow of `bytes()` can be live here.
+                unsafe {
+                    sys::munmap(self.ptr.cast(), self.len);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod map {
+    use std::fs::File;
+    use std::io::{self, Read};
+
+    /// Portable fallback: same interface, plain heap buffer.
+    pub struct Mmap {
+        buf: Vec<u8>,
+    }
+
+    impl Mmap {
+        pub fn map(file: &File, len: u64) -> io::Result<Mmap> {
+            let mut buf = Vec::with_capacity(len as usize);
+            let mut file = file.try_clone()?;
+            file.read_to_end(&mut buf)?;
+            Ok(Mmap { buf })
+        }
+
+        pub fn bytes(&self) -> &[u8] {
+            &self.buf
+        }
+    }
+}
+
+/// A validated, shareable mapping of one `.btrc` file. Cheap to clone
+/// behind an [`Arc`]; the stream cache hands the same handle to every
+/// cell replaying the trace, so the file is opened and validated once
+/// per process no matter how many cursors replay it.
+pub struct MmapBtrc {
+    path: PathBuf,
+    map: map::Mmap,
+    header: BtrcHeader,
+    /// Set by the first cursor that completes a full pass with a
+    /// matching body checksum; later passes (and sibling cursors) skip
+    /// re-hashing the body.
+    verified: AtomicBool,
+}
+
+impl std::fmt::Debug for MmapBtrc {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MmapBtrc")
+            .field("path", &self.path)
+            .field("record_count", &self.header.record_count)
+            .finish_non_exhaustive()
+    }
+}
+
+impl MmapBtrc {
+    /// Maps `path` and eagerly validates everything that does not
+    /// require reading the body: magic, version, record size, reserved
+    /// bits, and that the file length matches the header's record
+    /// count exactly. A file shorter than its header claims is
+    /// [`IngestError::Truncated`] here — never a fault later.
+    pub fn open(path: &Path) -> Result<Self, IngestError> {
+        let file = File::open(path).map_err(|e| IngestError::io(path, &e))?;
+        let file_len = file
+            .metadata()
+            .map_err(|e| IngestError::io(path, &e))?
+            .len();
+        if file_len < BTRC_HEADER_BYTES as u64 {
+            return Err(IngestError::TruncatedHeader {
+                got: file_len as usize,
+            });
+        }
+        let map = map::Mmap::map(&file, file_len).map_err(|e| IngestError::io(path, &e))?;
+        let header_bytes: &[u8; BTRC_HEADER_BYTES] = map.bytes()[..BTRC_HEADER_BYTES]
+            .try_into()
+            .expect("header slice");
+        let header = parse_btrc_header(header_bytes)?;
+        let body_len = file_len - BTRC_HEADER_BYTES as u64;
+        if body_len < header.body_bytes() {
+            return Err(IngestError::Truncated {
+                expected_records: header.record_count,
+                got_records: body_len / RECORD_BYTES as u64,
+            });
+        }
+        if body_len > header.body_bytes() {
+            return Err(IngestError::TrailingBytes {
+                extra: (body_len - header.body_bytes()) as usize,
+            });
+        }
+        Ok(Self {
+            path: path.to_path_buf(),
+            map,
+            header,
+            verified: AtomicBool::new(false),
+        })
+    }
+
+    /// The mapped file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Records (= instructions) in the body.
+    pub fn record_count(&self) -> usize {
+        self.header.record_count as usize
+    }
+
+    /// The record bytes (everything after the header).
+    fn body(&self) -> &[u8] {
+        &self.map.bytes()[BTRC_HEADER_BYTES..]
+    }
+
+    /// Decodes the whole body into a materialized sequence (the
+    /// `instrs()` compatibility path; verifies the checksum eagerly).
+    pub fn materialize(&self) -> Result<Arc<[Instr]>, IngestError> {
+        let body = self.body();
+        if !self.verified.load(Ordering::Acquire) {
+            let got = super::fnv1a64(body);
+            if got != self.header.checksum {
+                return Err(IngestError::ChecksumMismatch {
+                    expected: self.header.checksum,
+                    got,
+                });
+            }
+            self.verified.store(true, Ordering::Release);
+        }
+        let mut out = vec![Instr::default(); self.record_count()];
+        decode_record_chunk(body, &mut out)
+            .map_err(|(index, error)| IngestError::BadRecord { index, error })?;
+        Ok(out.into())
+    }
+}
+
+/// A zero-copy cursor over a shared [`MmapBtrc`]: decodes 40-byte
+/// records lazily per chunk straight out of the mapping, hashing the
+/// body as it goes until the handle's checksum has been verified once.
+pub struct MmapStream {
+    btrc: Arc<MmapBtrc>,
+    /// Next record index of the current pass.
+    rec: usize,
+    /// Running FNV over the body bytes of this pass.
+    hash: u64,
+    /// Whether this pass is hashing (false once the handle, or this
+    /// stream's own earlier pass, verified the checksum).
+    hashing: bool,
+}
+
+impl MmapStream {
+    /// A cursor at record zero over `btrc`.
+    pub fn new(btrc: Arc<MmapBtrc>) -> Self {
+        let hashing = !btrc.verified.load(Ordering::Acquire);
+        Self {
+            btrc,
+            rec: 0,
+            hash: FNV_OFFSET_BASIS,
+            hashing,
+        }
+    }
+}
+
+impl InstrStream for MmapStream {
+    fn len(&self) -> usize {
+        self.btrc.record_count()
+    }
+
+    fn next_chunk(&mut self, buf: &mut [Instr]) -> Result<usize, IngestError> {
+        let remaining = self.btrc.record_count() - self.rec;
+        if remaining == 0 || buf.is_empty() {
+            if remaining == 0 && self.hashing {
+                // First full pass complete: verify the body checksum
+                // once for the shared handle.
+                self.hashing = false;
+                if !self.btrc.verified.load(Ordering::Acquire) {
+                    if self.hash != self.btrc.header.checksum {
+                        return Err(IngestError::ChecksumMismatch {
+                            expected: self.btrc.header.checksum,
+                            got: self.hash,
+                        });
+                    }
+                    self.btrc.verified.store(true, Ordering::Release);
+                }
+            }
+            return Ok(0);
+        }
+        let n = buf.len().min(remaining);
+        let bytes = &self.btrc.body()[self.rec * RECORD_BYTES..(self.rec + n) * RECORD_BYTES];
+        if self.hashing {
+            self.hash = fnv1a64_update(self.hash, bytes);
+        }
+        decode_record_chunk(bytes, &mut buf[..n]).map_err(|(index, error)| {
+            IngestError::BadRecord {
+                index: self.rec as u64 + index,
+                error,
+            }
+        })?;
+        self.rec += n;
+        Ok(n)
+    }
+
+    fn rewind(&mut self) -> Result<(), IngestError> {
+        self.rec = 0;
+        self.hash = FNV_OFFSET_BASIS;
+        self.hashing = !self.btrc.verified.load(Ordering::Acquire);
+        Ok(())
+    }
+
+    fn fork(&self) -> Result<Box<dyn InstrStream>, IngestError> {
+        Ok(Box::new(MmapStream::new(Arc::clone(&self.btrc))))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ingest::encode_btrc;
+    use berti_types::{Ip, VAddr};
+
+    fn tmpfile(tag: &str, bytes: &[u8]) -> PathBuf {
+        let p = std::env::temp_dir().join(format!("berti-mmap-{tag}-{}.btrc", std::process::id()));
+        std::fs::write(&p, bytes).expect("writes");
+        p
+    }
+
+    fn sample(n: usize) -> Vec<Instr> {
+        (0..n)
+            .map(|i| Instr::load(Ip::new(i as u64), VAddr::new(0x1000 + 64 * i as u64)))
+            .collect()
+    }
+
+    #[test]
+    fn maps_streams_and_verifies_once() {
+        let instrs = sample(100);
+        let path = tmpfile("ok", &encode_btrc(&instrs));
+        let btrc = Arc::new(MmapBtrc::open(&path).expect("opens"));
+        assert_eq!(btrc.record_count(), 100);
+        let mut s = MmapStream::new(Arc::clone(&btrc));
+        let mut got = Vec::new();
+        let mut buf = [Instr::default(); 7];
+        loop {
+            let n = s.next_chunk(&mut buf).expect("decodes");
+            if n == 0 {
+                break;
+            }
+            got.extend_from_slice(&buf[..n]);
+        }
+        assert_eq!(got, instrs);
+        assert!(btrc.verified.load(Ordering::Acquire), "first pass verified");
+        // A fork after verification skips hashing entirely.
+        let mut f = s.fork().expect("forks");
+        assert_eq!(f.len(), 100);
+        assert_eq!(f.next_chunk(&mut buf).expect("decodes"), 7);
+        assert_eq!(btrc.materialize().expect("materializes").len(), 100);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn short_file_is_a_typed_error_at_open() {
+        let good = encode_btrc(&sample(10));
+        // File shorter than the header's record count promises: the
+        // open must fail typed — mapping it and decoding would walk
+        // off the end of the file.
+        let path = tmpfile("short", &good[..good.len() - 2 * RECORD_BYTES - 3]);
+        match MmapBtrc::open(&path) {
+            Err(IngestError::Truncated {
+                expected_records: 10,
+                got_records: 7,
+            }) => {}
+            other => panic!("expected Truncated, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+
+        let path = tmpfile("header", &good[..10]);
+        assert_eq!(
+            MmapBtrc::open(&path).err(),
+            Some(IngestError::TruncatedHeader { got: 10 })
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn checksum_mismatch_surfaces_at_end_of_first_pass() {
+        let mut bytes = encode_btrc(&sample(10));
+        // Flip a load-address byte of the last record: still canonical,
+        // but the body no longer hashes to the header checksum.
+        bytes[BTRC_HEADER_BYTES + 9 * RECORD_BYTES + 8] ^= 0x01;
+        let path = tmpfile("sum", &bytes);
+        let btrc = Arc::new(MmapBtrc::open(&path).expect("header is fine"));
+        let mut s = MmapStream::new(btrc);
+        let mut buf = [Instr::default(); 64];
+        assert_eq!(s.next_chunk(&mut buf).expect("body decodes"), 10);
+        assert!(matches!(
+            s.next_chunk(&mut buf),
+            Err(IngestError::ChecksumMismatch { .. })
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+}

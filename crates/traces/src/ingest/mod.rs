@@ -12,19 +12,35 @@
 
 mod btrc;
 mod champsim;
+mod mmap;
+mod streams;
 
 pub use btrc::{
-    decode_btrc, encode_btrc, fnv1a64, read_btrc, write_btrc, BTRC_HEADER_BYTES, BTRC_MAGIC,
-    BTRC_VERSION,
+    decode_btrc, encode_btrc, fnv1a64, fnv1a64_update, parse_btrc_header, read_btrc, write_btrc,
+    BtrcHeader, BTRC_HEADER_BYTES, BTRC_MAGIC, BTRC_VERSION, FNV_OFFSET_BASIS,
 };
 pub use champsim::{decode_champsim, read_trace_bytes, CHAMPSIM_RECORD_BYTES};
+pub use mmap::{MmapBtrc, MmapStream};
+pub use streams::{open_streaming, BtrcPipeStream, ChampsimStream};
 
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use berti_types::{Instr, RecordError};
 
+use crate::stream::InstrStream;
 use crate::trace::InstrSource;
+
+/// The system decompressor for `path`'s extension, when it names a
+/// compressed trace: `.xz`, `.gz`, or `.zst`/`.zstd`.
+pub(crate) fn compression_tool(path: &Path) -> Option<&'static str> {
+    match path.extension().and_then(|e| e.to_str()) {
+        Some("xz") => Some("xz"),
+        Some("gz") => Some("gzip"),
+        Some("zst") | Some("zstd") => Some("zstd"),
+        _ => None,
+    }
+}
 
 /// Why a trace file failed to ingest. Every failure mode is typed;
 /// ingestion never panics on malformed input.
@@ -37,7 +53,7 @@ pub enum IngestError {
         /// The underlying error, stringified.
         error: String,
     },
-    /// A decompression tool (`xz`/`gzip`) is not installed.
+    /// A decompression tool (`xz`/`gzip`/`zstd`) is not installed.
     MissingTool {
         /// The tool that could not be spawned.
         tool: &'static str,
@@ -185,13 +201,12 @@ impl FileSource {
 }
 
 impl InstrSource for FileSource {
-    fn instrs(&self) -> Result<Vec<Instr>, IngestError> {
-        let bytes = read_trace_bytes(&self.path)?;
-        if bytes.len() >= 4 && bytes[..4] == BTRC_MAGIC {
-            decode_btrc(&bytes)
-        } else {
-            decode_champsim(&bytes)
-        }
+    fn instrs(&self) -> Result<Arc<[Instr]>, IngestError> {
+        crate::cache::file_instrs(&self.path)
+    }
+
+    fn open(&self) -> Result<Box<dyn InstrStream>, IngestError> {
+        crate::cache::open_file(&self.path)
     }
 
     fn path(&self) -> Option<&Path> {
@@ -199,10 +214,15 @@ impl InstrSource for FileSource {
     }
 }
 
-/// Convenience: reads any supported trace file into an instruction
-/// sequence.
+/// Reads any supported trace file into an instruction sequence,
+/// bypassing the decoded-trace cache (which is built on top of this).
 pub fn read_trace_file(path: &Path) -> Result<Vec<Instr>, IngestError> {
-    FileSource::new(path).instrs()
+    let bytes = read_trace_bytes(path)?;
+    if bytes.len() >= 4 && bytes[..4] == BTRC_MAGIC {
+        decode_btrc(&bytes)
+    } else {
+        decode_champsim(&bytes)
+    }
 }
 
 /// Convenience: a [`crate::WorkloadDef`] for a trace file, named

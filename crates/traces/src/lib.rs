@@ -17,14 +17,19 @@
 //! - `cloud`: CloudSuite-like services — low data MPKI, high branch
 //!   pressure, mixed regular/irregular accesses.
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the one `#[allow(unsafe_code)]` exception is
+// the minimal mmap(2) binding in `ingest::mmap`, which backs zero-copy
+// `.btrc` replay. Everything else stays unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod cloud;
 pub mod gap;
 pub mod ingest;
 pub mod mix;
 pub mod spec;
+pub mod stream;
 
 mod builder;
 mod registry;
@@ -32,6 +37,7 @@ mod trace;
 
 pub use builder::TraceBuilder;
 pub use registry::TraceRegistry;
+pub use stream::{InstrStream, MemStream, STREAM_CHUNK_INSTRS};
 pub use trace::{GenSource, InstrSource, Suite, Trace, WorkloadDef};
 
 /// All memory-intensive workloads (SPEC-like + GAP-like), the set most

@@ -1,0 +1,141 @@
+//! The streaming trace seam: pull cursors over instruction streams.
+//!
+//! [`InstrStream`] is the contract every trace backend implements —
+//! the memoized in-memory stream builtin generators use, the
+//! incremental ChampSim/compressed decoders, and the mmap-backed
+//! zero-copy `.btrc` stream (`crate::ingest`). A stream produces one
+//! *replay period* of instructions chunk by chunk; the consumer
+//! ([`crate::Trace`]) rewinds it to replay cyclically, so a multi-GB
+//! trace never has to materialise in memory.
+
+use std::sync::Arc;
+
+use berti_types::Instr;
+
+use crate::ingest::IngestError;
+
+/// Default cursor chunk, in instructions. 8 Ki instructions is ~512 KiB
+/// of `Instr`s per buffer — large enough that refills are off the hot
+/// path, small enough that a worker's resident footprint stays bounded
+/// regardless of trace size.
+pub const STREAM_CHUNK_INSTRS: usize = 8192;
+
+/// A pull cursor over one trace: yields the instruction sequence in
+/// chunks, knows its total length up front, and can rewind for cyclic
+/// replay.
+///
+/// ## Contract
+///
+/// - [`len`](InstrStream::len) is the exact number of instructions one
+///   full pass yields, known at open time (backends validate headers /
+///   count records eagerly so this never lies).
+/// - [`next_chunk`](InstrStream::next_chunk) fills a prefix of `buf`
+///   and returns how many instructions it wrote; `Ok(0)` means the
+///   current pass is complete (and is repeatable until rewound).
+/// - [`rewind`](InstrStream::rewind) restarts the stream at position
+///   zero; after it, the stream yields the identical sequence again.
+/// - [`fork`](InstrStream::fork) opens an independent cursor at
+///   position zero over the same underlying trace (cheap for shared
+///   in-memory/mmap backends; reopens the file for pipe decoders).
+///
+/// Errors are *typed*: body corruption that can only be detected
+/// mid-stream (a non-canonical record, a checksum mismatch at the end
+/// of the first full pass) surfaces as an [`IngestError`] from
+/// `next_chunk`, never as a panic inside the stream.
+pub trait InstrStream: Send {
+    /// Instructions in one full pass of the stream.
+    fn len(&self) -> usize;
+
+    /// `true` when a full pass yields no instructions.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Fills a prefix of `buf` with the next instructions of the
+    /// current pass; returns how many were written, `Ok(0)` at the end
+    /// of the pass.
+    fn next_chunk(&mut self, buf: &mut [Instr]) -> Result<usize, IngestError>;
+
+    /// Restarts the stream at position zero.
+    fn rewind(&mut self) -> Result<(), IngestError>;
+
+    /// An independent cursor at position zero over the same trace.
+    fn fork(&self) -> Result<Box<dyn InstrStream>, IngestError>;
+}
+
+/// An [`InstrStream`] over a shared in-memory instruction sequence —
+/// the backend for builtin generators (memoized once per process by
+/// the stream cache) and for file traces small enough to keep decoded.
+pub struct MemStream {
+    instrs: Arc<[Instr]>,
+    pos: usize,
+}
+
+impl MemStream {
+    /// A cursor at position zero over `instrs`. The allocation is
+    /// shared: forks and sibling cursors clone the [`Arc`], not the
+    /// data.
+    pub fn new(instrs: Arc<[Instr]>) -> Self {
+        Self { instrs, pos: 0 }
+    }
+}
+
+impl InstrStream for MemStream {
+    fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    fn next_chunk(&mut self, buf: &mut [Instr]) -> Result<usize, IngestError> {
+        let n = buf.len().min(self.instrs.len() - self.pos);
+        buf[..n].copy_from_slice(&self.instrs[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+
+    fn rewind(&mut self) -> Result<(), IngestError> {
+        self.pos = 0;
+        Ok(())
+    }
+
+    fn fork(&self) -> Result<Box<dyn InstrStream>, IngestError> {
+        Ok(Box::new(MemStream::new(Arc::clone(&self.instrs))))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use berti_types::Ip;
+
+    fn seq(n: usize) -> Arc<[Instr]> {
+        (0..n)
+            .map(|i| Instr::alu(Ip::new(i as u64)))
+            .collect::<Vec<_>>()
+            .into()
+    }
+
+    #[test]
+    fn mem_stream_chunks_rewinds_and_forks() {
+        let mut s = MemStream::new(seq(5));
+        assert_eq!(s.len(), 5);
+        let mut buf = [Instr::default(); 3];
+        assert_eq!(s.next_chunk(&mut buf).unwrap(), 3);
+        assert_eq!(buf[2].ip, Ip::new(2));
+        let mut fork = s.fork().unwrap();
+        assert_eq!(s.next_chunk(&mut buf).unwrap(), 2, "tail of the pass");
+        assert_eq!(s.next_chunk(&mut buf).unwrap(), 0, "pass complete");
+        assert_eq!(s.next_chunk(&mut buf).unwrap(), 0, "end is repeatable");
+        s.rewind().unwrap();
+        assert_eq!(s.next_chunk(&mut buf).unwrap(), 3, "rewound to the top");
+        assert_eq!(buf[0].ip, Ip::new(0));
+        assert_eq!(fork.next_chunk(&mut buf).unwrap(), 3, "fork starts at 0");
+        assert_eq!(buf[0].ip, Ip::new(0));
+    }
+
+    #[test]
+    fn empty_stream_reports_empty() {
+        let mut s = MemStream::new(seq(0));
+        assert!(s.is_empty());
+        assert_eq!(s.next_chunk(&mut [Instr::default(); 2]).unwrap(), 0);
+    }
+}

@@ -4,13 +4,22 @@
 //! synthetic generator or a trace file discovered on disk — so that
 //! file-backed and generated workloads flow through one registry
 //! (see [`crate::TraceRegistry`]).
+//!
+//! Replay is *streamed*: a [`Trace`] is a chunked cursor over an
+//! [`InstrStream`] (DESIGN.md §9), not a materialized `Vec<Instr>`.
+//! Builtin generators and small files stream out of the process-wide
+//! decoded cache ([`crate::cache`]); plain `.btrc` files replay
+//! zero-copy out of an mmap; big ChampSim/compressed traces decode
+//! incrementally in bounded memory.
 
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use berti_types::Instr;
 
+use crate::cache;
 use crate::ingest::IngestError;
+use crate::stream::{InstrStream, MemStream, STREAM_CHUNK_INSTRS};
 
 /// Benchmark suite a workload belongs to (used for per-suite averages,
 /// matching the paper's SPEC/GAP/CloudSuite breakdowns).
@@ -40,9 +49,18 @@ impl std::fmt::Display for Suite {
 /// Something that can produce an instruction stream: a synthetic
 /// generator or a trace-file decoder.
 pub trait InstrSource: Send + Sync {
-    /// Produces the full instruction sequence (deterministic; safe to
-    /// call repeatedly).
-    fn instrs(&self) -> Result<Vec<Instr>, IngestError>;
+    /// The full instruction sequence, shared (deterministic; safe to
+    /// call repeatedly). This is the materializing path — tools that
+    /// need the whole sequence at once (`btrc convert`, tests) use it;
+    /// replay should prefer [`InstrSource::open`].
+    fn instrs(&self) -> Result<Arc<[Instr]>, IngestError>;
+
+    /// Opens a streaming cursor over the sequence. The default
+    /// materializes and streams from memory; file sources override
+    /// this with bounded-memory backends.
+    fn open(&self) -> Result<Box<dyn InstrStream>, IngestError> {
+        Ok(Box::new(MemStream::new(self.instrs()?)))
+    }
 
     /// The backing file, when the source reads one (used by
     /// `campaign list` to show where a workload comes from).
@@ -52,12 +70,14 @@ pub trait InstrSource: Send + Sync {
 }
 
 /// An [`InstrSource`] wrapping a deterministic generator function — the
-/// form every builtin suite uses.
+/// form every builtin suite uses. Generation is memoized once per
+/// process (keyed by the function pointer), so the many cells of a
+/// campaign share one copy.
 pub struct GenSource(pub fn() -> Vec<Instr>);
 
 impl InstrSource for GenSource {
-    fn instrs(&self) -> Result<Vec<Instr>, IngestError> {
-        Ok((self.0)())
+    fn instrs(&self) -> Result<Arc<[Instr]>, IngestError> {
+        Ok(cache::gen_instrs(self.0))
     }
 }
 
@@ -118,17 +138,28 @@ impl WorkloadDef {
         }
     }
 
-    /// Produces the trace, surfacing decode/I-O failures as errors.
-    pub fn try_trace(&self) -> Result<Trace, IngestError> {
-        let instrs = self.source.instrs()?;
-        if instrs.is_empty() {
+    /// The full instruction sequence, shared (materializing path).
+    pub fn instrs(&self) -> Result<Arc<[Instr]>, IngestError> {
+        self.source.instrs()
+    }
+
+    /// Opens a streaming cursor over the workload's instructions.
+    pub fn open(&self) -> Result<Box<dyn InstrStream>, IngestError> {
+        let stream = self.source.open()?;
+        if stream.is_empty() {
             return Err(IngestError::EmptyTrace(
                 self.source
                     .path()
                     .map_or_else(|| PathBuf::from(&self.name), Path::to_path_buf),
             ));
         }
-        Ok(Trace::new(self.name.clone(), instrs))
+        Ok(stream)
+    }
+
+    /// Produces the replay cursor, surfacing decode/I-O failures as
+    /// errors.
+    pub fn try_trace(&self) -> Result<Trace, IngestError> {
+        Trace::from_stream(self.name.clone(), self.open()?)
     }
 
     /// Produces the trace (deterministic; safe to call repeatedly).
@@ -146,11 +177,32 @@ impl WorkloadDef {
 
 /// A replayable instruction trace. Replays cyclically, as ChampSim
 /// replays SimPoint traces when a core needs more instructions.
-#[derive(Clone, Debug)]
+///
+/// Internally a double-buffered cursor over an [`InstrStream`]: the
+/// hot [`Trace::next_instr`] serves out of the active chunk, and the
+/// `#[cold]` refill swaps in the spare buffer, pulls the next chunk,
+/// and rewinds the stream at end-of-pass. Only two chunks
+/// ([`STREAM_CHUNK_INSTRS`] instructions each) are resident, whatever
+/// the trace's length.
 pub struct Trace {
     name: Arc<str>,
-    instrs: Arc<Vec<Instr>>,
+    stream: Box<dyn InstrStream>,
+    /// Active chunk; `cur[..filled]` is valid.
+    cur: Vec<Instr>,
+    /// The spare buffer `refill` swaps in.
+    spare: Vec<Instr>,
     pos: usize,
+    filled: usize,
+    len: usize,
+}
+
+impl std::fmt::Debug for Trace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Trace")
+            .field("name", &self.name)
+            .field("len", &self.len)
+            .finish_non_exhaustive()
+    }
 }
 
 // `is_empty` would be dead code: construction rejects empty traces, so
@@ -165,11 +217,40 @@ impl Trace {
     /// Panics if `instrs` is empty.
     pub fn new(name: impl Into<Arc<str>>, instrs: Vec<Instr>) -> Self {
         assert!(!instrs.is_empty(), "a trace needs instructions");
-        Self {
-            name: name.into(),
-            instrs: Arc::new(instrs),
-            pos: 0,
+        Self::from_stream(name, Box::new(MemStream::new(instrs.into())))
+            .expect("in-memory streams cannot fail")
+    }
+
+    /// Wraps a streaming cursor, priming the first chunk (so first-chunk
+    /// corruption is a typed error here, not a panic mid-replay).
+    ///
+    /// # Errors
+    ///
+    /// [`IngestError::EmptyTrace`] for an empty stream (the simulator
+    /// replays cyclically and cannot cycle an empty trace), or
+    /// whatever the stream's first chunk surfaces.
+    pub fn from_stream(
+        name: impl Into<Arc<str>>,
+        mut stream: Box<dyn InstrStream>,
+    ) -> Result<Self, IngestError> {
+        let name: Arc<str> = name.into();
+        if stream.is_empty() {
+            return Err(IngestError::EmptyTrace(PathBuf::from(&*name)));
         }
+        let len = stream.len();
+        let chunk = len.min(STREAM_CHUNK_INSTRS);
+        let mut cur = vec![Instr::default(); chunk];
+        let filled = stream.next_chunk(&mut cur)?;
+        debug_assert!(filled > 0, "non-empty stream yielded an empty first chunk");
+        Ok(Self {
+            name,
+            stream,
+            spare: vec![Instr::default(); chunk],
+            cur,
+            pos: 0,
+            filled,
+            len,
+        })
     }
 
     /// The workload name.
@@ -179,32 +260,66 @@ impl Trace {
 
     /// Unique instructions before the trace loops.
     pub fn len(&self) -> usize {
-        self.instrs.len()
-    }
-
-    /// The underlying instruction sequence (one replay period).
-    pub fn instrs(&self) -> &[Instr] {
-        &self.instrs
+        self.len
     }
 
     /// The next instruction (cycling).
     #[inline]
     pub fn next_instr(&mut self) -> Instr {
-        let i = self.instrs[self.pos];
-        self.pos += 1;
-        if self.pos == self.instrs.len() {
-            self.pos = 0;
+        if self.pos == self.filled {
+            self.refill();
         }
+        let i = self.cur[self.pos];
+        self.pos += 1;
         i
     }
 
-    /// A fresh replay handle sharing the same underlying trace.
-    pub fn restarted(&self) -> Trace {
-        Trace {
-            name: Arc::clone(&self.name),
-            instrs: Arc::clone(&self.instrs),
-            pos: 0,
+    /// Swaps in the spare buffer and pulls the next chunk, rewinding
+    /// the stream at end-of-pass (cyclic replay).
+    ///
+    /// # Panics
+    ///
+    /// Mid-replay stream corruption (e.g. a `.btrc` body failing its
+    /// lazy checksum at the end of the first pass) panics with the
+    /// typed error's message: `next_instr` is the simulator's
+    /// infallible hot path, and the harness already converts worker
+    /// panics into failed cells. Everything detectable at open time
+    /// surfaces as a typed error from [`WorkloadDef::try_trace`]
+    /// instead.
+    #[cold]
+    fn refill(&mut self) {
+        std::mem::swap(&mut self.cur, &mut self.spare);
+        let fill = |stream: &mut Box<dyn InstrStream>, buf: &mut [Instr]| {
+            stream
+                .next_chunk(buf)
+                .unwrap_or_else(|e| panic!("trace stream failed mid-replay: {e}"))
+        };
+        let mut n = fill(&mut self.stream, &mut self.cur);
+        if n == 0 {
+            self.stream
+                .rewind()
+                .unwrap_or_else(|e| panic!("trace stream failed to rewind: {e}"));
+            n = fill(&mut self.stream, &mut self.cur);
+            assert!(n > 0, "rewound stream yielded no instructions");
         }
+        self.filled = n;
+        self.pos = 0;
+    }
+
+    /// A fresh replay handle over the same underlying trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream cannot be forked (e.g. the backing file
+    /// vanished mid-run); shared in-memory and mmap backends cannot
+    /// fail.
+    pub fn restarted(&self) -> Trace {
+        let stream = self
+            .stream
+            .fork()
+            .unwrap_or_else(|e| panic!("trace '{}' failed to fork: {e}", self.name));
+        Trace::from_stream(Arc::clone(&self.name), stream)
+            .unwrap_or_else(|e| panic!("trace '{}' failed to restart: {e}", self.name))
     }
 }
 
@@ -221,6 +336,25 @@ mod tests {
         assert_eq!(t.next_instr().ip, Ip::new(1), "wraps around");
         let mut fresh = t.restarted();
         assert_eq!(fresh.next_instr().ip, Ip::new(1));
+    }
+
+    #[test]
+    fn cursor_replay_crosses_chunk_boundaries() {
+        // Longer than one chunk: the cursor must refill mid-pass and
+        // wrap across the rewind without dropping or duplicating.
+        let n = STREAM_CHUNK_INSTRS * 2 + 17;
+        let instrs: Vec<Instr> = (0..n).map(|i| Instr::alu(Ip::new(i as u64))).collect();
+        let mut t = Trace::new("big", instrs);
+        assert_eq!(t.len(), n);
+        for round in 0..2 {
+            for i in 0..n {
+                assert_eq!(
+                    t.next_instr().ip,
+                    Ip::new(i as u64),
+                    "round {round}, instr {i}"
+                );
+            }
+        }
     }
 
     #[test]
@@ -241,5 +375,16 @@ mod tests {
     fn empty_source_is_a_typed_error_not_a_panic() {
         let w = WorkloadDef::new("hollow", Suite::Spec, Vec::new);
         assert!(matches!(w.try_trace(), Err(IngestError::EmptyTrace(_))));
+    }
+
+    #[test]
+    fn workload_instrs_are_shared_not_regenerated() {
+        fn gen() -> Vec<Instr> {
+            vec![Instr::alu(Ip::new(3)); 5]
+        }
+        let w = WorkloadDef::new("g", Suite::Spec, gen);
+        let a = w.instrs().expect("generates");
+        let b = w.instrs().expect("memoized");
+        assert!(Arc::ptr_eq(&a, &b));
     }
 }

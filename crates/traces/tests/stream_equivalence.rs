@@ -1,0 +1,226 @@
+//! Equivalence of streamed and materialized trace replay.
+//!
+//! The streaming refactor's core promise: replaying a trace through an
+//! [`InstrStream`] cursor — at *any* chunk size, across rewinds and
+//! cyclic wrap-around — yields exactly the instruction sequence the
+//! one-shot materializing decoder produces. These property tests pin
+//! that promise for the mmap'd `.btrc` backend and the [`Trace`]
+//! double-buffered cursor, and check that mmap-time corruption
+//! (truncation below what the header claims, a flipped body byte) is a
+//! typed [`IngestError`] — never a panic, never a SIGBUS.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use berti_traces::ingest::{
+    decode_btrc, encode_btrc, open_streaming, write_btrc, IngestError, BTRC_HEADER_BYTES,
+};
+use berti_traces::{InstrStream, Trace, STREAM_CHUNK_INSTRS};
+use berti_types::{Instr, Ip, VAddr, RECORD_BYTES};
+use proptest::prelude::*;
+
+/// A fresh temp path per call; the extension is last so backend
+/// sniffing sees a plain `.btrc` file.
+fn tmp(tag: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let n = SEQ.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("berti-stream-eq-{}-{n}-{tag}", std::process::id()))
+}
+
+/// A deterministic but shape-diverse instruction stream: strided loads,
+/// occasional second load, stores, and mispredicted branches.
+fn mixed_instrs(n: usize) -> Vec<Instr> {
+    (0..n)
+        .map(|i| {
+            let i = i as u64;
+            let mut instr = Instr::alu(Ip::new(0x40_0000 + i * 4));
+            if i % 3 != 2 {
+                instr.loads[0] = Some(VAddr::new(0x10_0000 + i * 64));
+            }
+            if i.is_multiple_of(7) {
+                instr.loads[1] = Some(VAddr::new(0x20_0000 + i * 8));
+            }
+            if i % 5 == 1 {
+                instr.store = Some(VAddr::new(0x30_0000 + i * 16));
+            }
+            instr.mispredicted_branch = i % 11 == 3;
+            instr
+        })
+        .collect()
+}
+
+/// Drains one full pass of `stream` using `chunk`-sized reads.
+fn drain_pass(stream: &mut dyn InstrStream, chunk: usize) -> Result<Vec<Instr>, IngestError> {
+    let mut out = Vec::with_capacity(stream.len());
+    let mut buf = vec![Instr::alu(Ip::new(0)); chunk.max(1)];
+    loop {
+        let n = stream.next_chunk(&mut buf)?;
+        if n == 0 {
+            return Ok(out);
+        }
+        out.extend_from_slice(&buf[..n]);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// One pass of the mmap stream equals the one-shot decode for every
+    /// chunk size — including 1 (maximal refills), sizes that divide
+    /// the trace, sizes that straddle the final partial chunk, and
+    /// sizes larger than the trace. A rewound second pass with a
+    /// *different* chunking yields the same sequence.
+    #[test]
+    fn mmap_stream_matches_materialized_at_any_chunk_size(
+        len in 1usize..400,
+        chunk_a in 1usize..512,
+        chunk_b in 1usize..512,
+    ) {
+        let instrs = mixed_instrs(len);
+        let path = tmp("eq.btrc");
+        write_btrc(&path, &instrs).expect("writes");
+
+        let materialized = decode_btrc(&std::fs::read(&path).expect("reads")).expect("decodes");
+        prop_assert_eq!(&materialized, &instrs);
+
+        let mut stream = open_streaming(&path).expect("opens");
+        prop_assert_eq!(stream.len(), len);
+        let first = drain_pass(stream.as_mut(), chunk_a).expect("first pass streams");
+        prop_assert_eq!(&first, &instrs);
+
+        stream.rewind().expect("rewinds");
+        let second = drain_pass(stream.as_mut(), chunk_b).expect("second pass streams");
+        prop_assert_eq!(&second, &instrs);
+
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// The `Trace` cursor replays cyclically: pulling more instructions
+    /// than one pass wraps around to position zero, exactly like the
+    /// old materialized `Vec` replay did with index arithmetic.
+    #[test]
+    fn trace_cursor_wraps_identically_to_materialized_replay(
+        len in 1usize..200,
+        extra in 0usize..150,
+    ) {
+        let instrs = mixed_instrs(len);
+        let path = tmp("wrap.btrc");
+        write_btrc(&path, &instrs).expect("writes");
+
+        let stream = open_streaming(&path).expect("opens");
+        let mut trace = Trace::from_stream("wrap".to_string(), stream).expect("primes");
+        let pulls = 2 * len + extra;
+        for k in 0..pulls {
+            prop_assert_eq!(trace.next_instr(), instrs[k % len], "pull {}", k);
+        }
+
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Truncating the file below what the header claims is a typed
+    /// error at *open* time (this is the SIGBUS guard: the mmap is
+    /// never indexed past the real file length), and truncating inside
+    /// the header itself is `TruncatedHeader`.
+    #[test]
+    fn truncated_mmap_is_a_typed_error_at_open(
+        len in 1usize..60,
+        cut in any::<u64>(),
+    ) {
+        let instrs = mixed_instrs(len);
+        let bytes = encode_btrc(&instrs);
+
+        // Cut strictly inside the body: header intact, body short.
+        let body_cut = BTRC_HEADER_BYTES
+            + (cut as usize) % (instrs.len() * RECORD_BYTES);
+        let path = tmp("cut.btrc");
+        std::fs::write(&path, &bytes[..body_cut]).expect("writes");
+        match open_streaming(&path) {
+            Err(IngestError::Truncated { .. }) => {}
+            other => prop_assert!(false, "expected Truncated, got {:?}", other.map(|_| "stream")),
+        }
+
+        // Cut inside the header, past the 4-byte magic (shorter files
+        // cannot be sniffed as `.btrc` and fall to the ChampSim
+        // backend, which reports its own typed framing error).
+        let header_cut = 4 + (cut as usize) % (BTRC_HEADER_BYTES - 4);
+        std::fs::write(&path, &bytes[..header_cut]).expect("writes");
+        match open_streaming(&path) {
+            Err(IngestError::TruncatedHeader { .. }) => {}
+            other => prop_assert!(
+                false,
+                "expected TruncatedHeader, got {:?}",
+                other.map(|_| "stream")
+            ),
+        }
+
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+/// The lazy checksum catches body corruption the record decoder cannot:
+/// a flipped address byte still decodes as a canonical record, so the
+/// error surfaces as `ChecksumMismatch` exactly at the end of the first
+/// full pass — and only the first; a clean file's second pass skips the
+/// hash entirely (the shared verified latch).
+#[test]
+fn flipped_body_byte_is_a_checksum_mismatch_at_end_of_first_pass() {
+    let instrs = mixed_instrs(40);
+    let mut bytes = encode_btrc(&instrs);
+    // Flip a load-address byte of a record that has `loads[0]` (18 % 3
+    // == 0): still a canonical record, but the body no longer matches
+    // the header's FNV.
+    bytes[BTRC_HEADER_BYTES + 18 * RECORD_BYTES + 9] ^= 0x40;
+    let path = tmp("flip.btrc");
+    std::fs::write(&path, &bytes).expect("writes");
+
+    let mut stream = open_streaming(&path).expect("header is intact, open succeeds");
+    let err = drain_pass(stream.as_mut(), 16).expect_err("first pass detects corruption");
+    assert!(
+        matches!(err, IngestError::ChecksumMismatch { .. }),
+        "expected ChecksumMismatch, got {err:?}"
+    );
+
+    std::fs::remove_file(&path).ok();
+}
+
+/// The checked-in ChampSim fixture streams to exactly the sequence the
+/// one-shot decoder materializes — both the raw file (incremental
+/// `ChampsimStream`) and its `.xz` sibling (subprocess pipe), each
+/// across a rewind.
+#[test]
+fn champsim_fixture_streams_identically_to_materialized_decode() {
+    let fixtures = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/fixtures");
+    let materialized = berti_traces::ingest::read_trace_file(&fixtures.join("champsim_500.trace"))
+        .expect("fixture decodes");
+    for name in ["champsim_500.trace", "champsim_500.trace.xz"] {
+        let mut stream = open_streaming(&fixtures.join(name)).expect("opens");
+        assert_eq!(stream.len(), materialized.len(), "{name} len");
+        let first = drain_pass(stream.as_mut(), 97).expect("streams");
+        assert_eq!(first, materialized, "{name} first pass");
+        stream.rewind().expect("rewinds");
+        let second = drain_pass(stream.as_mut(), 1000).expect("streams");
+        assert_eq!(second, materialized, "{name} second pass");
+    }
+}
+
+/// Chunk-boundary stress at the production chunk size: a trace exactly
+/// at, one under, and one over `STREAM_CHUNK_INSTRS` replays correctly
+/// through the `Trace` cursor, including one wrap-around.
+#[test]
+fn production_chunk_size_boundaries_replay_exactly() {
+    for len in [
+        STREAM_CHUNK_INSTRS - 1,
+        STREAM_CHUNK_INSTRS,
+        STREAM_CHUNK_INSTRS + 1,
+    ] {
+        let instrs = mixed_instrs(len);
+        let path = tmp("bound.btrc");
+        write_btrc(&path, &instrs).expect("writes");
+        let stream = open_streaming(&path).expect("opens");
+        let mut trace = Trace::from_stream("bound".to_string(), stream).expect("primes");
+        for k in 0..len + 3 {
+            assert_eq!(trace.next_instr(), instrs[k % len], "len {len} pull {k}");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}

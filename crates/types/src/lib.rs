@@ -33,7 +33,7 @@ pub use config::{
 };
 pub use instr::{Instr, MAX_DEP_CHAINS};
 pub use kinds::{AccessKind, Cycle, FillLevel, ReplacementKind};
-pub use record::{decode_record, encode_record, RecordError, RECORD_BYTES};
+pub use record::{decode_record, decode_record_chunk, encode_record, RecordError, RECORD_BYTES};
 
 /// Bytes per cache line (64 B, as in ChampSim and the paper).
 pub const LINE_BYTES: u64 = 64;

@@ -145,6 +145,42 @@ pub fn decode_record(buf: &[u8; RECORD_BYTES]) -> Result<Instr, RecordError> {
     })
 }
 
+/// Decodes a run of whole records into the front of `out`, returning
+/// how many were written. This is the chunk-decode primitive the
+/// streaming trace cursors are built on: callers hand in a byte slice
+/// that is an exact multiple of [`RECORD_BYTES`] (and no longer than
+/// `out`), and get back strict per-record validation without ever
+/// materialising more than one chunk.
+///
+/// # Errors
+///
+/// The offending record's index *within this chunk* plus its
+/// [`RecordError`]; callers add their stream offset to report absolute
+/// positions.
+///
+/// # Panics
+///
+/// Panics if `bytes` is not whole records or decodes to more records
+/// than `out` holds — both are caller bugs, not data corruption.
+pub fn decode_record_chunk(bytes: &[u8], out: &mut [Instr]) -> Result<usize, (u64, RecordError)> {
+    assert!(
+        bytes.len().is_multiple_of(RECORD_BYTES),
+        "chunk of {} bytes is not whole records",
+        bytes.len()
+    );
+    let n = bytes.len() / RECORD_BYTES;
+    assert!(n <= out.len(), "chunk of {n} records overflows the buffer");
+    for (index, (rec, slot)) in bytes
+        .chunks_exact(RECORD_BYTES)
+        .zip(out.iter_mut())
+        .enumerate()
+    {
+        let rec: &[u8; RECORD_BYTES] = rec.try_into().expect("exact chunk");
+        *slot = decode_record(rec).map_err(|e| (index as u64, e))?;
+    }
+    Ok(n)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -205,5 +241,29 @@ mod tests {
 
         ok[39] = 1;
         assert_eq!(decode_record(&ok), Err(RecordError::NonZeroPadding));
+    }
+
+    #[test]
+    fn chunk_decode_matches_per_record_decode() {
+        let instrs = [
+            Instr::alu(Ip::new(1)),
+            Instr::load(Ip::new(2), VAddr::new(0x1000)),
+            Instr::dependent_load(Ip::new(3), VAddr::new(0x2000), 4),
+        ];
+        let mut bytes = Vec::new();
+        for i in &instrs {
+            bytes.extend_from_slice(&encode_record(i));
+        }
+        let mut out = [Instr::default(); 8];
+        assert_eq!(decode_record_chunk(&bytes, &mut out), Ok(3));
+        assert_eq!(&out[..3], &instrs);
+        assert_eq!(decode_record_chunk(&[], &mut out), Ok(0));
+
+        // A bad record reports its index within the chunk.
+        bytes[RECORD_BYTES + 32] |= 0x80;
+        assert_eq!(
+            decode_record_chunk(&bytes, &mut out),
+            Err((1, RecordError::UnknownFlags(bytes[RECORD_BYTES + 32])))
+        );
     }
 }
