@@ -30,11 +30,13 @@ use std::process::{Command, ExitCode};
 use serde::Value;
 
 /// Bench targets snapshotted by default: the event-engine comparison,
-/// one dense end-to-end simulation cell, the `.btrc` trace codec, and
-/// the streamed-replay cursor paths.
+/// one dense end-to-end simulation cell, the dense-compute hot-loop
+/// cell (the SoA data-layout regression guard), the `.btrc` trace
+/// codec, and the streamed-replay cursor paths.
 const DEFAULT_BENCHES: &[&str] = &[
     "engine_skip_ahead",
     "sim_throughput",
+    "sim_dense_loop",
     "btrc_replay",
     "btrc_stream_replay",
 ];

@@ -5,7 +5,7 @@ use berti_mem::{AccessEvent, FillEvent, PrefetchDecision, Prefetcher};
 use berti_types::{Cycle, Delta, FillLevel, Ip, VLine};
 
 use crate::deltas::{DeltaStatus, DeltaTable, LearnedDelta};
-use crate::history::HistoryTable;
+use crate::history::{HistoryHit, HistoryTable};
 use crate::storage::BertiConfig;
 
 /// The Berti accurate local-delta L1D data prefetcher.
@@ -26,6 +26,7 @@ pub struct Berti {
     deltas: DeltaTable,
     scratch_deltas: Vec<Delta>,
     scratch_pred: Vec<(Delta, DeltaStatus)>,
+    scratch_hits: Vec<HistoryHit>,
     /// Fills whose measured latency exceeded the fill cycle; training
     /// with a clamped cycle-0 demand time would mislearn, so such fills
     /// are dropped and counted instead.
@@ -44,6 +45,7 @@ impl Berti {
             deltas: DeltaTable::new(&cfg),
             scratch_deltas: Vec::new(),
             scratch_pred: Vec::new(),
+            scratch_hits: Vec::with_capacity(cfg.max_timely_deltas_per_search),
             cfg,
             dropped_inconsistent_latency: 0,
             dropped_underflow_target: 0,
@@ -84,15 +86,18 @@ impl Berti {
     /// demand of `line` at `demand_at` with fetch latency `latency`,
     /// and account the search in the table of deltas.
     fn train(&mut self, ip: Ip, line: VLine, demand_at: Cycle, latency: u64) {
-        let hits = self.history.search_timely(
+        let mut hits = std::mem::take(&mut self.scratch_hits);
+        self.history.search_timely_into(
             ip,
             line,
             demand_at,
             latency,
             self.cfg.max_timely_deltas_per_search,
+            &mut hits,
         );
         self.scratch_deltas.clear();
         self.scratch_deltas.extend(hits.iter().map(|h| h.delta));
+        self.scratch_hits = hits;
         let ds = std::mem::take(&mut self.scratch_deltas);
         self.deltas.record_search(ip, &ds);
         self.scratch_deltas = ds;

@@ -90,7 +90,6 @@ struct Entry {
 pub struct DeltaTable {
     entries: Vec<Entry>,
     cursor: usize,
-    deltas_per_entry: usize,
     rounds_per_phase: u32,
     high: f64,
     medium: f64,
@@ -100,6 +99,11 @@ pub struct DeltaTable {
     warmup_min_rounds: u32,
     max_prefetch_deltas: usize,
     delta_bits: u32,
+    /// Reused per-search dedup buffer ([`DeltaTable::record_search`]):
+    /// sized once, so steady-state training allocates nothing.
+    scratch_seen: Vec<Delta>,
+    /// Reused phase-boundary ranking buffer ([`DeltaTable::end_phase`]).
+    scratch_order: Vec<usize>,
 }
 
 impl DeltaTable {
@@ -115,7 +119,6 @@ impl DeltaTable {
         Self {
             entries: vec![empty; cfg.delta_table_entries],
             cursor: 0,
-            deltas_per_entry: cfg.deltas_per_entry,
             rounds_per_phase: cfg.rounds_per_phase,
             high: cfg.high_watermark,
             medium: cfg.medium_watermark,
@@ -125,6 +128,8 @@ impl DeltaTable {
             warmup_min_rounds: cfg.warmup_min_rounds,
             max_prefetch_deltas: cfg.max_prefetch_deltas,
             delta_bits: cfg.delta_bits,
+            scratch_seen: Vec::with_capacity(cfg.deltas_per_entry),
+            scratch_order: Vec::with_capacity(cfg.deltas_per_entry),
         }
     }
 
@@ -145,16 +150,18 @@ impl DeltaTable {
         if let Some(i) = self.find(ip) {
             return i;
         }
-        // Fully-associative FIFO replacement.
+        // Fully-associative FIFO replacement; the entry is reset in
+        // place so its slot storage is reused, not reallocated.
         let i = self.cursor;
         self.cursor = (self.cursor + 1) % self.entries.len();
-        self.entries[i] = Entry {
-            tag: Self::tag_of(ip),
-            counter: 0,
-            slots: vec![Slot::default(); self.deltas_per_entry],
-            phase_completed: false,
-            valid: true,
-        };
+        let e = &mut self.entries[i];
+        e.tag = Self::tag_of(ip);
+        e.counter = 0;
+        for s in &mut e.slots {
+            *s = Slot::default();
+        }
+        e.phase_completed = false;
+        e.valid = true;
         i
     }
 
@@ -165,7 +172,8 @@ impl DeltaTable {
     pub fn record_search(&mut self, ip: Ip, timely_deltas: &[Delta]) {
         let i = self.find_or_allocate(ip);
         self.entries[i].counter += 1;
-        let mut seen: Vec<Delta> = Vec::with_capacity(timely_deltas.len());
+        let mut seen = std::mem::take(&mut self.scratch_seen);
+        seen.clear();
         for &d in timely_deltas {
             if d == Delta::ZERO || !d.fits_bits(self.delta_bits) || seen.contains(&d) {
                 continue;
@@ -173,6 +181,7 @@ impl DeltaTable {
             seen.push(d);
             self.bump_delta(i, d);
         }
+        self.scratch_seen = seen;
         if self.entries[i].counter >= self.rounds_per_phase {
             self.end_phase(i);
         }
@@ -268,10 +277,26 @@ impl DeltaTable {
         let low = self.low;
         let replaceable = self.replaceable;
         let max_sel = self.max_prefetch_deltas;
+        let mut order = std::mem::take(&mut self.scratch_order);
         let e = &mut self.entries[entry];
-        // Rank slots by coverage, highest first, to apply the selection bound.
-        let mut order: Vec<usize> = (0..e.slots.len()).filter(|&i| e.slots[i].valid).collect();
-        order.sort_by_key(|&i| std::cmp::Reverse(e.slots[i].coverage));
+        // Rank slots by coverage, highest first, to apply the selection
+        // bound. The ranking buffer is reused across phase boundaries
+        // and sorted with a manual *stable* insertion sort (equal
+        // coverage keeps slot order, exactly as the allocating stable
+        // `sort_by_key(Reverse(coverage))` did; `std`'s stable sort may
+        // heap-allocate its merge buffer).
+        order.clear();
+        order.extend((0..e.slots.len()).filter(|&i| e.slots[i].valid));
+        for k in 1..order.len() {
+            let idx = order[k];
+            let cov = e.slots[idx].coverage;
+            let mut j = k;
+            while j > 0 && e.slots[order[j - 1]].coverage < cov {
+                order[j] = order[j - 1];
+                j -= 1;
+            }
+            order[j] = idx;
+        }
         let mut selected = 0usize;
         for &i in &order {
             let cov = e.slots[i].coverage as f64 / rounds;
@@ -314,6 +339,7 @@ impl DeltaTable {
         }
         e.counter = 0;
         e.phase_completed = true;
+        self.scratch_order = order;
     }
 
     /// The deltas `ip` should prefetch with right now, with the status

@@ -157,10 +157,32 @@ impl HistoryTable {
         latency: u64,
         max_hits: usize,
     ) -> Vec<HistoryHit> {
+        let mut hits = Vec::with_capacity(self.ways);
+        self.search_timely_into(ip, line, demand_at, latency, max_hits, &mut hits);
+        hits
+    }
+
+    /// [`HistoryTable::search_timely`] into a caller-owned buffer: the
+    /// hot path reuses one scratch vector across misses, so steady-state
+    /// training performs no heap allocation. `out` is cleared first and
+    /// never grows past the set's way count.
+    ///
+    /// Ordering matches the allocating variant exactly: a *stable*
+    /// insertion sort, youngest first — entries with equal timestamps
+    /// keep way order, as `sort_by_key(Reverse(at))` (stable) did.
+    pub fn search_timely_into(
+        &self,
+        ip: Ip,
+        line: VLine,
+        demand_at: Cycle,
+        latency: u64,
+        max_hits: usize,
+        out: &mut Vec<HistoryHit>,
+    ) {
+        out.clear();
         let cutoff = demand_at.raw().saturating_sub(latency);
         let set = self.set_of(ip);
         let tag = self.tag_of(ip);
-        let mut hits: Vec<HistoryHit> = Vec::new();
         let line_lo = (line.raw() & ((1 << LINE_ADDR_BITS) - 1)) as i64;
         for way in 0..self.ways {
             let e = &self.entries[set * self.ways + way];
@@ -184,15 +206,22 @@ impl HistoryTable {
             if d == 0 {
                 continue;
             }
-            hits.push(HistoryHit {
+            let hit = HistoryHit {
                 delta: Delta::saturating(d),
                 at: e.inserted_at,
-            });
+            };
+            // Stable insertion, youngest first: shift only strictly
+            // older entries so equal timestamps keep way order.
+            let mut i = out.len();
+            out.push(hit);
+            while i > 0 && out[i - 1].at < hit.at {
+                out[i] = out[i - 1];
+                i -= 1;
+            }
+            out[i] = hit;
         }
-        // Youngest first; the hardware collects the youngest `max_hits`.
-        hits.sort_by_key(|h| std::cmp::Reverse(h.at));
-        hits.truncate(max_hits);
-        hits
+        // The hardware collects the youngest `max_hits`.
+        out.truncate(max_hits);
     }
 
     /// Total entries (diagnostics).

@@ -16,28 +16,9 @@ use crate::replacement::ReplacementPolicy;
 /// is recorded as zero and skipped by training).
 pub const LATENCY_BITS: u32 = 12;
 
-#[derive(Clone, Copy, Debug)]
-struct Line {
-    /// Full line address (this model stores the whole address rather
-    /// than a truncated tag; the geometry still determines indexing).
-    addr: u64,
-    dirty: bool,
-    /// Brought in by a prefetch and not yet touched by a demand access.
-    prefetched: bool,
-    /// A demand access merged while the line was still in flight
-    /// (a *late* prefetch, Fig. 10's dark bars).
-    demand_merged: bool,
-    /// The line is in flight until this cycle.
-    valid_at: Cycle,
-    /// Latency of the request that brought the line, truncated to
-    /// [`LATENCY_BITS`]; zero means overflow or already-consumed.
-    latency: u16,
-    /// IP of the access that triggered the fill (for prefetch training).
-    ip: Ip,
-    /// Translation of this line in the next level's address space
-    /// (physical line for a virtually-indexed L1D); `u64::MAX` if unset.
-    xlat: u64,
-}
+/// Upper bound on associativity: per-set line flags are packed into one
+/// `u64` bitmask per flag, so a set can hold at most 64 ways.
+pub const MAX_WAYS: usize = 64;
 
 /// A dirty victim that must be written back to the next level.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -154,12 +135,78 @@ impl CacheStats {
     }
 }
 
+/// Sorted resident addresses of one set, in fixed stack storage
+/// (the oracle-comparison return of [`Cache::resident_in_set`], made
+/// allocation-free for `check-invariants` hot paths).
+#[derive(Clone, Copy, Debug)]
+pub struct SetResidency {
+    addrs: [u64; MAX_WAYS],
+    len: usize,
+}
+
+impl SetResidency {
+    /// The sorted addresses as a slice.
+    pub fn as_slice(&self) -> &[u64] {
+        &self.addrs[..self.len]
+    }
+}
+
+impl std::ops::Deref for SetResidency {
+    type Target = [u64];
+
+    fn deref(&self) -> &[u64] {
+        self.as_slice()
+    }
+}
+
+impl PartialEq<Vec<u64>> for SetResidency {
+    fn eq(&self, other: &Vec<u64>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialEq<SetResidency> for SetResidency {
+    fn eq(&self, other: &SetResidency) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
 /// A set-associative cache level.
+///
+/// Line state is stored struct-of-arrays: per-slot metadata words
+/// (`tags`, `valid_at`, `latency`, `ip`, `xlat`) indexed by
+/// `set * ways + way`, plus one packed `u64` bitmask per set for each
+/// boolean flag (valid/dirty/prefetched/demand-merged). A set lookup
+/// touches one contiguous tag stripe and one mask word instead of
+/// `ways` scattered `Option<Line>` structs, and the tag match is
+/// branchless.
 #[derive(Clone, Debug)]
 pub struct Cache {
     name: &'static str,
     geom: CacheGeometry,
-    lines: Vec<Option<Line>>,
+    /// Full line address per slot (meaningful only where `valid` is set;
+    /// this model stores the whole address rather than a truncated tag —
+    /// the geometry still determines indexing).
+    tags: Vec<u64>,
+    /// The slot's line is in flight until this cycle.
+    valid_at: Vec<Cycle>,
+    /// Latency of the request that brought the line, truncated to
+    /// [`LATENCY_BITS`]; zero means overflow or already-consumed.
+    latency: Vec<u16>,
+    /// IP of the access that triggered the fill (for prefetch training).
+    ip: Vec<Ip>,
+    /// Translation of this line in the next level's address space
+    /// (physical line for a virtually-indexed L1D); `u64::MAX` if unset.
+    xlat: Vec<u64>,
+    /// Per-set occupancy bitmask (bit `way` set = slot holds a line).
+    valid: Vec<u64>,
+    /// Per-set dirty bitmask.
+    dirty: Vec<u64>,
+    /// Per-set "brought in by a prefetch, not yet demanded" bitmask.
+    prefetched: Vec<u64>,
+    /// Per-set "a demand merged while the line was still in flight"
+    /// bitmask (a *late* prefetch, Fig. 10's dark bars).
+    demand_merged: Vec<u64>,
     repl: ReplacementPolicy,
     mshr: Mshr,
     stats: CacheStats,
@@ -171,12 +218,26 @@ impl Cache {
     /// # Panics
     ///
     /// Panics if the geometry has zero sets or ways (via
-    /// [`ReplacementPolicy::new`]).
+    /// [`ReplacementPolicy::new`]) or more than [`MAX_WAYS`] ways.
     pub fn new(name: &'static str, geom: CacheGeometry) -> Self {
+        assert!(
+            geom.ways <= MAX_WAYS,
+            "{name}: {} ways exceed the packed-bitmask limit of {MAX_WAYS}",
+            geom.ways
+        );
+        let slots = geom.sets * geom.ways;
         Self {
             name,
             geom,
-            lines: vec![None; geom.sets * geom.ways],
+            tags: vec![0; slots],
+            valid_at: vec![Cycle::ZERO; slots],
+            latency: vec![0; slots],
+            ip: vec![Ip::default(); slots],
+            xlat: vec![0; slots],
+            valid: vec![0; geom.sets],
+            dirty: vec![0; geom.sets],
+            prefetched: vec![0; geom.sets],
+            demand_merged: vec![0; geom.sets],
             repl: ReplacementPolicy::new(geom.replacement, geom.sets, geom.ways),
             mshr: Mshr::new(geom.mshr_entries),
             stats: CacheStats::default(),
@@ -240,11 +301,20 @@ impl Cache {
         set * self.geom.ways + way
     }
 
+    /// Branchless tag match over one set: build a match bitmask across
+    /// the contiguous tag stripe, intersect with the valid mask, and
+    /// take the lowest set bit. The set invariant (no address cached
+    /// twice) guarantees at most one bit survives, so "lowest bit"
+    /// equals the AoS layout's first-way-wins scan.
     fn find(&self, addr: u64) -> Option<(usize, usize)> {
         let set = self.set_of(addr);
-        (0..self.geom.ways)
-            .find(|&w| matches!(self.lines[self.slot(set, w)], Some(l) if l.addr == addr))
-            .map(|w| (set, w))
+        let base = set * self.geom.ways;
+        let mut mask = 0u64;
+        for (w, &tag) in self.tags[base..base + self.geom.ways].iter().enumerate() {
+            mask |= u64::from(tag == addr) << w;
+        }
+        mask &= self.valid[set];
+        (mask != 0).then(|| (set, mask.trailing_zeros() as usize))
     }
 
     /// Whether `addr` is present (even if still in flight).
@@ -264,29 +334,30 @@ impl Cache {
         match self.find(addr) {
             Some((set, way)) => {
                 let slot = self.slot(set, way);
-                let line = self.lines[slot].as_mut().expect("found line exists");
+                let wbit = 1u64 << way;
                 match kind {
                     AccessKind::Load | AccessKind::Rfo | AccessKind::Translation => {
-                        let in_flight = line.valid_at > now;
-                        let timely = line.prefetched && !in_flight;
-                        let late = line.prefetched && in_flight;
-                        if line.prefetched {
-                            line.prefetched = false;
+                        let in_flight = self.valid_at[slot] > now;
+                        let was_prefetched = self.prefetched[set] & wbit != 0;
+                        let timely = was_prefetched && !in_flight;
+                        let late = was_prefetched && in_flight;
+                        if was_prefetched {
+                            self.prefetched[set] &= !wbit;
                             if late {
-                                line.demand_merged = true;
+                                self.demand_merged[set] |= wbit;
                             }
                         }
-                        let stored_latency = u64::from(line.latency);
-                        line.latency = 0; // consumed by this demand touch
+                        let stored_latency = u64::from(self.latency[slot]);
+                        self.latency[slot] = 0; // consumed by this demand touch
                         if kind == AccessKind::Rfo {
-                            line.dirty = true;
+                            self.dirty[set] |= wbit;
                         }
                         let ready_at = if in_flight {
-                            line.valid_at
+                            self.valid_at[slot]
                         } else {
                             now + self.geom.latency
                         };
-                        let fill_ip = line.ip;
+                        let fill_ip = self.ip[slot];
                         self.repl.on_hit(set, way);
                         match kind {
                             AccessKind::Load | AccessKind::Translation => self.stats.load_hits += 1,
@@ -310,17 +381,16 @@ impl Cache {
                     AccessKind::Prefetch => {
                         self.stats.pf_already_present += 1;
                         self.repl.on_hit(set, way);
-                        let line = self.lines[slot].as_ref().expect("found line exists");
                         AccessOutcome::Hit(HitInfo {
-                            ready_at: now.max(line.valid_at),
+                            ready_at: now.max(self.valid_at[slot]),
                             timely_prefetch_hit: false,
                             late_prefetch_hit: false,
                             stored_latency: 0,
-                            fill_ip: line.ip,
+                            fill_ip: self.ip[slot],
                         })
                     }
                     AccessKind::Writeback => {
-                        line.dirty = true;
+                        self.dirty[set] |= wbit;
                         self.repl.on_hit(set, way);
                         self.stats.wb_hits += 1;
                         AccessOutcome::Hit(HitInfo {
@@ -381,34 +451,30 @@ impl Cache {
     ) -> Option<EvictedLine> {
         if let Some((set, way)) = self.find(addr) {
             // Writeback to a present line, or a refill race: update in place.
-            let slot = self.slot(set, way);
-            let line = self.lines[slot].as_mut().expect("present");
             if kind == AccessKind::Writeback {
-                line.dirty = true;
+                self.dirty[set] |= 1 << way;
             }
             self.repl.on_hit(set, way);
             return None;
         }
         let set = self.set_of(addr);
-        let way = {
-            let lines = &self.lines;
-            let geom = &self.geom;
-            let base = set * geom.ways;
-            self.repl.victim(set, |w| lines[base + w].is_some())
-        };
+        let way = self.repl.victim(set, self.valid[set]);
         let slot = self.slot(set, way);
-        let evicted = self.lines[slot].take().map(|old| {
-            if old.prefetched {
+        let wbit = 1u64 << way;
+        let evicted = (self.valid[set] & wbit != 0).then(|| {
+            let was_prefetched = self.prefetched[set] & wbit != 0;
+            let was_dirty = self.dirty[set] & wbit != 0;
+            if was_prefetched {
                 self.stats.pf_useless += 1;
             }
-            if old.dirty {
+            if was_dirty {
                 self.stats.writebacks_below += 1;
             }
             EvictedLine {
-                addr: old.addr,
-                xlat: old.xlat,
-                dirty: old.dirty,
-                wasted_prefetch: old.prefetched,
+                addr: self.tags[slot],
+                xlat: self.xlat[slot],
+                dirty: was_dirty,
+                wasted_prefetch: was_prefetched,
             }
         });
         let stored_latency = if latency >= (1 << LATENCY_BITS) {
@@ -420,16 +486,16 @@ impl Cache {
         if is_prefetch {
             self.stats.pf_fills += 1;
         }
-        self.lines[slot] = Some(Line {
-            addr,
-            dirty: kind == AccessKind::Writeback || kind == AccessKind::Rfo,
-            prefetched: is_prefetch,
-            demand_merged: false,
-            valid_at: ready_at,
-            latency: stored_latency,
-            ip,
-            xlat,
-        });
+        let is_dirty = kind == AccessKind::Writeback || kind == AccessKind::Rfo;
+        self.tags[slot] = addr;
+        self.valid_at[slot] = ready_at;
+        self.latency[slot] = stored_latency;
+        self.ip[slot] = ip;
+        self.xlat[slot] = xlat;
+        self.valid[set] |= wbit;
+        self.dirty[set] = (self.dirty[set] & !wbit) | (u64::from(is_dirty) << way);
+        self.prefetched[set] = (self.prefetched[set] & !wbit) | (u64::from(is_prefetch) << way);
+        self.demand_merged[set] &= !wbit;
         self.repl.on_fill(set, way, kind.is_demand());
         self.check_set_invariant(set);
         let _ = now;
@@ -438,26 +504,28 @@ impl Cache {
 
     /// `check-invariants`: every line in `set` indexes to `set` and no
     /// address is cached twice (a duplicate would make `find` and the
-    /// LRU oracle disagree about which copy is live).
+    /// LRU oracle disagree about which copy is live). Allocation-free:
+    /// walks valid-mask pairs instead of collecting seen addresses.
     #[cfg(feature = "check-invariants")]
     fn check_set_invariant(&self, set: usize) {
-        let mut seen = Vec::with_capacity(self.geom.ways);
+        let base = set * self.geom.ways;
         for w in 0..self.geom.ways {
-            if let Some(line) = &self.lines[self.slot(set, w)] {
-                assert_eq!(
-                    self.set_of(line.addr),
-                    set,
-                    "{}: line {:#x} stored in wrong set {set}",
-                    self.name,
-                    line.addr
-                );
+            if self.valid[set] >> w & 1 == 0 {
+                continue;
+            }
+            let addr = self.tags[base + w];
+            assert_eq!(
+                self.set_of(addr),
+                set,
+                "{}: line {addr:#x} stored in wrong set {set}",
+                self.name,
+            );
+            for earlier in 0..w {
                 assert!(
-                    !seen.contains(&line.addr),
-                    "{}: line {:#x} duplicated in set {set}",
+                    self.valid[set] >> earlier & 1 == 0 || self.tags[base + earlier] != addr,
+                    "{}: line {addr:#x} duplicated in set {set}",
                     self.name,
-                    line.addr
                 );
-                seen.push(line.addr);
             }
         }
     }
@@ -470,12 +538,12 @@ impl Cache {
     /// (testing/diagnostics).
     pub fn peek_latency(&self, addr: u64) -> Option<u64> {
         self.find(addr)
-            .map(|(s, w)| u64::from(self.lines[self.slot(s, w)].as_ref().expect("hit").latency))
+            .map(|(s, w)| u64::from(self.latency[self.slot(s, w)]))
     }
 
     /// Number of resident lines (testing/diagnostics).
     pub fn resident_lines(&self) -> usize {
-        self.lines.iter().flatten().count()
+        self.valid.iter().map(|m| m.count_ones() as usize).sum()
     }
 
     /// The set index `addr` maps to (oracle comparison).
@@ -485,12 +553,29 @@ impl Cache {
 
     /// Sorted line addresses resident in `set` (oracle comparison; sorted
     /// so two models can be compared without exposing way placement).
-    pub fn resident_in_set(&self, set: usize) -> Vec<u64> {
-        let mut addrs: Vec<u64> = (0..self.geom.ways)
-            .filter_map(|w| self.lines[self.slot(set, w)].as_ref().map(|l| l.addr))
-            .collect();
-        addrs.sort_unstable();
-        addrs
+    /// Allocation-free: the result lives in fixed stack storage, hot
+    /// under `check-invariants` shadow suites.
+    pub fn resident_in_set(&self, set: usize) -> SetResidency {
+        let base = set * self.geom.ways;
+        let mut out = SetResidency {
+            addrs: [0; MAX_WAYS],
+            len: 0,
+        };
+        let mut mask = self.valid[set];
+        while mask != 0 {
+            let w = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
+            let addr = self.tags[base + w];
+            // Insertion sort into the stack buffer keeps the slice sorted.
+            let mut i = out.len;
+            while i > 0 && out.addrs[i - 1] > addr {
+                out.addrs[i] = out.addrs[i - 1];
+                i -= 1;
+            }
+            out.addrs[i] = addr;
+            out.len += 1;
+        }
+        out
     }
 }
 

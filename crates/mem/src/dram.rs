@@ -10,9 +10,9 @@
 //! crosses its watermark, stealing bus and bank time from later reads —
 //! which is how write traffic degrades read latency on real parts.
 
-use std::collections::VecDeque;
-
 use berti_types::{Cycle, DramConfig, LINE_BYTES};
+
+use crate::arena::FixedRing;
 
 /// Per-bank open-row state.
 #[derive(Clone, Copy, Debug, Default)]
@@ -58,10 +58,13 @@ pub struct Dram {
     cfg: DramConfig,
     banks: Vec<Bank>,
     bus_free_at: Cycle,
-    /// Completion times of in-flight reads (read-queue occupancy).
-    inflight_reads: VecDeque<Cycle>,
-    /// Buffered writebacks awaiting a drain: (bank, row).
-    write_queue: VecDeque<(usize, u64)>,
+    /// Completion times of in-flight reads (read-queue occupancy), in
+    /// fixed ring storage: backpressure guarantees a free slot before
+    /// every push, so the channel performs no heap traffic per read.
+    inflight_reads: FixedRing<Cycle>,
+    /// Buffered writebacks awaiting a drain: (bank, row). The watermark
+    /// drain keeps occupancy strictly below capacity between writes.
+    write_queue: FixedRing<(usize, u64)>,
     stats: DramStats,
 }
 
@@ -77,8 +80,11 @@ impl Dram {
             cfg,
             banks: vec![Bank::default(); cfg.banks],
             bus_free_at: Cycle::ZERO,
-            inflight_reads: VecDeque::new(),
-            write_queue: VecDeque::new(),
+            // `.max(1)` keeps degenerate zero-entry configurations
+            // (rejected by `SystemConfig::validate` for real runs)
+            // non-panicking as raw structures.
+            inflight_reads: FixedRing::new(cfg.rq_entries.max(1)),
+            write_queue: FixedRing::new(cfg.wq_entries.max(1)),
             stats: DramStats::default(),
         }
     }
@@ -189,7 +195,13 @@ impl Dram {
                 self.cfg.rq_entries
             );
         }
-        self.inflight_reads.push_back(ready);
+        if !self.inflight_reads.push_back(ready) {
+            // Only reachable with a zero-entry RQ (a config validation
+            // rejects): keep the newest completion so backpressure still
+            // serializes subsequent reads instead of panicking.
+            let _ = self.inflight_reads.pop_front();
+            let _ = self.inflight_reads.push_back(ready);
+        }
         // Keep completion order sorted enough for gc: push_back of a
         // possibly-earlier time is fine because gc scans the front only
         // after `start` already passed earlier entries.
@@ -200,7 +212,8 @@ impl Dram {
     /// Buffers a writeback of physical line `line` at `now`.
     pub fn write(&mut self, line: u64, now: Cycle) {
         let (bank, row) = self.map(line);
-        self.write_queue.push_back((bank, row));
+        let pushed = self.write_queue.push_back((bank, row));
+        debug_assert!(pushed, "the watermark drain keeps a WQ slot free");
         self.stats.writes += 1;
         self.maybe_drain_writes(now);
         // `check-invariants`: the watermark drain keeps the WQ within

@@ -15,10 +15,9 @@
 //! latency — fill time minus *queue-insertion* time — is stored in the
 //! L1D line's shadow field for Berti's training.
 
-use std::collections::VecDeque;
-
 use berti_types::{AccessKind, Cycle, FillLevel, Ip, PLine, Ppn, SystemConfig, VAddr, VLine, Vpn};
 
+use crate::arena::FixedRing;
 use crate::cache::{AccessOutcome, Cache, HitInfo};
 use crate::dram::Dram;
 use crate::prefetch::{AccessEvent, FillEvent, PrefetchDecision, Prefetcher};
@@ -144,8 +143,9 @@ berti_stats::counter_group! {
 /// lets the engine skip quiescent stretches without changing results.
 #[derive(Debug)]
 struct PrefetchQueue {
-    entries: VecDeque<QueuedPrefetch>,
-    capacity: usize,
+    /// Fixed-capacity ring: slots are sized once at construction, so
+    /// enqueue/issue churn performs no heap traffic.
+    entries: FixedRing<QueuedPrefetch>,
     /// Next cycle this queue may issue.
     cursor: Cycle,
     /// `check-invariants`: last issue time handed out by
@@ -158,8 +158,7 @@ struct PrefetchQueue {
 impl PrefetchQueue {
     fn new(capacity: usize) -> Self {
         Self {
-            entries: VecDeque::new(),
-            capacity,
+            entries: FixedRing::new(capacity),
             cursor: Cycle::ZERO,
             #[cfg(feature = "check-invariants")]
             last_issue: None,
@@ -171,7 +170,7 @@ impl PrefetchQueue {
     }
 
     fn is_full(&self) -> bool {
-        self.entries.len() >= self.capacity
+        self.entries.is_full()
     }
 
     fn contains(&self, target: VLine) -> bool {
@@ -179,8 +178,8 @@ impl PrefetchQueue {
     }
 
     fn push(&mut self, q: QueuedPrefetch) {
-        debug_assert!(!self.is_full());
-        self.entries.push_back(q);
+        let pushed = self.entries.push_back(q);
+        debug_assert!(pushed, "callers check is_full before push");
     }
 
     /// Skip-ahead contract: the earliest cycle at or after `now` at
@@ -199,7 +198,7 @@ impl PrefetchQueue {
         if at > upto {
             return None;
         }
-        self.entries.pop_front();
+        let _ = self.entries.pop_front();
         self.cursor = at + 1;
         #[cfg(feature = "check-invariants")]
         {

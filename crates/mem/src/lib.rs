@@ -23,6 +23,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 mod cache;
 mod dram;
 mod hierarchy;
@@ -32,7 +33,7 @@ mod replacement;
 mod tlb;
 mod vmem;
 
-pub use cache::{AccessOutcome, Cache, CacheStats, EvictedLine, HitInfo};
+pub use cache::{AccessOutcome, Cache, CacheStats, EvictedLine, HitInfo, SetResidency, MAX_WAYS};
 pub use dram::{Dram, DramStats};
 pub use hierarchy::{DemandAccess, DemandOutcome, FlowStats, Hierarchy, SharedMemory, TlbStats};
 pub use mshr::Mshr;

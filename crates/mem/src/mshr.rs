@@ -16,9 +16,17 @@
 //! at the same cycle are idempotent and never mutate the structure.
 //! Expired entries are physically reclaimed only inside
 //! [`allocate`](Mshr::allocate), which is sufficient to keep the backing
-//! vector bounded by `capacity`.
+//! slab bounded by `capacity`.
+//!
+//! Entries live in a fixed-capacity [`OrderedSlab`]: slots are sized
+//! once at construction and recycled through a free list, so the MSHR
+//! performs zero heap allocations per miss in steady state while
+//! preserving insertion order ([`pending`](Mshr::pending) returns the
+//! *first* matching in-flight entry).
 
 use berti_types::Cycle;
+
+use crate::arena::OrderedSlab;
 
 #[derive(Clone, Copy, Debug)]
 struct Entry {
@@ -30,8 +38,15 @@ struct Entry {
 /// pairs; entries free themselves once simulated time passes `ready_at`.
 #[derive(Clone, Debug)]
 pub struct Mshr {
-    capacity: usize,
-    entries: Vec<Entry>,
+    entries: OrderedSlab<Entry>,
+    /// Dense mirror of each slot's expiry cycle (`0` for free slots).
+    /// Occupancy is sampled on *every* access (Berti's watermark, the
+    /// admission check, the per-event occupancy field), and chasing the
+    /// slab's insertion-order links for a count that does not care
+    /// about order measurably slows the whole simulation; counting is a
+    /// contiguous scan of this array instead. `allocate` keeps the
+    /// mirror exact: cleared on release, written on admission.
+    ready: Box<[u64]>,
 }
 
 impl Mshr {
@@ -45,49 +60,66 @@ impl Mshr {
     /// of tripping the worker pool's panic-isolation path.
     pub fn new(capacity: usize) -> Self {
         Self {
-            capacity,
-            entries: Vec::with_capacity(capacity),
+            entries: OrderedSlab::new(capacity),
+            ready: vec![0; capacity].into_boxed_slice(),
         }
     }
 
     /// Entry count.
     pub fn capacity(&self) -> usize {
-        self.capacity
+        self.entries.capacity()
     }
 
     /// Number of misses outstanding at `now`. Pure: same-cycle repeats
     /// return the same answer and leave the MSHR untouched.
+    ///
+    /// Counting is order-independent, so this scans the dense expiry
+    /// mirror (free slots hold `0`, which never exceeds `now`) instead
+    /// of chasing the slab's insertion-order links — Berti samples this
+    /// watermark on every access.
     pub fn occupancy(&self, now: Cycle) -> usize {
-        self.entries.iter().filter(|e| e.ready_at > now).count()
+        let cutoff = now.raw();
+        self.ready.iter().filter(|&&r| r > cutoff).count()
     }
 
     /// Occupancy as a fraction of capacity (Berti's watermark input).
     /// A zero-capacity MSHR reports fully occupied.
     pub fn occupancy_fraction(&self, now: Cycle) -> f64 {
-        if self.capacity == 0 {
+        if self.capacity() == 0 {
             return 1.0;
         }
-        self.occupancy(now) as f64 / self.capacity as f64
+        self.occupancy(now) as f64 / self.capacity() as f64
     }
 
     /// Whether a new miss can be accepted at `now`.
     pub fn has_free_entry(&self, now: Cycle) -> bool {
-        self.occupancy(now) < self.capacity
+        self.occupancy(now) < self.capacity()
     }
 
     /// Allocates an entry for a miss on `line` that will fill at
     /// `ready_at`. Returns `false` (and allocates nothing) if full.
     ///
     /// This is the only operation that physically reclaims expired
-    /// entries, so the backing vector never exceeds `capacity`.
+    /// entries (returning their slots to the slab's free list), so the
+    /// live set never exceeds `capacity` and no heap traffic occurs.
     pub fn allocate(&mut self, line: u64, now: Cycle, ready_at: Cycle) -> bool {
-        self.entries.retain(|e| e.ready_at > now);
-        if self.entries.len() >= self.capacity {
-            return false;
-        }
-        self.entries.push(Entry { line, ready_at });
+        let ready = &mut self.ready;
+        self.entries.retain_with_slot(|slot, e| {
+            let stays = e.ready_at > now;
+            if !stays {
+                ready[slot] = 0;
+            }
+            stays
+        });
+        let allocated = match self.entries.push_back(Entry { line, ready_at }) {
+            Some(slot) => {
+                self.ready[slot] = ready_at.raw();
+                true
+            }
+            None => false,
+        };
         self.check_capacity_invariant();
-        true
+        allocated
     }
 
     /// The fill time of an in-flight miss on `line`, if any. Pure.
@@ -99,15 +131,29 @@ impl Mshr {
     }
 
     /// `check-invariants`: the MSHR may never hold more entries than its
-    /// capacity (ISSUE 5 "MSHR never over capacity").
+    /// capacity (ISSUE 5 "MSHR never over capacity"), and the dense
+    /// expiry mirror must count exactly what a by-value walk of the
+    /// slab counts — a drifted mirror would silently skew Berti's
+    /// occupancy watermark.
     #[cfg(feature = "check-invariants")]
     fn check_capacity_invariant(&self) {
         assert!(
-            self.entries.len() <= self.capacity,
+            self.entries.len() <= self.capacity(),
             "MSHR over capacity: {} entries > {} capacity",
             self.entries.len(),
-            self.capacity
+            self.capacity()
         );
+        let by_value = |cutoff: Cycle| self.entries.iter().filter(|e| e.ready_at > cutoff).count();
+        for probe in [Cycle::ZERO]
+            .into_iter()
+            .chain(self.entries.iter().map(|e| e.ready_at))
+        {
+            assert_eq!(
+                self.occupancy(probe),
+                by_value(probe),
+                "expiry mirror drifted from the slab at probe {probe:?}"
+            );
+        }
     }
 
     #[cfg(not(feature = "check-invariants"))]

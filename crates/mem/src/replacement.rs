@@ -44,6 +44,7 @@ impl ReplacementPolicy {
     /// Panics if `sets` or `ways` is zero.
     pub fn new(kind: ReplacementKind, sets: usize, ways: usize) -> Self {
         assert!(sets > 0 && ways > 0, "cache must have sets and ways");
+        assert!(ways <= 64, "occupancy bitmask limits associativity to 64");
         Self {
             kind,
             sets,
@@ -136,26 +137,30 @@ impl ReplacementPolicy {
         }
     }
 
-    /// Chooses a victim way in `set` among ways where `occupied(way)` is
-    /// true; returns any unoccupied way first.
-    pub fn victim<F: Fn(usize) -> bool>(&mut self, set: usize, occupied: F) -> usize {
-        for way in 0..self.ways {
-            if !occupied(way) {
-                return way;
-            }
+    /// Chooses a victim way in `set` given the set's occupancy bitmask
+    /// (bit `way` set = occupied); returns the lowest unoccupied way
+    /// first. LRU/FIFO selection is branchless: each way's tick is
+    /// packed with its index into one word and the minimum taken, which
+    /// preserves the lowest-way tie-break of the old scan.
+    pub fn victim(&mut self, set: usize, occupied: u64) -> usize {
+        debug_assert!(self.ways <= 64, "occupancy mask requires ways <= 64");
+        let ways_mask = if self.ways == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.ways) - 1
+        };
+        let free = !occupied & ways_mask;
+        if free != 0 {
+            return free.trailing_zeros() as usize;
         }
         match self.kind {
             ReplacementKind::Lru | ReplacementKind::Fifo => {
-                let mut best = 0;
-                let mut best_tick = u32::MAX;
-                for way in 0..self.ways {
-                    let t = self.state[self.idx(set, way)];
-                    if t < best_tick {
-                        best_tick = t;
-                        best = way;
-                    }
+                let base = set * self.ways;
+                let mut best = u64::MAX;
+                for (way, &tick) in self.state[base..base + self.ways].iter().enumerate() {
+                    best = best.min((u64::from(tick) << 6) | way as u64);
                 }
-                best
+                (best & 63) as usize
             }
             ReplacementKind::Srrip | ReplacementKind::Drrip => loop {
                 for way in 0..self.ways {
@@ -176,8 +181,9 @@ impl ReplacementPolicy {
 mod tests {
     use super::*;
 
-    fn all_occupied(_: usize) -> bool {
-        true
+    /// Occupancy mask with the low `n` ways occupied.
+    fn full(n: usize) -> u64 {
+        (1u64 << n) - 1
     }
 
     #[test]
@@ -187,9 +193,9 @@ mod tests {
             p.on_fill(0, w, true);
         }
         p.on_hit(0, 0); // 0 becomes MRU; 1 is now LRU
-        assert_eq!(p.victim(0, all_occupied), 1);
+        assert_eq!(p.victim(0, full(4)), 1);
         p.on_hit(0, 1);
-        assert_eq!(p.victim(0, all_occupied), 2);
+        assert_eq!(p.victim(0, full(4)), 2);
     }
 
     #[test]
@@ -200,14 +206,23 @@ mod tests {
         }
         p.on_hit(0, 0);
         p.on_hit(0, 0);
-        assert_eq!(p.victim(0, all_occupied), 0, "hits must not refresh FIFO");
+        assert_eq!(p.victim(0, full(4)), 0, "hits must not refresh FIFO");
     }
 
     #[test]
     fn unoccupied_way_wins() {
         let mut p = ReplacementPolicy::new(ReplacementKind::Lru, 1, 4);
         p.on_fill(0, 0, true);
-        assert_eq!(p.victim(0, |w| w == 0), 1);
+        assert_eq!(p.victim(0, 0b0001), 1);
+    }
+
+    #[test]
+    fn lru_tie_break_is_lowest_way() {
+        // Freshly constructed state: every tick is 0 (all tied), so the
+        // packed-min selection must fall back to the lowest way, exactly
+        // like the old first-strictly-smaller scan.
+        let mut p = ReplacementPolicy::new(ReplacementKind::Lru, 1, 4);
+        assert_eq!(p.victim(0, full(4)), 0);
     }
 
     #[test]
@@ -217,7 +232,7 @@ mod tests {
         p.on_fill(0, 1, true);
         p.on_hit(0, 0);
         // Way 1 still has RRPV 2, so aging reaches it first.
-        assert_eq!(p.victim(0, all_occupied), 1);
+        assert_eq!(p.victim(0, full(2)), 1);
     }
 
     #[test]
@@ -227,7 +242,7 @@ mod tests {
             p.on_fill(0, w, true);
             p.on_hit(0, w); // all RRPV 0
         }
-        let v = p.victim(0, all_occupied);
+        let v = p.victim(0, full(4));
         assert!(v < 4);
     }
 

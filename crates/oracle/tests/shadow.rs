@@ -221,3 +221,91 @@ fn cross_page_walks_keep_cache_and_oracle_agreeing() {
         }
     }
 }
+
+/// Reference model for [`berti_mem::arena::OrderedSlab`]: live entries
+/// as `(slot id, value)` in insertion order.
+fn check_slab_against_model(slab: &berti_mem::arena::OrderedSlab<u64>, model: &[(usize, u64)]) {
+    assert_eq!(slab.len(), model.len());
+    assert!(slab.is_empty() == model.is_empty());
+    // Insertion order is preserved and values are intact.
+    let got: Vec<u64> = slab.iter().copied().collect();
+    let want: Vec<u64> = model.iter().map(|&(_, v)| v).collect();
+    assert_eq!(got, want, "live values or their order diverged");
+    // No aliasing: every live entry holds a distinct slot.
+    let mut ids: Vec<usize> = model.iter().map(|&(id, _)| id).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), model.len(), "two live entries share a slot");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(fuzz_cases()))]
+
+    /// OrderedSlab vs a Vec model: arbitrary interleavings of
+    /// push/retain recycle slots without ever aliasing live entries,
+    /// losing a value, or reordering survivors.
+    #[test]
+    fn slab_recycling_never_aliases_live_entries(
+        capacity in 1usize..24,
+        ops in prop::collection::vec((0u64..1_000, 0u64..1_000), 1..300)
+    ) {
+        let mut slab = berti_mem::arena::OrderedSlab::new(capacity);
+        let mut model: Vec<(usize, u64)> = Vec::new();
+        for (step, &(value, cutoff)) in ops.iter().enumerate() {
+            // Expire "ready" entries, as the MSHR's allocate does.
+            slab.retain(|&v| v > cutoff);
+            model.retain(|&(_, v)| v > cutoff);
+            let id = slab.push_back(value);
+            prop_assert_eq!(id.is_some(), model.len() < capacity,
+                "admission diverged at step {}", step);
+            if let Some(id) = id {
+                prop_assert!(!model.iter().any(|&(live, _)| live == id),
+                    "slot {} recycled while live at step {}", id, step);
+                model.push((id, value));
+            }
+            check_slab_against_model(&slab, &model);
+        }
+    }
+}
+
+/// Deterministic replay: the MSHR-saturation burst stream (bursts that
+/// overcommit a small slab, then drain) drives the exact
+/// retain-then-push pattern `Mshr::allocate` uses. Every admitted
+/// entry must land in a slot no live entry occupies, and survivors
+/// must stay in insertion order across thousands of recycles.
+#[test]
+fn slab_survives_mshr_saturation_bursts() {
+    const CAPACITY: usize = 4;
+    const LATENCY: u64 = 180;
+    let mut slab = berti_mem::arena::OrderedSlab::new(CAPACITY);
+    let mut model: Vec<(usize, u64)> = Vec::new();
+    let mut admitted = 0u64;
+    let mut rejected = 0u64;
+    for (_line, at) in streams::mshr_saturation_bursts(4_000, 24, 4, 20, 600) {
+        let now = at.raw();
+        let ready = now + LATENCY;
+        slab.retain(|&r| r > now);
+        model.retain(|&(_, r)| r > now);
+        match slab.push_back(ready) {
+            Some(id) => {
+                assert!(
+                    !model.iter().any(|&(live, _)| live == id),
+                    "slot {id} recycled while live at cycle {now}"
+                );
+                model.push((id, ready));
+                admitted += 1;
+            }
+            None => {
+                assert_eq!(model.len(), CAPACITY, "rejected while slots were free");
+                rejected += 1;
+            }
+        }
+        check_slab_against_model(&slab, &model);
+    }
+    // The stream really did both overcommit and drain.
+    assert!(admitted >= CAPACITY as u64, "admitted {admitted}");
+    assert!(
+        rejected > 0,
+        "the bursts must saturate a {CAPACITY}-entry slab"
+    );
+}

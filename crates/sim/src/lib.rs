@@ -41,6 +41,7 @@ pub use engine::Engine;
 pub use report::{geometric_mean, MultiCoreReport, Report, ReportMeta, SuiteSummary};
 pub use runner::{
     simulate, simulate_instrumented, simulate_multicore, simulate_multicore_with_engine,
-    simulate_suite, simulate_with_engine, simulate_with_l2, SimOptions,
+    simulate_suite, simulate_with_engine, simulate_with_l2, simulate_with_phase_probes, PhaseProbe,
+    SimOptions,
 };
 pub use sampler::{IntervalSample, Sampling};

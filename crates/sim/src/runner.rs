@@ -95,6 +95,18 @@ struct CoreSlot {
     /// Snapshot taken when this core crossed the instruction budget
     /// (multi-core replay keeps it running afterwards).
     snapshot: Option<Report>,
+    /// Partial-quiescence bound: strictly before this cycle the slot is
+    /// provably inert (core quiescent, no private-hierarchy event due),
+    /// so a lockstep step may be [`Core::skip_to`] bookkeeping instead
+    /// of a full [`CoreSlot::cycle`]. A value at or below the current
+    /// cycle means "unknown — recompute". Sound to cache because an
+    /// inert slot's schedule is frozen: its core wake time and queued
+    /// prefetch turns are fixed timestamps, and no other slot can touch
+    /// this slot's private hierarchy.
+    idle_until: Cycle,
+    /// `retired` snapshot at [`drive_phase`] entry (kept on the slot so
+    /// phase bookkeeping allocates nothing).
+    phase_start_retired: u64,
 }
 
 impl CoreSlot {
@@ -110,7 +122,52 @@ impl CoreSlot {
             trace,
             retired: 0,
             snapshot: None,
+            idle_until: Cycle::new(0),
+            phase_start_retired: 0,
         }
+    }
+
+    /// Attempts a partial-quiescence step at `now`: when the slot is
+    /// inert this cycle, advances the core one cycle of bookkeeping
+    /// (what a full [`CoreSlot::cycle`] would amount to — the hierarchy
+    /// tick is a no-op before its `next_event`, and a quiescent core
+    /// neither retires nor dispatches) and returns `true`. Returns
+    /// `false` when the slot must run a real cycle.
+    fn try_idle_cycle(&mut self, now: Cycle) -> bool {
+        if now >= self.idle_until {
+            let Some(wake) = self.core.quiescent_until() else {
+                return false;
+            };
+            let bound = match self.hier.next_event(now) {
+                Some(ev) if ev <= now => return false,
+                Some(ev) => wake.min(ev),
+                None => wake,
+            };
+            if bound <= now {
+                return false;
+            }
+            self.idle_until = bound;
+        }
+        // `check-invariants`: the cached bound must still describe an
+        // inert slot — a stale claim of idleness would silently skip
+        // real work and diverge from the naive engine.
+        #[cfg(feature = "check-invariants")]
+        {
+            assert!(
+                self.core.quiescent_until().is_some(),
+                "partial quiescence on a core that can act at {}",
+                now.raw()
+            );
+            if let Some(ev) = self.hier.next_event(now) {
+                assert!(
+                    ev > now,
+                    "partial quiescence past a hierarchy event at {}",
+                    ev.raw()
+                );
+            }
+        }
+        self.core.skip_to(Cycle::new(now.raw() + 1));
+        true
     }
 
     fn cycle(&mut self, shared: &mut SharedMemory) {
@@ -208,7 +265,13 @@ fn common_skip_target(
 /// quiescent and no component has an event due are fast-forwarded via
 /// [`Core::skip_to`]; the skip target is common to all slots, so
 /// cores stay in lockstep and results are byte-identical to
-/// [`Engine::Naive`].
+/// [`Engine::Naive`]. When only *some* slots are inert (partial
+/// quiescence — the common multi-core case, where one long DRAM miss
+/// pins the whole lockstep), each inert slot steps through
+/// [`CoreSlot::try_idle_cycle`] instead of a full cycle: one cycle of
+/// [`Core::skip_to`] bookkeeping, which is exactly what its naive
+/// cycle would have done. Cores still advance one cycle per loop
+/// iteration, so lockstep and byte-identical results are preserved.
 fn drive_phase(
     slots: &mut [CoreSlot],
     shared: &mut SharedMemory,
@@ -220,7 +283,14 @@ fn drive_phase(
     if slots.is_empty() {
         return;
     }
-    let start: Vec<u64> = slots.iter().map(|s| s.retired).collect();
+    for s in slots.iter_mut() {
+        s.phase_start_retired = s.retired;
+    }
+    // Partial quiescence only exists multi-core: with one slot, a
+    // failed common skip already proves the slot is not inert (the
+    // shared DRAM has no autonomous events), so probing it again per
+    // cycle would pay a second `quiescent_until` for nothing.
+    let partial_quiescence = engine == Engine::SkipAhead && slots.len() > 1;
     let phase_start = slots[0].core.now();
     let deadline = instructions.saturating_mul(max_cpi);
     let limit = Cycle::new(phase_start.raw().saturating_add(deadline));
@@ -231,8 +301,7 @@ fn drive_phase(
         }
         if !slots
             .iter()
-            .zip(&start)
-            .any(|(s, st)| s.retired - st < instructions)
+            .any(|s| s.retired - s.phase_start_retired < instructions)
         {
             break;
         }
@@ -270,7 +339,9 @@ fn drive_phase(
             }
         }
         for (i, s) in slots.iter_mut().enumerate() {
-            s.cycle(shared);
+            if !(partial_quiescence && s.try_idle_cycle(now)) {
+                s.cycle(shared);
+            }
             on_slot_cycled(i, s, shared);
         }
     }
@@ -308,6 +379,62 @@ pub fn simulate_with_engine(
     engine: Engine,
 ) -> Report {
     simulate_instrumented(cfg, l1, l2, trace, opts, engine, None)
+}
+
+/// Measurement-phase boundary reported to the probe of
+/// [`simulate_with_phase_probes`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PhaseProbe {
+    /// Warm-up finished and statistics were reset; the next cycle
+    /// starts the measured window.
+    MeasurementStart,
+    /// The measured window completed (before report assembly).
+    MeasurementEnd,
+}
+
+/// Runs one workload single-core with a probe bracketing the
+/// measurement phase: it fires with [`PhaseProbe::MeasurementStart`]
+/// after warm-up and the statistics reset, and with
+/// [`PhaseProbe::MeasurementEnd`] when the measurement phase completes
+/// but before the report is built. The probe only observes — the
+/// simulation is identical to [`simulate_with_engine`].
+///
+/// This is the seam for instrumentation that must bracket exactly the
+/// steady-state window, e.g. the counting-allocator audit proving the
+/// hot loop performs zero heap allocations per miss (report
+/// construction, which does allocate, stays outside the bracket).
+pub fn simulate_with_phase_probes(
+    cfg: &SystemConfig,
+    l1: PrefetcherChoice,
+    l2: Option<L2PrefetcherChoice>,
+    trace: &mut Trace,
+    opts: &SimOptions,
+    engine: Engine,
+    mut probe: impl FnMut(PhaseProbe),
+) -> Report {
+    let mut shared = SharedMemory::new(cfg, 1);
+    let mut slot = CoreSlot::new(cfg, &l1, l2, trace.restarted());
+    drive_phase(
+        std::slice::from_mut(&mut slot),
+        &mut shared,
+        engine,
+        opts.warmup_instructions,
+        opts.max_cpi,
+        |_, _, _| {},
+    );
+    slot.reset_stats();
+    shared.reset_stats();
+    probe(PhaseProbe::MeasurementStart);
+    drive_phase(
+        std::slice::from_mut(&mut slot),
+        &mut shared,
+        engine,
+        opts.sim_instructions,
+        opts.max_cpi,
+        |_, _, _| {},
+    );
+    probe(PhaseProbe::MeasurementEnd);
+    slot.report(&shared, &l1, l2)
 }
 
 /// Runs one workload single-core, optionally sampling an

@@ -93,14 +93,29 @@ pub struct CacheStats {
     pub decodes: u64,
     /// Opens served from the cache.
     pub hits: u64,
+    /// Bytes the cache keeps resident: decoded instruction arrays at
+    /// their in-memory size, mmap'd `.btrc` bodies at their mapped
+    /// length (held by the page cache, but pinned by the handle).
+    pub resident_bytes: u64,
 }
 
 /// Process-wide cache counters.
 pub fn stats() -> CacheStats {
     let c = lock();
+    let instr_bytes = std::mem::size_of::<Instr>() as u64;
+    let files: u64 = c
+        .files
+        .values()
+        .map(|e| match &e.payload {
+            Payload::Instrs(i) => i.len() as u64 * instr_bytes,
+            Payload::Btrc(_) => e.len,
+        })
+        .sum();
+    let gens: u64 = c.gens.values().map(|i| i.len() as u64 * instr_bytes).sum();
     CacheStats {
         decodes: c.file_decodes.values().sum::<u64>() + c.gen_decodes,
         hits: c.hits,
+        resident_bytes: files + gens,
     }
 }
 

@@ -12,6 +12,16 @@
 
 use std::time::Instant;
 
+/// `BERTI_BENCH_SAMPLES` overrides every sample-size choice — the
+/// default *and* per-group `sample_size()` calls — so CI can run each
+/// bench as a short smoke pass (e.g. `BERTI_BENCH_SAMPLES=2`) without
+/// touching the bench sources.
+fn env_samples() -> Option<usize> {
+    std::env::var("BERTI_BENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+}
+
 /// Benchmark driver.
 pub struct Criterion {
     sample_size: usize,
@@ -19,7 +29,9 @@ pub struct Criterion {
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { sample_size: 20 }
+        Criterion {
+            sample_size: env_samples().unwrap_or(20).max(2),
+        }
     }
 }
 
@@ -51,9 +63,10 @@ pub struct BenchmarkGroup<'a> {
 }
 
 impl BenchmarkGroup<'_> {
-    /// Sets the number of timed samples per benchmark.
+    /// Sets the number of timed samples per benchmark (overridden by
+    /// `BERTI_BENCH_SAMPLES`).
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
-        self.sample_size = n.max(2);
+        self.sample_size = env_samples().unwrap_or(n).max(2);
         self
     }
 
