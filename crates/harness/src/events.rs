@@ -143,6 +143,17 @@ pub enum Event {
         /// OS pid of the dead worker.
         pid: u32,
     },
+    /// A worker *process* blew its per-cell wall-clock deadline and was
+    /// killed by the scheduler's monitor; the cell is retried on a
+    /// fresh worker. Only process-sharded executors emit this.
+    WorkerTimeout {
+        /// Cache key of the cell the worker was running.
+        key: String,
+        /// OS pid of the killed worker.
+        pid: u32,
+        /// The deadline that was exceeded, milliseconds.
+        timeout_ms: u64,
+    },
     /// The campaign drained its queue.
     CampaignFinished {
         /// Campaign name.
@@ -293,6 +304,18 @@ impl Serialize for Event {
             Event::WorkerCrashed { key, pid } => obj(
                 "worker_crashed",
                 vec![("key", s(key)), ("pid", Value::U64(*pid as u64))],
+            ),
+            Event::WorkerTimeout {
+                key,
+                pid,
+                timeout_ms,
+            } => obj(
+                "worker_timeout",
+                vec![
+                    ("key", s(key)),
+                    ("pid", Value::U64(*pid as u64)),
+                    ("timeout_ms", Value::U64(*timeout_ms)),
+                ],
             ),
             Event::CampaignFinished {
                 campaign,
@@ -488,6 +511,11 @@ mod tests {
             Event::WorkerCrashed {
                 key: "k".into(),
                 pid: 1234,
+            },
+            Event::WorkerTimeout {
+                key: "k".into(),
+                pid: 1234,
+                timeout_ms: 30_000,
             },
             Event::CampaignFinished {
                 campaign: "c".into(),

@@ -72,11 +72,16 @@ impl Request {
             }
         }
 
-        let content_length = headers
-            .iter()
-            .find(|(n, _)| n == "content-length")
-            .and_then(|(_, v)| v.parse::<usize>().ok())
-            .unwrap_or(0);
+        // Absent Content-Length means no body; a *present but
+        // unparseable* value must be an error, not silently zero —
+        // treating `Content-Length: ten` as 0 would leave the body
+        // bytes in the stream to be misread as a pipelined request.
+        let content_length = match headers.iter().find(|(n, _)| n == "content-length") {
+            None => 0,
+            Some((_, v)) => v
+                .parse::<usize>()
+                .map_err(|_| bad("malformed content-length"))?,
+        };
         if content_length > MAX_BODY_BYTES {
             return Err(bad("request body too large"));
         }
@@ -250,6 +255,22 @@ mod tests {
     fn clean_eof_reads_as_none() {
         let mut r = BufReader::new(&b""[..]);
         assert!(Request::read(&mut r).expect("ok").is_none());
+    }
+
+    #[test]
+    fn malformed_content_length_is_an_error_not_zero() {
+        for bogus in ["ten", "-1", "1e3", "18446744073709551616", ""] {
+            let raw = format!("POST /x HTTP/1.1\r\nContent-Length: {bogus}\r\n\r\nbody");
+            let mut r = BufReader::new(raw.as_bytes());
+            assert!(
+                Request::read(&mut r).is_err(),
+                "`Content-Length: {bogus}` must be rejected"
+            );
+        }
+        // Absent header still means an empty body.
+        let mut r = BufReader::new(&b"GET /x HTTP/1.1\r\nHost: a\r\n\r\n"[..]);
+        let req = Request::read(&mut r).expect("parses").expect("present");
+        assert!(req.body.is_empty());
     }
 
     #[test]

@@ -26,6 +26,16 @@
 //!   abort — not just a catchable panic) fails exactly one cell, which
 //!   is retried on a fresh worker, lifting `berti-harness`'s
 //!   panic-isolation semantics one level up the stack.
+//! - **Multi-campaign scheduling with deadlines** ([`sched`]) —
+//!   campaigns share a global worker budget (FIFO admission,
+//!   per-campaign max-share so a huge grid cannot starve a later
+//!   quick submission), every worker interaction runs under a
+//!   wall-clock deadline (spawn handshake + per-cell timeout,
+//!   overridable per campaign), and a monitor thread kills wedged
+//!   workers so a hung simulation costs one `worker_timeout` event
+//!   and a backoff-retried cell — never a blocked daemon. The
+//!   dispatcher publishes its gauges and deadline counters as the
+//!   `scheduler` group in `GET /metrics`.
 //! - **Pluggable result store** — execution writes through
 //!   [`berti_harness::ResultStore`]; the local-dir backend's atomic
 //!   publish (unique temp file + rename) lets several daemons and the
@@ -36,7 +46,11 @@
 //! The binary is `berti-serve`; see the crate README section for the
 //! HTTP API and `DESIGN.md` §8 for the worker protocol.
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the deadline monitor in [`sched`] binds
+// the libc `kill(2)` symbol behind one scoped `#[allow(unsafe_code)]`
+// (the same carve-out `berti-traces` uses for mmap); everything else
+// stays safe Rust.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod http;

@@ -9,10 +9,15 @@
 //! that dies mid-frame yields a short read, which the parent treats as
 //! a crash of the cell in flight.
 //!
-//! One request runs one cell:
+//! A freshly spawned worker greets the parent before any work — the
+//! spawn-time handshake the scheduler enforces under a deadline, so a
+//! worker that wedges before it can even speak is killed instead of
+//! blocking a budget slot forever. After the hello, one request runs
+//! one cell:
 //!
 //! ```text
-//! parent → worker   {"v":2,"spec":{…JobSpec…},"interval":5000,"trace_dir":null}
+//! worker → parent   {"v":3}                                               (once, at spawn)
+//! parent → worker   {"v":3,"spec":{…JobSpec…},"interval":5000,"trace_dir":null}
 //! worker → parent   {"kind":"interval","event_json":"{…job_interval…}"}   (0+ times)
 //! worker → parent   {"kind":"done","report":{…Report…}}                   (or)
 //! worker → parent   {"kind":"error","error":"panic message"}
@@ -34,12 +39,24 @@ use serde::{Deserialize, Serialize};
 /// Protocol version; a worker rejects requests with a different `v`.
 /// v2 added `trace_dir` to [`WorkerRequest`] (the field is required on
 /// the wire — the vendored serde derive has no missing-field defaults —
-/// hence the version bump).
-pub const PROTO_VERSION: u32 = 2;
+/// hence the version bump). v3 added the [`WorkerHello`] greeting a
+/// worker writes at spawn, which the parent reads under the handshake
+/// deadline (and which moves the version check to spawn time, before
+/// any cell is entrusted to the worker).
+pub const PROTO_VERSION: u32 = 3;
 
 /// Largest accepted frame (reports are a few KB; this is a safety cap,
 /// not a tuning knob).
 pub const MAX_FRAME_BYTES: u32 = 64 * 1024 * 1024;
+
+/// Worker → parent: written once immediately after spawn, before any
+/// request is read. The parent treats a missing/slow/mismatched hello
+/// as a failed spawn and kills the worker.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct WorkerHello {
+    /// Protocol version ([`PROTO_VERSION`]).
+    pub v: u32,
+}
 
 /// Parent → worker: run one cell.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -164,14 +181,46 @@ fn maybe_crash_for_test(spec: &JobSpec) {
     }
 }
 
-/// The worker-process main loop: reads [`WorkerRequest`] frames from
-/// stdin, simulates, and writes [`WorkerReply`] frames to stdout until
-/// stdin closes. Returns the process exit code.
+/// Test hook: a worker whose cell's workload matches
+/// `BERTI_WORKER_STALL` parks forever instead of simulating — once,
+/// arbitrated through exclusive creation of the file named by
+/// `BERTI_WORKER_STALL_MARKER`, mirroring the crash hook above. This
+/// simulates a wedged worker at a deterministic point so the suite can
+/// exercise the scheduler's cell-deadline monitor; both variables
+/// unset means the hook is inert.
+fn maybe_stall_for_test(spec: &JobSpec) {
+    let (Ok(workload), Ok(marker)) = (
+        std::env::var("BERTI_WORKER_STALL"),
+        std::env::var("BERTI_WORKER_STALL_MARKER"),
+    ) else {
+        return;
+    };
+    if spec.workload == workload
+        && std::fs::OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(&marker)
+            .is_ok()
+    {
+        loop {
+            std::thread::sleep(std::time::Duration::from_secs(3600));
+        }
+    }
+}
+
+/// The worker-process main loop: writes the [`WorkerHello`] greeting,
+/// then reads [`WorkerRequest`] frames from stdin, simulates, and
+/// writes [`WorkerReply`] frames to stdout until stdin closes. Returns
+/// the process exit code.
 pub fn worker_main() -> u8 {
     let stdin = std::io::stdin();
     let stdout = std::io::stdout();
     let mut r = stdin.lock();
     let mut w = stdout.lock();
+    let hello = WorkerHello { v: PROTO_VERSION };
+    if write_frame(&mut w, &serde::json::to_string(&hello)).is_err() {
+        return 1;
+    }
     loop {
         let frame = match read_frame(&mut r) {
             Ok(Some(f)) => f,
@@ -186,6 +235,7 @@ pub fn worker_main() -> u8 {
             Err(e) => WorkerReply::error(format!("malformed request: {e}")),
             Ok(req) => {
                 maybe_crash_for_test(&req.spec);
+                maybe_stall_for_test(&req.spec);
                 run_cell(&req, &mut w)
             }
         };
@@ -254,6 +304,14 @@ mod tests {
             read_frame(&mut r).is_err(),
             "short length prefix is detected"
         );
+    }
+
+    #[test]
+    fn hello_roundtrips_and_carries_the_protocol_version() {
+        let hello = WorkerHello { v: PROTO_VERSION };
+        let back: WorkerHello =
+            serde::json::from_str(&serde::json::to_string(&hello)).expect("parses");
+        assert_eq!(back.v, PROTO_VERSION);
     }
 
     #[test]

@@ -1,5 +1,6 @@
-//! The campaign scheduler: drains the submission queue and shards each
-//! campaign's cells across a pool of executors.
+//! The campaign scheduler: a multi-campaign dispatcher that shares a
+//! **global worker budget** across every running campaign and gives
+//! every worker interaction a **deadline**.
 //!
 //! The default executor is a **worker process** ([`ProcessWorker`]):
 //! the daemon re-execs its own binary with `--worker` and speaks the
@@ -9,31 +10,55 @@
 //! once, not per campaign. An in-process thread executor
 //! ([`ThreadExecutor`]) exists for `--in-process` mode and tests.
 //!
+//! **Budget sharing.** Campaigns are admitted FIFO, but they do not run
+//! one at a time: `cfg.workers` budget slots are shared across every
+//! admitted campaign, with a per-campaign max-share of
+//! `ceil(budget / campaigns-wanting-work)` so a huge grid cannot
+//! starve a later quick-traces submission. Admission order still
+//! breaks ties, so the oldest campaign gets spare slots first.
+//!
+//! **Deadlines.** Every cell attempt on a process worker runs under a
+//! wall-clock deadline enforced by a [`deadline::WorkerMonitor`]: a
+//! wedged worker is killed, the parent emits `worker_timeout`, and the
+//! cell is retried on a fresh worker with exponential backoff, capped
+//! at [`MAX_ATTEMPTS`]. Worker spawns themselves are guarded by a
+//! handshake deadline on the protocol's hello frame. (The `--in-process`
+//! thread executor cannot be killed, so deadlines apply only to
+//! process workers.)
+//!
 //! Per-cell semantics deliberately mirror `berti_harness::pool`, one
 //! level up the isolation ladder: validate → store lookup → attempt →
 //! retry once → fail. What the harness does for a *panicking* cell
 //! (catch, retry, never take siblings down), this layer also does for
-//! a *dying worker process*: the parent sees a torn frame or EOF,
-//! emits `worker_crashed`, respawns a fresh worker, and retries only
-//! the cell that was in flight.
+//! a *dying* worker process (`worker_crashed`) and for a *wedged* one
+//! (`worker_timeout`) — the same ladder, extended one more rung to
+//! time.
 
 use std::io::{BufReader, Write as _};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
 use std::sync::atomic::Ordering;
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use berti_harness::{check_workload, execute_spec, Event, JobOutcome, JobResult, JobSpec};
 use berti_sim::Report;
 use berti_traces::TraceRegistry;
 
-use crate::proto::{read_frame, write_frame, WorkerReply, WorkerRequest, PROTO_VERSION};
+use crate::proto::{
+    read_frame, write_frame, WorkerHello, WorkerReply, WorkerRequest, PROTO_VERSION,
+};
 use crate::state::{CampaignEntry, CampaignStatus, Daemon};
 
 /// Attempts per cell (initial + one retry), matching the harness pool.
 const MAX_ATTEMPTS: u32 = 2;
+
+/// First retry waits this long; each further attempt doubles it.
+const RETRY_BACKOFF_BASE: Duration = Duration::from_millis(50);
+
+/// How often an idle dispatcher re-checks for work and shutdown.
+const DISPATCH_POLL: Duration = Duration::from_millis(50);
 
 /// Why a cell attempt produced no report.
 #[derive(Debug)]
@@ -68,18 +93,23 @@ pub trait CellExecutor: Send {
     fn pid(&self) -> Option<u32>;
 }
 
-/// How the scheduler obtains executors.
+/// How the scheduler obtains executors and enforces deadlines.
 #[derive(Clone, Debug)]
 pub struct SchedulerConfig {
-    /// Executor-pool size per campaign.
+    /// Global budget: cells in flight across *all* campaigns.
     pub workers: usize,
     /// Run cells on threads in the daemon process instead of worker
-    /// processes (loses crash isolation; for tests and constrained
-    /// environments).
+    /// processes (loses crash isolation and deadlines; for tests and
+    /// constrained environments).
     pub in_process: bool,
     /// Override the worker binary (default: the daemon's own image via
     /// `std::env::current_exe`).
     pub worker_cmd: Option<PathBuf>,
+    /// Default per-cell wall-clock deadline; `None` disables deadlines.
+    /// A submission may override it per campaign (`cell_timeout_ms`).
+    pub cell_timeout: Option<Duration>,
+    /// How long a freshly spawned worker has to write its hello frame.
+    pub handshake_timeout: Duration,
 }
 
 impl Default for SchedulerConfig {
@@ -88,9 +118,226 @@ impl Default for SchedulerConfig {
             workers: 2,
             in_process: false,
             worker_cmd: None,
+            cell_timeout: Some(Duration::from_secs(300)),
+            handshake_timeout: Duration::from_secs(10),
         }
     }
 }
+
+/// Deadline enforcement for worker processes: a monitor thread that
+/// SIGKILLs a watched pid when its deadline passes. Killing the
+/// process is the only interruption that works against a worker that
+/// is wedged inside a blocking read or an infinite loop — the parent's
+/// blocking `read_frame` then observes EOF and the cell fails with a
+/// `fired` guard, which the scheduler classifies as a timeout rather
+/// than a crash.
+pub mod deadline {
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    /// Sends SIGKILL to `pid` via the libc `kill(2)` symbol — bound
+    /// directly, like the daemon binary's `signal(2)` binding, so the
+    /// crate needs no foreign-function dependency.
+    #[allow(unsafe_code)]
+    fn kill_pid(pid: u32) {
+        extern "C" {
+            fn kill(pid: i32, sig: i32) -> i32;
+        }
+        // SIGKILL: the process is wedged by assumption; nothing softer
+        // is guaranteed to be observed.
+        unsafe {
+            kill(pid as i32, 9);
+        }
+    }
+
+    struct Watch {
+        id: u64,
+        pid: u32,
+        deadline: Instant,
+        fired: Arc<AtomicBool>,
+    }
+
+    struct Inner {
+        watches: Mutex<Vec<Watch>>,
+        changed: Condvar,
+        shutdown: AtomicBool,
+        next_id: AtomicU64,
+    }
+
+    /// The monitor: arm a watch before a blocking worker interaction,
+    /// drop the guard when it returns. An expired watch kills the pid
+    /// and flips the guard's `fired` flag so the caller can tell a
+    /// deadline kill from an organic crash.
+    pub struct WorkerMonitor {
+        inner: Arc<Inner>,
+        thread: Option<std::thread::JoinHandle<()>>,
+    }
+
+    /// Disarms its watch on drop; `fired()` reports whether the
+    /// monitor killed the watched pid first.
+    pub struct WatchGuard {
+        inner: Arc<Inner>,
+        id: u64,
+        fired: Arc<AtomicBool>,
+    }
+
+    impl WatchGuard {
+        /// Whether the deadline expired and the pid was killed.
+        pub fn fired(&self) -> bool {
+            self.fired.load(Ordering::SeqCst)
+        }
+    }
+
+    impl Drop for WatchGuard {
+        fn drop(&mut self) {
+            let mut watches = self.inner.watches.lock().expect("monitor poisoned");
+            watches.retain(|w| w.id != self.id);
+            drop(watches);
+            self.inner.changed.notify_all();
+        }
+    }
+
+    impl WorkerMonitor {
+        /// Starts the monitor thread.
+        pub fn new() -> WorkerMonitor {
+            let inner = Arc::new(Inner {
+                watches: Mutex::new(Vec::new()),
+                changed: Condvar::new(),
+                shutdown: AtomicBool::new(false),
+                next_id: AtomicU64::new(1),
+            });
+            let run = Arc::clone(&inner);
+            let thread = std::thread::Builder::new()
+                .name("berti-serve-deadline".to_string())
+                .spawn(move || monitor_loop(&run))
+                .expect("monitor thread spawns");
+            WorkerMonitor {
+                inner,
+                thread: Some(thread),
+            }
+        }
+
+        /// Arms a deadline for `pid`, `timeout` from now.
+        pub fn watch(&self, pid: u32, timeout: Duration) -> WatchGuard {
+            let id = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
+            let fired = Arc::new(AtomicBool::new(false));
+            let watch = Watch {
+                id,
+                pid,
+                deadline: Instant::now() + timeout,
+                fired: Arc::clone(&fired),
+            };
+            self.inner
+                .watches
+                .lock()
+                .expect("monitor poisoned")
+                .push(watch);
+            self.inner.changed.notify_all();
+            WatchGuard {
+                inner: Arc::clone(&self.inner),
+                id,
+                fired,
+            }
+        }
+
+        /// Stops and joins the monitor thread.
+        pub fn shutdown(mut self) {
+            self.inner.shutdown.store(true, Ordering::SeqCst);
+            self.inner.changed.notify_all();
+            if let Some(t) = self.thread.take() {
+                let _ = t.join();
+            }
+        }
+    }
+
+    impl Default for WorkerMonitor {
+        fn default() -> Self {
+            WorkerMonitor::new()
+        }
+    }
+
+    impl Drop for WorkerMonitor {
+        fn drop(&mut self) {
+            self.inner.shutdown.store(true, Ordering::SeqCst);
+            self.inner.changed.notify_all();
+            if let Some(t) = self.thread.take() {
+                let _ = t.join();
+            }
+        }
+    }
+
+    fn monitor_loop(inner: &Inner) {
+        let mut watches = inner.watches.lock().expect("monitor poisoned");
+        loop {
+            if inner.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            let now = Instant::now();
+            watches.retain(|w| {
+                if w.deadline <= now {
+                    // Flag first, then kill: the run loop observes EOF
+                    // only after the kill, so `fired` is always set by
+                    // the time the caller checks it.
+                    w.fired.store(true, Ordering::SeqCst);
+                    kill_pid(w.pid);
+                    false
+                } else {
+                    true
+                }
+            });
+            let wait = watches
+                .iter()
+                .map(|w| w.deadline.saturating_duration_since(now))
+                .min()
+                .unwrap_or(Duration::from_secs(3600));
+            let (guard, _) = inner
+                .changed
+                .wait_timeout(watches, wait)
+                .expect("monitor poisoned");
+            watches = guard;
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn expired_watch_kills_the_pid_and_fires() {
+            let monitor = WorkerMonitor::new();
+            let mut child = std::process::Command::new("sleep")
+                .arg("3600")
+                .spawn()
+                .expect("sleep spawns");
+            let guard = monitor.watch(child.id(), Duration::from_millis(50));
+            let status = child.wait().expect("child reaped");
+            assert!(!status.success(), "killed, not exited");
+            // The flag is set before the kill, so it is visible once
+            // the child is observably dead.
+            assert!(guard.fired(), "deadline kill is flagged");
+            monitor.shutdown();
+        }
+
+        #[test]
+        fn disarmed_watch_never_fires() {
+            let monitor = WorkerMonitor::new();
+            let mut child = std::process::Command::new("sleep")
+                .arg("0.2")
+                .spawn()
+                .expect("sleep spawns");
+            let guard = monitor.watch(child.id(), Duration::from_secs(3600));
+            let fired = guard.fired();
+            drop(guard);
+            let status = child.wait().expect("child reaped");
+            assert!(status.success(), "child exited on its own");
+            assert!(!fired, "an unexpired watch never fires");
+            monitor.shutdown();
+        }
+    }
+}
+
+use deadline::WorkerMonitor;
 
 /// A worker process plus its framed pipes.
 pub struct ProcessWorker {
@@ -100,8 +347,15 @@ pub struct ProcessWorker {
 }
 
 impl ProcessWorker {
-    /// Spawns a worker from `cmd` (or the current executable).
-    pub fn spawn(cmd: &Option<PathBuf>) -> std::io::Result<ProcessWorker> {
+    /// Spawns a worker from `cmd` (or the current executable) and
+    /// completes the protocol handshake: the worker must write a
+    /// version-matching hello frame within `handshake_timeout`, or it
+    /// is killed and the spawn fails.
+    pub fn spawn(
+        cmd: &Option<PathBuf>,
+        monitor: &WorkerMonitor,
+        handshake_timeout: Duration,
+    ) -> std::io::Result<ProcessWorker> {
         let program = match cmd {
             Some(p) => p.clone(),
             None => std::env::current_exe()?,
@@ -114,11 +368,49 @@ impl ProcessWorker {
             .spawn()?;
         let stdin = child.stdin.take().expect("piped stdin");
         let stdout = BufReader::new(child.stdout.take().expect("piped stdout"));
-        Ok(ProcessWorker {
+        // Constructed before the handshake so Drop reaps the child on
+        // any failure path.
+        let mut worker = ProcessWorker {
             child,
             stdin,
             stdout,
-        })
+        };
+        let guard = monitor.watch(worker.pid(), handshake_timeout);
+        match worker.read_hello() {
+            Ok(()) => Ok(worker),
+            Err(e) => {
+                let timed_out = guard.fired();
+                drop(guard);
+                let pid = worker.pid();
+                drop(worker);
+                Err(if timed_out {
+                    std::io::Error::new(
+                        std::io::ErrorKind::TimedOut,
+                        format!(
+                            "worker {pid} missed the {}ms spawn handshake",
+                            handshake_timeout.as_millis()
+                        ),
+                    )
+                } else {
+                    e
+                })
+            }
+        }
+    }
+
+    fn read_hello(&mut self) -> std::io::Result<()> {
+        let invalid = |msg: String| std::io::Error::new(std::io::ErrorKind::InvalidData, msg);
+        let frame = read_frame(&mut self.stdout)?
+            .ok_or_else(|| invalid("worker closed its pipe before hello".to_string()))?;
+        let hello: WorkerHello = serde::json::from_str(&frame)
+            .map_err(|e| invalid(format!("malformed hello frame: {e}")))?;
+        if hello.v != PROTO_VERSION {
+            return Err(invalid(format!(
+                "protocol version mismatch: worker {} vs daemon {}",
+                hello.v, PROTO_VERSION
+            )));
+        }
+        Ok(())
     }
 
     /// The worker's OS pid.
@@ -230,10 +522,10 @@ impl CellExecutor for ThreadExecutor {
     }
 }
 
-/// The executor owned by one shard thread: a concrete enum (rather
+/// The executor owned by one budget slot: a concrete enum (rather
 /// than `Box<dyn CellExecutor>`) so a healthy [`ProcessWorker`] can be
-/// recovered and parked back in the [`WorkerPool`] when the shard
-/// finishes.
+/// recovered and parked back in the [`WorkerPool`] when the slot
+/// drains.
 pub enum ExecSlot {
     /// A worker process.
     Proc(ProcessWorker),
@@ -271,12 +563,17 @@ pub struct WorkerPool {
 }
 
 impl WorkerPool {
-    /// Takes an idle worker or spawns a fresh one.
-    fn checkout(&self, cfg: &SchedulerConfig, daemon: &Daemon) -> std::io::Result<ProcessWorker> {
+    /// Takes an idle worker or spawns (and handshakes) a fresh one.
+    fn checkout(
+        &self,
+        cfg: &SchedulerConfig,
+        daemon: &Daemon,
+        monitor: &WorkerMonitor,
+    ) -> std::io::Result<ProcessWorker> {
         if let Some(w) = self.idle.lock().expect("worker pool poisoned").pop() {
             return Ok(w);
         }
-        let w = ProcessWorker::spawn(&cfg.worker_cmd)?;
+        let w = ProcessWorker::spawn(&cfg.worker_cmd, monitor, cfg.handshake_timeout)?;
         daemon.stats.lock().expect("stats poisoned").worker_spawns += 1;
         Ok(w)
     }
@@ -286,144 +583,340 @@ impl WorkerPool {
         self.idle.lock().expect("worker pool poisoned").push(worker);
     }
 
+    /// Idle workers currently parked.
+    pub fn idle_count(&self) -> usize {
+        self.idle.lock().expect("worker pool poisoned").len()
+    }
+
     /// Drops every idle worker (shutdown).
     pub fn drain(&self) {
         self.idle.lock().expect("worker pool poisoned").clear();
     }
 }
 
-/// The scheduler loop: runs queued campaigns until `rx` closes or the
-/// daemon's shutdown flag rises. One campaign runs at a time; its
-/// cells are sharded across `cfg.workers` executors.
+/// One admitted campaign's dispatch bookkeeping.
+struct Active {
+    entry: Arc<CampaignEntry>,
+    /// Pre-dispatch workload-check registry, built once at admission
+    /// (workers build their own when executing; this one only answers
+    /// "does this name resolve, and if not, what is close?"). An
+    /// unreadable trace dir fails every cell with the same diagnostic.
+    registry: Arc<Result<TraceRegistry, String>>,
+    /// Next undispatched cell index.
+    next_cell: usize,
+    /// Cells currently executing on budget slots.
+    in_flight: usize,
+    /// Cells that reached a terminal outcome.
+    finished: usize,
+    /// Set when the campaign first dispatched a cell.
+    started: Option<Instant>,
+}
+
+impl Active {
+    /// Whether the dispatcher may hand out another of this campaign's
+    /// cells.
+    fn wants_work(&self) -> bool {
+        self.next_cell < self.entry.campaign.cells.len()
+            && !self.entry.cancel.load(Ordering::SeqCst)
+            && !self.entry.status().is_terminal()
+    }
+}
+
+/// One dispatched cell.
+struct Task {
+    entry: Arc<CampaignEntry>,
+    registry: Arc<Result<TraceRegistry, String>>,
+    idx: usize,
+}
+
+struct SchedState {
+    /// Admission (FIFO) order.
+    active: Vec<Active>,
+    /// No further admissions; budget slots exit once drained.
+    closed: bool,
+}
+
+/// Shared dispatcher state for the scheduler thread and its budget
+/// slots.
+struct Sched {
+    daemon: Arc<Daemon>,
+    cfg: SchedulerConfig,
+    pool: WorkerPool,
+    monitor: WorkerMonitor,
+    state: Mutex<SchedState>,
+    work: Condvar,
+}
+
+impl Sched {
+    /// Admits a submission into the active set (registry built outside
+    /// the state lock; directory scanning can be slow).
+    fn admit(&self, entry: Arc<CampaignEntry>) {
+        let registry = Arc::new(match entry.trace_dir.as_deref() {
+            None => Ok(TraceRegistry::builtin()),
+            Some(dir) => TraceRegistry::with_trace_dir(std::path::Path::new(dir))
+                .map_err(|e| format!("trace dir {dir}: {e}")),
+        });
+        let mut state = self.state.lock().expect("sched state poisoned");
+        state.active.push(Active {
+            entry,
+            registry,
+            next_cell: 0,
+            in_flight: 0,
+            finished: 0,
+            started: None,
+        });
+        self.publish_gauges(&state);
+        drop(state);
+        self.work.notify_all();
+    }
+
+    /// Blocks until a cell is dispatchable under the budget-share rule,
+    /// the queue closes empty, or shutdown. `None` means the slot
+    /// should exit.
+    fn next_task(&self) -> Option<Task> {
+        let mut state = self.state.lock().expect("sched state poisoned");
+        loop {
+            if self.daemon.shutdown.load(Ordering::SeqCst) {
+                return None;
+            }
+            self.reap(&mut state);
+            let wanting = state.active.iter().filter(|a| a.wants_work()).count();
+            if wanting > 0 {
+                let budget = self.cfg.workers.max(1);
+                // Per-campaign max-share: an even split of the budget,
+                // rounded up, so a huge early grid cannot starve a
+                // later quick submission; FIFO order gets spare slots.
+                let cap = budget.div_ceil(wanting).max(1);
+                for a in state.active.iter_mut() {
+                    if !a.wants_work() || a.in_flight >= cap {
+                        continue;
+                    }
+                    if a.started.is_none() {
+                        // Claim Queued→Running atomically against a
+                        // racing DELETE; losing means the cancel path
+                        // already owns the terminal event.
+                        if !a.entry.try_start() {
+                            continue;
+                        }
+                        a.started = Some(Instant::now());
+                        a.entry.events.push(&Event::CampaignStarted {
+                            campaign: a.entry.campaign.name.clone(),
+                            cells: a.entry.campaign.cells.len(),
+                            jobs: budget.min(a.entry.campaign.cells.len()),
+                        });
+                    }
+                    let idx = a.next_cell;
+                    a.next_cell += 1;
+                    a.in_flight += 1;
+                    let task = Task {
+                        entry: Arc::clone(&a.entry),
+                        registry: Arc::clone(&a.registry),
+                        idx,
+                    };
+                    self.publish_gauges(&state);
+                    return Some(task);
+                }
+            }
+            if state.closed && state.active.is_empty() {
+                return None;
+            }
+            let (guard, _) = self
+                .work
+                .wait_timeout(state, DISPATCH_POLL)
+                .expect("sched state poisoned");
+            state = guard;
+        }
+    }
+
+    /// Records a finished cell and finalizes its campaign if drained.
+    fn complete(&self, task: &Task) {
+        let mut state = self.state.lock().expect("sched state poisoned");
+        if let Some(a) = state
+            .active
+            .iter_mut()
+            .find(|a| a.entry.id == task.entry.id)
+        {
+            a.in_flight -= 1;
+            a.finished += 1;
+        }
+        self.reap(&mut state);
+        self.publish_gauges(&state);
+        drop(state);
+        self.work.notify_all();
+    }
+
+    /// Removes and finalizes campaigns with nothing left in flight:
+    /// fully drained grids, cancelled campaigns whose in-flight cells
+    /// finished, and queued-cancelled entries (already terminal).
+    fn reap(&self, state: &mut SchedState) {
+        let mut i = 0;
+        while i < state.active.len() {
+            let a = &state.active[i];
+            let drained = a.in_flight == 0
+                && (a.finished == a.entry.campaign.cells.len()
+                    || a.entry.cancel.load(Ordering::SeqCst)
+                    || a.entry.status().is_terminal());
+            if !drained {
+                i += 1;
+                continue;
+            }
+            let a = state.active.remove(i);
+            self.finalize(&a);
+        }
+    }
+
+    /// Emits the terminal event and status for one drained campaign.
+    /// A queued-cancelled entry is already terminal (the cancel path
+    /// owns its event) and is skipped by `finish_with`.
+    fn finalize(&self, a: &Active) {
+        if let Some(started) = a.started {
+            a.entry
+                .wall_ms
+                .store(started.elapsed().as_millis() as u64, Ordering::Relaxed);
+        }
+        let (completed, cached, failed) = a.entry.counts();
+        let cancelled = a.entry.cancel.load(Ordering::SeqCst)
+            || self.daemon.shutdown.load(Ordering::SeqCst)
+            || a.finished < a.entry.campaign.cells.len();
+        let (status, event) = if cancelled {
+            (
+                CampaignStatus::Cancelled,
+                Event::CampaignCancelled {
+                    campaign: a.entry.campaign.name.clone(),
+                    completed,
+                },
+            )
+        } else {
+            (
+                CampaignStatus::Done,
+                Event::CampaignFinished {
+                    campaign: a.entry.campaign.name.clone(),
+                    completed,
+                    failed,
+                    cache_hits: cached,
+                    wall_ms: a.entry.wall_ms.load(Ordering::Relaxed),
+                },
+            )
+        };
+        if !a.entry.finish_with(status, &event) {
+            return; // queued-cancel already owned the terminal event
+        }
+        let mut stats = self.daemon.stats.lock().expect("stats poisoned");
+        if cancelled {
+            stats.campaigns_cancelled += 1;
+        } else {
+            stats.campaigns_completed += 1;
+        }
+    }
+
+    /// Finalizes everything still active after the budget slots exited
+    /// (shutdown, or the submission channel closed mid-campaign).
+    fn finalize_remaining(&self) {
+        let mut state = self.state.lock().expect("sched state poisoned");
+        let drained: Vec<Active> = state.active.drain(..).collect();
+        for a in &drained {
+            self.finalize(a);
+        }
+        self.publish_gauges(&state);
+    }
+
+    /// Overwrites the gauge half of the `scheduler` metrics group from
+    /// the current dispatch state (counters are incremented in place
+    /// as their events occur).
+    fn publish_gauges(&self, state: &SchedState) {
+        let budget = self.cfg.workers.max(1) as u64;
+        let mut queued = 0u64;
+        let mut running = 0u64;
+        let mut in_flight = 0u64;
+        for a in &state.active {
+            match a.entry.status() {
+                CampaignStatus::Queued => queued += 1,
+                CampaignStatus::Running => running += 1,
+                _ => {}
+            }
+            in_flight += a.in_flight as u64;
+        }
+        let parked = self.pool.idle_count() as u64;
+        let mut g = self.daemon.sched.lock().expect("sched stats poisoned");
+        g.campaigns_queued = queued;
+        g.campaigns_running = running;
+        g.cells_in_flight = in_flight;
+        g.workers_busy = in_flight.min(budget);
+        g.workers_idle = budget.saturating_sub(in_flight);
+        g.workers_parked = parked;
+    }
+}
+
+/// The scheduler loop: admits queued campaigns until `rx` closes or
+/// the daemon's shutdown flag rises, dispatching cells across
+/// `cfg.workers` budget slots shared by every running campaign.
 pub fn scheduler_loop(
     daemon: Arc<Daemon>,
     rx: mpsc::Receiver<Arc<CampaignEntry>>,
     cfg: SchedulerConfig,
 ) {
-    let pool = WorkerPool::default();
-    loop {
-        if daemon.shutdown.load(Ordering::SeqCst) {
-            break;
-        }
-        let entry = match rx.recv_timeout(Duration::from_millis(100)) {
-            Ok(e) => e,
-            Err(mpsc::RecvTimeoutError::Timeout) => continue,
-            Err(mpsc::RecvTimeoutError::Disconnected) => break,
-        };
-        if entry.status() != CampaignStatus::Queued {
-            continue; // cancelled while queued; already terminal
-        }
-        run_one_campaign(&daemon, &entry, &cfg, &pool);
-    }
-    pool.drain();
-}
-
-/// Executes one campaign: shard cells over executors, mirroring the
-/// harness pool's per-cell semantics, with results written through the
-/// daemon's [`ResultStore`].
-pub fn run_one_campaign(
-    daemon: &Daemon,
-    entry: &CampaignEntry,
-    cfg: &SchedulerConfig,
-    pool: &WorkerPool,
-) {
-    let started = Instant::now();
-    entry.set_status(CampaignStatus::Running);
-    let workers = cfg.workers.max(1).min(entry.campaign.cells.len().max(1));
-    entry.events.push(&Event::CampaignStarted {
-        campaign: entry.campaign.name.clone(),
-        cells: entry.campaign.cells.len(),
-        jobs: workers,
-    });
-
-    // One registry per campaign for the pre-dispatch workload check
-    // (workers build their own when executing; this one only answers
-    // "does this name resolve, and if not, what is close?"). An
-    // unreadable trace dir fails every cell with the same diagnostic.
-    let registry = match entry.trace_dir.as_deref() {
-        None => Ok(TraceRegistry::builtin()),
-        Some(dir) => TraceRegistry::with_trace_dir(std::path::Path::new(dir))
-            .map_err(|e| format!("trace dir {dir}: {e}")),
+    let budget = cfg.workers.max(1);
+    let sched = Sched {
+        daemon,
+        cfg,
+        pool: WorkerPool::default(),
+        monitor: WorkerMonitor::new(),
+        state: Mutex::new(SchedState {
+            active: Vec::new(),
+            closed: false,
+        }),
+        work: Condvar::new(),
     };
-    let registry = &registry;
-
-    let (work_tx, work_rx) = mpsc::channel::<usize>();
-    for i in 0..entry.campaign.cells.len() {
-        let _ = work_tx.send(i);
-    }
-    drop(work_tx);
-    let work_rx = Mutex::new(work_rx);
 
     std::thread::scope(|scope| {
-        for _ in 0..workers {
-            let work_rx = &work_rx;
-            scope.spawn(move || {
-                let mut executor: Option<ExecSlot> = None;
-                loop {
-                    // Stop dispatching once cancelled or shutting
-                    // down; in-flight cells (on other shards) finish
-                    // and publish to the store regardless.
-                    if entry.cancel.load(Ordering::SeqCst) || daemon.shutdown.load(Ordering::SeqCst)
-                    {
-                        break;
-                    }
-                    let idx = match work_rx.lock().expect("work queue poisoned").recv() {
-                        Ok(i) => i,
-                        Err(_) => break,
-                    };
-                    run_cell(daemon, entry, idx, cfg, pool, registry, &mut executor);
-                }
-                // Park a healthy process worker for the next campaign.
-                if let Some(ExecSlot::Proc(worker)) = executor.take() {
-                    pool.checkin(worker);
-                }
-            });
+        for i in 0..budget {
+            let sched = &sched;
+            std::thread::Builder::new()
+                .name(format!("berti-serve-cell-{i}"))
+                .spawn_scoped(scope, move || budget_slot_loop(sched))
+                .expect("budget slot spawns");
         }
+        loop {
+            if sched.daemon.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            match rx.recv_timeout(Duration::from_millis(100)) {
+                Ok(entry) => sched.admit(entry),
+                Err(mpsc::RecvTimeoutError::Timeout) => continue,
+                Err(mpsc::RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        let mut state = sched.state.lock().expect("sched state poisoned");
+        state.closed = true;
+        drop(state);
+        sched.work.notify_all();
     });
 
-    entry
-        .wall_ms
-        .store(started.elapsed().as_millis() as u64, Ordering::Relaxed);
-    let (completed, cached, failed) = entry.counts();
-    let cancelled = entry.cancel.load(Ordering::SeqCst) || daemon.shutdown.load(Ordering::SeqCst);
-    if cancelled {
-        entry.events.push(&Event::CampaignCancelled {
-            campaign: entry.campaign.name.clone(),
-            completed,
-        });
-        entry.set_status(CampaignStatus::Cancelled);
-        daemon
-            .stats
-            .lock()
-            .expect("stats poisoned")
-            .campaigns_cancelled += 1;
-    } else {
-        entry.events.push(&Event::CampaignFinished {
-            campaign: entry.campaign.name.clone(),
-            completed,
-            failed,
-            cache_hits: cached,
-            wall_ms: entry.wall_ms.load(Ordering::Relaxed),
-        });
-        entry.set_status(CampaignStatus::Done);
-        daemon
-            .stats
-            .lock()
-            .expect("stats poisoned")
-            .campaigns_completed += 1;
+    // Budget slots have exited (their in-flight cells finished and
+    // published to the store); finalize whatever they left behind.
+    sched.finalize_remaining();
+    sched.pool.drain();
+    sched.monitor.shutdown();
+}
+
+/// One budget slot: pulls dispatched cells until the scheduler drains
+/// or shuts down, keeping its executor warm across cells and parking a
+/// healthy process worker on exit.
+fn budget_slot_loop(sched: &Sched) {
+    let mut executor: Option<ExecSlot> = None;
+    while let Some(task) = sched.next_task() {
+        run_cell(sched, &task, &mut executor);
+        sched.complete(&task);
+    }
+    if let Some(ExecSlot::Proc(worker)) = executor.take() {
+        sched.pool.checkin(worker);
     }
 }
 
-fn run_cell(
-    daemon: &Daemon,
-    entry: &CampaignEntry,
-    idx: usize,
-    cfg: &SchedulerConfig,
-    pool: &WorkerPool,
-    registry: &Result<TraceRegistry, String>,
-    executor: &mut Option<ExecSlot>,
-) {
-    let spec = &entry.campaign.cells[idx];
+fn run_cell(sched: &Sched, task: &Task, executor: &mut Option<ExecSlot>) {
+    let daemon = &*sched.daemon;
+    let entry = &*task.entry;
+    let spec = &entry.campaign.cells[task.idx];
     let key = spec.key();
     let workload = spec.workload.clone();
     let label = spec.label();
@@ -436,7 +929,7 @@ fn run_cell(
         .opts
         .validate(&spec.config)
         .map_err(|e| e.to_string())
-        .and_then(|()| match registry {
+        .and_then(|()| match &*task.registry {
             Ok(reg) => check_workload(reg, &spec.workload),
             Err(e) => Err(e.clone()),
         });
@@ -451,7 +944,7 @@ fn run_cell(
         });
         daemon.stats.lock().expect("stats poisoned").cells_failed += 1;
         entry.fill_slot(
-            idx,
+            task.idx,
             JobResult {
                 spec: spec.clone(),
                 key,
@@ -469,7 +962,7 @@ fn run_cell(
         });
         daemon.stats.lock().expect("stats poisoned").cells_cached += 1;
         entry.fill_slot(
-            idx,
+            task.idx,
             JobResult {
                 spec: spec.clone(),
                 key,
@@ -488,12 +981,32 @@ fn run_cell(
         label: label.clone(),
     });
 
+    // Campaign override beats the daemon default; an explicit 0
+    // disables the deadline for this campaign.
+    let cell_timeout = match entry.cell_timeout_ms {
+        Some(0) => None,
+        Some(ms) => Some(Duration::from_millis(ms)),
+        None => sched.cfg.cell_timeout,
+    };
+
     let mut last_error = String::new();
     for attempt in 1..=MAX_ATTEMPTS {
-        // (Re)acquire an executor; a spawn failure counts as this
-        // attempt failing.
+        if attempt > 1 {
+            // Exponential backoff before every retry: doubles per
+            // attempt from the base, counted so the e2e suite can
+            // observe it happened.
+            let backoff = RETRY_BACKOFF_BASE * (1 << (attempt - 2));
+            {
+                let mut sched_stats = daemon.sched.lock().expect("sched stats poisoned");
+                sched_stats.cell_retries += 1;
+                sched_stats.backoff_sleeps += 1;
+            }
+            std::thread::sleep(backoff);
+        }
+        // (Re)acquire an executor; a spawn (or handshake) failure
+        // counts as this attempt failing.
         if executor.is_none() {
-            *executor = match acquire_executor(cfg, daemon, pool) {
+            *executor = match acquire_executor(sched) {
                 Ok(e) => Some(e),
                 Err(e) => {
                     last_error = format!("spawning worker: {e}");
@@ -510,9 +1023,18 @@ fn run_cell(
             };
         }
         let exec = executor.as_mut().expect("just ensured");
+        // Arm the cell deadline: only process workers can be killed,
+        // so the in-process thread executor runs unguarded.
+        let watch = match (exec.pid(), cell_timeout) {
+            (Some(pid), Some(timeout)) => Some(sched.monitor.watch(pid, timeout)),
+            _ => None,
+        };
         let started = Instant::now();
         let mut emit = |line: String| entry.events.push_line(line);
-        match exec.run(spec, entry.trace_dir.as_deref(), entry.interval, &mut emit) {
+        let outcome = exec.run(spec, entry.trace_dir.as_deref(), entry.interval, &mut emit);
+        let timed_out = watch.as_ref().is_some_and(|w| w.fired());
+        drop(watch);
+        match outcome {
             Ok(report) => {
                 let _ = daemon.store.store(spec, &report);
                 let wall_ms = started.elapsed().as_millis() as u64;
@@ -528,7 +1050,7 @@ fn run_cell(
                 });
                 daemon.stats.lock().expect("stats poisoned").cells_completed += 1;
                 entry.fill_slot(
-                    idx,
+                    task.idx,
                     JobResult {
                         spec: spec.clone(),
                         key,
@@ -544,12 +1066,28 @@ fn run_cell(
                 // The executor is gone: discard it so the next attempt
                 // (or next cell) starts a fresh worker.
                 *executor = None;
-                last_error = format!("worker process {pid} died: {error}");
-                entry.events.push(&Event::WorkerCrashed {
-                    key: key.clone(),
-                    pid,
-                });
-                daemon.stats.lock().expect("stats poisoned").worker_crashes += 1;
+                if timed_out {
+                    let timeout_ms = cell_timeout.unwrap_or_default().as_millis() as u64;
+                    last_error =
+                        format!("worker process {pid} exceeded the {timeout_ms}ms cell deadline");
+                    entry.events.push(&Event::WorkerTimeout {
+                        key: key.clone(),
+                        pid,
+                        timeout_ms,
+                    });
+                    daemon
+                        .sched
+                        .lock()
+                        .expect("sched stats poisoned")
+                        .cell_timeouts += 1;
+                } else {
+                    last_error = format!("worker process {pid} died: {error}");
+                    entry.events.push(&Event::WorkerCrashed {
+                        key: key.clone(),
+                        pid,
+                    });
+                    daemon.stats.lock().expect("stats poisoned").worker_crashes += 1;
+                }
                 entry.events.push(&Event::JobFailed {
                     key: key.clone(),
                     workload: workload.clone(),
@@ -575,7 +1113,7 @@ fn run_cell(
 
     daemon.stats.lock().expect("stats poisoned").cells_failed += 1;
     entry.fill_slot(
-        idx,
+        task.idx,
         JobResult {
             spec: spec.clone(),
             key,
@@ -587,14 +1125,14 @@ fn run_cell(
     );
 }
 
-fn acquire_executor(
-    cfg: &SchedulerConfig,
-    daemon: &Daemon,
-    pool: &WorkerPool,
-) -> std::io::Result<ExecSlot> {
-    if cfg.in_process {
+fn acquire_executor(sched: &Sched) -> std::io::Result<ExecSlot> {
+    if sched.cfg.in_process {
         Ok(ExecSlot::Thread(ThreadExecutor))
     } else {
-        Ok(ExecSlot::Proc(pool.checkout(cfg, daemon)?))
+        Ok(ExecSlot::Proc(sched.pool.checkout(
+            &sched.cfg,
+            &sched.daemon,
+            &sched.monitor,
+        )?))
     }
 }

@@ -22,7 +22,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use berti_harness::{registry, Campaign, ResultCache};
 use berti_sim::SimOptions;
@@ -36,13 +36,27 @@ use crate::stats::metrics_json;
 /// How often blocked loops (accept, SSE wait) re-check shutdown.
 const POLL: Duration = Duration::from_millis(50);
 
+/// Read/write timeout on accepted connections, so a stalled or
+/// half-dead client can wedge at most one handler thread for this
+/// long (never forever). SSE streams stay alive past the read side of
+/// this because the server is the only writer; the write side is kept
+/// healthy by [`SSE_KEEPALIVE`] comments.
+const HTTP_IO_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Idle interval after which an SSE stream writes a `: keep-alive`
+/// comment, proving the client is still reading (a gone client makes
+/// the write fail and frees the handler thread) and keeping
+/// intermediaries from timing the stream out. Well under
+/// [`HTTP_IO_TIMEOUT`] so a healthy-but-quiet stream never trips it.
+const SSE_KEEPALIVE: Duration = Duration::from_secs(5);
+
 /// Server configuration, usually built from CLI flags.
 #[derive(Clone, Debug)]
 pub struct ServerConfig {
     /// Bind address, e.g. `127.0.0.1:7791` (`:0` for an ephemeral
     /// port).
     pub addr: String,
-    /// Worker executors per campaign.
+    /// Global worker budget: cells in flight across all campaigns.
     pub workers: usize,
     /// Run cells in-process instead of in worker processes.
     pub in_process: bool,
@@ -58,6 +72,13 @@ pub struct ServerConfig {
     /// own `"trace_dir"`; discovered trace files join the workload
     /// registry.
     pub trace_dir: Option<PathBuf>,
+    /// Default per-cell wall-clock deadline, milliseconds; `0`
+    /// disables deadlines. A submission may override it with a
+    /// `"cell_timeout_ms"` body key.
+    pub cell_timeout_ms: u64,
+    /// How long a freshly spawned worker has to complete the protocol
+    /// handshake, milliseconds.
+    pub handshake_timeout_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -70,6 +91,8 @@ impl Default for ServerConfig {
             store_dir: PathBuf::from("results/cache"),
             http_threads: 8,
             trace_dir: None,
+            cell_timeout_ms: 300_000,
+            handshake_timeout_ms: 10_000,
         }
     }
 }
@@ -98,6 +121,9 @@ impl Server {
             workers: cfg.workers,
             in_process: cfg.in_process,
             worker_cmd: cfg.worker_cmd.clone(),
+            cell_timeout: (cfg.cell_timeout_ms > 0)
+                .then(|| Duration::from_millis(cfg.cell_timeout_ms)),
+            handshake_timeout: Duration::from_millis(cfg.handshake_timeout_ms.max(1)),
         };
         let sched_daemon = Arc::clone(&daemon);
         let scheduler = std::thread::Builder::new()
@@ -155,8 +181,11 @@ impl Server {
                 match self.listener.accept() {
                     Ok((stream, _)) => {
                         // Blocking I/O per connection; the handler owns
-                        // pacing from here.
+                        // pacing from here. Bounded I/O waits mean a
+                        // stalled client can't pin a handler forever.
                         let _ = stream.set_nonblocking(false);
+                        let _ = stream.set_read_timeout(Some(HTTP_IO_TIMEOUT));
+                        let _ = stream.set_write_timeout(Some(HTTP_IO_TIMEOUT));
                         if conn_tx.send(stream).is_err() {
                             break;
                         }
@@ -229,7 +258,9 @@ fn route(
             200
         }
         ("GET", ["metrics"]) => {
-            let body = metrics_json(&daemon.stats.lock().expect("stats poisoned").clone());
+            let stats = *daemon.stats.lock().expect("stats poisoned");
+            let sched = *daemon.sched.lock().expect("sched stats poisoned");
+            let body = metrics_json(&stats, &sched);
             let _ = respond_json(w, 200, &body);
             200
         }
@@ -398,8 +429,21 @@ fn post_campaign(
         },
         None => None,
     };
+    // Per-campaign deadline override: milliseconds, `0` to disable the
+    // deadline for this campaign; absent falls back to the daemon's
+    // `--cell-timeout-ms` default.
+    let cell_timeout_ms = match value.get("cell_timeout_ms") {
+        None => None,
+        Some(v) => match v.as_u64() {
+            Some(ms) => Some(ms),
+            None => {
+                let _ = respond_error(w, 400, "cell_timeout_ms must be a non-negative integer");
+                return 400;
+            }
+        },
+    };
 
-    let entry = daemon.submit(campaign, interval, trace_dir);
+    let entry = daemon.submit(campaign, interval, trace_dir, cell_timeout_ms);
     if submit_tx.send(Arc::clone(&entry)).is_err() {
         let _ = respond_error(w, 503, "scheduler is not running");
         return 503;
@@ -457,12 +501,19 @@ fn stream_events(
     if respond_sse_header(w).is_err() {
         return 200;
     }
+    // The stream keeps its own cadence independent of the socket's
+    // 10s I/O timeout: after SSE_KEEPALIVE of no events, a comment
+    // line goes out, so a healthy-but-quiet stream never looks idle
+    // to the write timeout, while a gone client fails the write and
+    // frees the handler thread.
+    let mut last_write = Instant::now();
     loop {
         for (i, line) in entry.events.from_offset(next) {
             use std::io::Write as _;
             if write!(w, "id: {i}\ndata: {line}\n\n").is_err() {
                 return 200; // client went away
             }
+            last_write = Instant::now();
             next = i + 1;
         }
         {
@@ -478,6 +529,13 @@ fn stream_events(
             let _ = write!(w, "event: end\ndata: {}\n\n", status.name());
             let _ = w.flush();
             return 200;
+        }
+        if last_write.elapsed() >= SSE_KEEPALIVE {
+            use std::io::Write as _;
+            if w.write_all(b": keep-alive\n\n").is_err() || w.flush().is_err() {
+                return 200;
+            }
+            last_write = Instant::now();
         }
         entry.events.wait_beyond(next, POLL);
     }

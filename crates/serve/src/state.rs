@@ -13,7 +13,7 @@ use std::time::Duration;
 use berti_harness::{Campaign, CampaignResult, Event, JobOutcome, JobResult, ResultStore};
 use serde::Value;
 
-use crate::stats::ServeStats;
+use crate::stats::{SchedStats, ServeStats};
 
 /// Lifecycle of a submitted campaign.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -118,6 +118,10 @@ pub struct CampaignEntry {
     /// Trace directory requested at submission; cells resolve
     /// workloads against builtins + this directory's trace files.
     pub trace_dir: Option<String>,
+    /// Per-cell wall-clock deadline override requested at submission,
+    /// milliseconds (`0` disables the deadline for this campaign);
+    /// `None` falls back to the daemon's `--cell-timeout-ms` default.
+    pub cell_timeout_ms: Option<u64>,
     /// Current lifecycle state.
     pub status: Mutex<CampaignStatus>,
     /// Set by `DELETE` (or shutdown); the scheduler stops dispatching
@@ -137,6 +141,7 @@ impl CampaignEntry {
         campaign: Campaign,
         interval: Option<u64>,
         trace_dir: Option<String>,
+        cell_timeout_ms: Option<u64>,
     ) -> Self {
         let cells = campaign.cells.len();
         CampaignEntry {
@@ -144,6 +149,7 @@ impl CampaignEntry {
             campaign,
             interval,
             trace_dir,
+            cell_timeout_ms,
             status: Mutex::new(CampaignStatus::Queued),
             cancel: AtomicBool::new(false),
             events: EventLog::default(),
@@ -157,13 +163,55 @@ impl CampaignEntry {
         *self.status.lock().expect("status poisoned")
     }
 
-    /// Transitions to `status`.
-    pub fn set_status(&self, status: CampaignStatus) {
-        *self.status.lock().expect("status poisoned") = status;
+    /// Claims the `Queued` → `Running` transition. Returns `false` when
+    /// the campaign already left the queue — in particular when a
+    /// racing `DELETE` cancelled it between dequeue and start, in which
+    /// case the cancel path owns the (already emitted) terminal event
+    /// and the scheduler must skip the campaign entirely.
+    pub fn try_start(&self) -> bool {
+        let mut status = self.status.lock().expect("status poisoned");
+        if *status != CampaignStatus::Queued {
+            return false;
+        }
+        *status = CampaignStatus::Running;
+        true
+    }
+
+    /// Claims the `Queued` → `Cancelled` transition, appending `event`
+    /// under the same status lock. Returns `false` (no event appended)
+    /// if the campaign already left the queue — the scheduler owns its
+    /// terminal transition then.
+    pub fn cancel_queued(&self, event: &Event) -> bool {
+        let mut status = self.status.lock().expect("status poisoned");
+        if *status != CampaignStatus::Queued {
+            return false;
+        }
+        self.events.push(event);
+        *status = CampaignStatus::Cancelled;
+        drop(status);
+        self.events.grew.notify_all();
+        true
+    }
+
+    /// Moves to the terminal status `to`, appending `event` under the
+    /// same status lock so an SSE watcher can never observe the
+    /// terminal status without its terminal event in the log. Returns
+    /// `false` (no event appended) if the campaign is already terminal
+    /// — exactly one caller wins the terminal transition.
+    pub fn finish_with(&self, to: CampaignStatus, event: &Event) -> bool {
+        debug_assert!(to.is_terminal());
+        let mut status = self.status.lock().expect("status poisoned");
+        if status.is_terminal() {
+            return false;
+        }
+        self.events.push(event);
+        *status = to;
+        drop(status);
         // Terminal transitions must wake SSE watchers blocked on the
         // log, or a watcher that has already read every line would
         // wait out its full poll timeout before noticing the end.
         self.events.grew.notify_all();
+        true
     }
 
     /// (completed, cached, failed) counts over the filled slots.
@@ -244,6 +292,9 @@ pub struct Daemon {
     next_id: AtomicU64,
     /// Server counters ([`crate::stats`]).
     pub stats: Mutex<ServeStats>,
+    /// Scheduler gauges and deadline/retry counters, published by the
+    /// dispatcher and served in the `/metrics` `scheduler` group.
+    pub sched: Mutex<SchedStats>,
     /// Daemon-wide shutdown flag (mirrors SIGTERM/SIGINT).
     pub shutdown: AtomicBool,
     /// Default trace dir applied to submissions that don't name one
@@ -259,6 +310,7 @@ impl Daemon {
             campaigns: Mutex::new(Vec::new()),
             next_id: AtomicU64::new(1),
             stats: Mutex::new(ServeStats::default()),
+            sched: Mutex::new(SchedStats::default()),
             shutdown: AtomicBool::new(false),
             default_trace_dir: None,
         }
@@ -272,9 +324,16 @@ impl Daemon {
         campaign: Campaign,
         interval: Option<u64>,
         trace_dir: Option<String>,
+        cell_timeout_ms: Option<u64>,
     ) -> Arc<CampaignEntry> {
         let id = format!("c{}", self.next_id.fetch_add(1, Ordering::Relaxed));
-        let entry = Arc::new(CampaignEntry::new(id, campaign, interval, trace_dir));
+        let entry = Arc::new(CampaignEntry::new(
+            id,
+            campaign,
+            interval,
+            trace_dir,
+            cell_timeout_ms,
+        ));
         entry.events.push(&Event::CampaignQueued {
             campaign: entry.campaign.name.clone(),
             id: entry.id.clone(),
@@ -309,24 +368,29 @@ impl Daemon {
     /// Requests cancellation. Queued campaigns become `cancelled`
     /// immediately; running ones stop after their in-flight cells.
     /// Returns the status after the request, or `None` if unknown id.
+    ///
+    /// The queued path races the scheduler's dequeue: both sides claim
+    /// their transition out of `Queued` under the status lock
+    /// ([`CampaignEntry::try_start`] vs [`CampaignEntry::finish_with`]),
+    /// so a `DELETE` landing between dequeue and start yields exactly
+    /// one terminal `cancelled` status and one `campaign_cancelled`
+    /// event — never a forever-`Running` entry or a duplicate event.
     pub fn cancel(&self, id: &str) -> Option<CampaignStatus> {
         let entry = self.find(id)?;
         entry.cancel.store(true, Ordering::SeqCst);
-        let status = entry.status();
-        if status == CampaignStatus::Queued {
-            let (completed, _, _) = entry.counts();
-            entry.events.push(&Event::CampaignCancelled {
-                campaign: entry.campaign.name.clone(),
-                completed,
-            });
-            entry.set_status(CampaignStatus::Cancelled);
+        let (completed, _, _) = entry.counts();
+        let cancelled = entry.cancel_queued(&Event::CampaignCancelled {
+            campaign: entry.campaign.name.clone(),
+            completed,
+        });
+        if cancelled {
             self.stats
                 .lock()
                 .expect("stats poisoned")
                 .campaigns_cancelled += 1;
             return Some(CampaignStatus::Cancelled);
         }
-        Some(status)
+        Some(entry.status())
     }
 }
 
@@ -355,8 +419,8 @@ mod tests {
     #[test]
     fn submit_assigns_sequential_ids_and_queues_event() {
         let d = daemon();
-        let a = d.submit(tiny_campaign(), None, None);
-        let b = d.submit(tiny_campaign(), None, None);
+        let a = d.submit(tiny_campaign(), None, None, None);
+        let b = d.submit(tiny_campaign(), None, None, None);
         assert_eq!(a.id, "c1");
         assert_eq!(b.id, "c2");
         assert_eq!(a.status(), CampaignStatus::Queued);
@@ -375,7 +439,7 @@ mod tests {
     #[test]
     fn cancel_of_queued_campaign_is_immediate_and_terminal() {
         let d = daemon();
-        let e = d.submit(tiny_campaign(), None, None);
+        let e = d.submit(tiny_campaign(), None, None, None);
         assert_eq!(d.cancel(&e.id), Some(CampaignStatus::Cancelled));
         assert!(e.status().is_terminal());
         assert!(e.cancel.load(Ordering::SeqCst));
@@ -419,7 +483,72 @@ mod tests {
     #[test]
     fn aggregated_json_requires_every_slot() {
         let d = daemon();
-        let e = d.submit(tiny_campaign(), None, None);
+        let e = d.submit(tiny_campaign(), None, None, None);
         assert!(e.aggregated_json().is_none(), "incomplete campaign");
+    }
+
+    fn event_tags(e: &CampaignEntry) -> Vec<String> {
+        e.events
+            .from_offset(0)
+            .iter()
+            .map(|(_, l)| {
+                serde::json::parse(l)
+                    .unwrap()
+                    .get("event")
+                    .and_then(|v| v.as_str())
+                    .unwrap()
+                    .to_string()
+            })
+            .collect()
+    }
+
+    /// Pins the cancel-while-queued race, cancel-wins order: a `DELETE`
+    /// that lands between the scheduler's dequeue and its
+    /// `Queued`→`Running` claim must leave a terminal `cancelled`
+    /// status with exactly one `campaign_cancelled` event, and the
+    /// late `try_start` must lose.
+    #[test]
+    fn delete_between_dequeue_and_start_stays_cancelled_when_cancel_wins() {
+        let d = daemon();
+        let e = d.submit(tiny_campaign(), None, None, None);
+        // The scheduler has dequeued the entry but not yet claimed it…
+        assert_eq!(d.cancel(&e.id), Some(CampaignStatus::Cancelled));
+        // …and its start claim arrives after the DELETE: it must lose.
+        assert!(!e.try_start(), "start after cancel must not revive");
+        assert_eq!(e.status(), CampaignStatus::Cancelled);
+        assert_eq!(
+            event_tags(&e),
+            vec!["campaign_queued", "campaign_cancelled"],
+            "exactly one cancelled event, never a forever-Running entry"
+        );
+    }
+
+    /// The same race, start-wins order: once the scheduler claims the
+    /// campaign, the `DELETE` reports `running` (not a phantom
+    /// `cancelled`), and the scheduler's drain later finalizes to
+    /// `cancelled` with a single terminal event.
+    #[test]
+    fn delete_between_dequeue_and_start_drains_to_cancelled_when_start_wins() {
+        let d = daemon();
+        let e = d.submit(tiny_campaign(), None, None, None);
+        assert!(e.try_start(), "scheduler claims the queued campaign");
+        assert_eq!(d.cancel(&e.id), Some(CampaignStatus::Running));
+        assert!(e.cancel.load(Ordering::SeqCst));
+        // The scheduler observes the flag, drains, and finalizes.
+        let event = Event::CampaignCancelled {
+            campaign: e.campaign.name.clone(),
+            completed: 0,
+        };
+        assert!(e.finish_with(CampaignStatus::Cancelled, &event));
+        assert!(
+            !e.finish_with(CampaignStatus::Cancelled, &event),
+            "the terminal transition is claimed exactly once"
+        );
+        assert_eq!(e.status(), CampaignStatus::Cancelled);
+        assert_eq!(
+            event_tags(&e),
+            vec!["campaign_queued", "campaign_cancelled"],
+            "no duplicate cancelled event from the drain path"
+        );
     }
 }

@@ -36,6 +36,36 @@ berti_stats::counter_group! {
 }
 
 berti_stats::counter_group! {
+    /// Scheduler observability: the multi-campaign dispatcher's gauges
+    /// (current queue/budget occupancy, overwritten on every dispatch
+    /// transition) and monotonic deadline/retry counters. The e2e
+    /// suite asserts the budget invariants from this group instead of
+    /// sleeping.
+    pub struct SchedStats {
+        /// Campaigns admitted but not yet started (gauge).
+        pub campaigns_queued: u64,
+        /// Campaigns with cells dispatched and not yet terminal (gauge).
+        pub campaigns_running: u64,
+        /// Cells currently executing, across all campaigns (gauge;
+        /// never exceeds the global worker budget).
+        pub cells_in_flight: u64,
+        /// Budget slots currently running a cell (gauge).
+        pub workers_busy: u64,
+        /// Budget slots with no cell to run (gauge).
+        pub workers_idle: u64,
+        /// Idle worker *processes* parked for reuse (gauge).
+        pub workers_parked: u64,
+        /// Cells whose worker blew the wall-clock deadline and was
+        /// killed (counter).
+        pub cell_timeouts: u64,
+        /// Cell attempts beyond the first (counter).
+        pub cell_retries: u64,
+        /// Exponential-backoff sleeps taken before retries (counter).
+        pub backoff_sleeps: u64,
+    }
+}
+
+berti_stats::counter_group! {
     /// Decode-once trace-cache effectiveness (process-wide; the worker
     /// shards replay traces through `berti_traces::cache`).
     pub struct TraceCacheStats {
@@ -61,9 +91,10 @@ pub fn trace_cache_stats() -> TraceCacheStats {
 /// Renders `/metrics`: every registry group as a JSON object keyed by
 /// group then counter name, so new counter groups (or new counters)
 /// appear without touching this function.
-pub fn metrics_json(stats: &ServeStats) -> Value {
+pub fn metrics_json(stats: &ServeStats, sched: &SchedStats) -> Value {
     let mut registry = Registry::new();
     registry.record("serve", stats);
+    registry.record("scheduler", sched);
     registry.record("trace_cache", &trace_cache_stats());
     render_registry(&registry)
 }
@@ -101,7 +132,12 @@ mod tests {
             campaigns_submitted: 2,
             ..ServeStats::default()
         };
-        let v = metrics_json(&stats);
+        let sched = SchedStats {
+            campaigns_running: 2,
+            cell_timeouts: 1,
+            ..SchedStats::default()
+        };
+        let v = metrics_json(&stats, &sched);
         let serve = v.get("serve").expect("serve group");
         assert_eq!(serve.get("http_requests").and_then(|v| v.as_u64()), Some(7));
         assert_eq!(
@@ -110,6 +146,19 @@ mod tests {
         );
         assert_eq!(
             serve.get("worker_crashes").and_then(|v| v.as_u64()),
+            Some(0)
+        );
+        let scheduler = v.get("scheduler").expect("scheduler group");
+        assert_eq!(
+            scheduler.get("campaigns_running").and_then(|v| v.as_u64()),
+            Some(2)
+        );
+        assert_eq!(
+            scheduler.get("cell_timeouts").and_then(|v| v.as_u64()),
+            Some(1)
+        );
+        assert_eq!(
+            scheduler.get("workers_busy").and_then(|v| v.as_u64()),
             Some(0)
         );
     }
@@ -121,7 +170,7 @@ mod tests {
         // touched the cache already; the assertions are monotone).
         let w = &berti_traces::spec::suite()[0];
         let _ = w.trace();
-        let v = metrics_json(&ServeStats::default());
+        let v = metrics_json(&ServeStats::default(), &SchedStats::default());
         let tc = v.get("trace_cache").expect("trace_cache group");
         assert!(tc.get("decodes").and_then(|v| v.as_u64()).unwrap_or(0) >= 1);
         assert!(

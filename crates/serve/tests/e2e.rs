@@ -500,6 +500,224 @@ fn malformed_submissions_are_rejected() {
     assert_eq!(health.get("status").and_then(|v| v.as_str()), Some("ok"));
 }
 
+/// A wedged worker (the `BERTI_WORKER_STALL` hook parks one worker
+/// forever) must cost exactly one `worker_timeout` — the deadline
+/// monitor kills it, the cell retries on a fresh worker after backoff,
+/// and the campaign completes. Crucially the stall is *not* counted as
+/// a crash: the scheduler classifies a deadline kill separately.
+#[test]
+fn hung_worker_times_out_retries_on_fresh_worker_and_completes() {
+    let store = fresh_dir("stall");
+    let marker = store.join("stall.marker");
+    let daemon = DaemonProc::start(
+        &store,
+        &[
+            ("BERTI_WORKER_STALL", "lbm-like"),
+            ("BERTI_WORKER_STALL_MARKER", marker.to_str().expect("utf-8")),
+        ],
+        &["--cell-timeout-ms", "5000"],
+    );
+    let addr = daemon.addr.clone();
+
+    // Only the fast workload: the point is that the *stalled* worker
+    // (which would park forever) trips the deadline, not that a
+    // legitimately slow debug-build cell does.
+    let mut campaign = registry::builtin("quick", tiny_opts()).expect("builtin exists");
+    campaign.cells.retain(|c| c.workload == "lbm-like");
+    assert_eq!(campaign.cells.len(), 2, "lbm-like × {{ip-stride, berti}}");
+    let payload = serde::json::to_string(&serde::Serialize::to_value(&campaign));
+    let (status, body) = http(&addr, "POST", "/campaigns", Some(&payload));
+    assert_eq!(status, 202, "{body}");
+    let id = serde::json::parse(&body)
+        .expect("json")
+        .get("id")
+        .and_then(|v| v.as_str())
+        .expect("id")
+        .to_string();
+
+    let summary = wait_for(&addr, &id, "campaign done despite the stall", |s| {
+        status_of(s) == "done"
+    });
+    assert_eq!(
+        summary.get("completed").and_then(|v| v.as_u64()),
+        Some(2),
+        "the timed-out cell succeeded on a fresh worker"
+    );
+    assert_eq!(summary.get("failed").and_then(|v| v.as_u64()), Some(0));
+    assert!(marker.exists(), "the stall hook fired");
+
+    let stream = sse_collect(&addr, &format!("/campaigns/{id}/events?offset=0"), None);
+    let tags = stream.tags();
+    assert_eq!(
+        tags.iter().filter(|t| *t == "worker_timeout").count(),
+        1,
+        "exactly one worker blew its deadline: {tags:?}"
+    );
+    assert!(
+        !tags.contains(&"worker_crashed".to_string()),
+        "a deadline kill is a timeout, not a crash: {tags:?}"
+    );
+    let failed_then_retried = stream.frames.iter().any(|(_, line)| {
+        let v = serde::json::parse(line).expect("parses");
+        v.get("event").and_then(|e| e.as_str()) == Some("job_failed")
+            && v.get("will_retry").and_then(|w| w.as_bool()) == Some(true)
+            && v.get("error")
+                .and_then(|e| e.as_str())
+                .is_some_and(|e| e.contains("deadline"))
+    });
+    assert!(
+        failed_then_retried,
+        "the timeout surfaced as a retryable failure naming the deadline"
+    );
+
+    let metrics = get_json(&addr, "/metrics");
+    let sched = metrics.get("scheduler").expect("scheduler group");
+    assert_eq!(sched.get("cell_timeouts").and_then(|v| v.as_u64()), Some(1));
+    assert!(
+        sched.get("cell_retries").and_then(|v| v.as_u64()) >= Some(1),
+        "the retry was counted"
+    );
+    assert!(
+        sched.get("backoff_sleeps").and_then(|v| v.as_u64()) >= Some(1),
+        "the retry backed off before re-dispatch"
+    );
+    let serve = metrics.get("serve").expect("serve group");
+    assert_eq!(
+        serve.get("worker_crashes").and_then(|v| v.as_u64()),
+        Some(0),
+        "no crash was counted for the deadline kill"
+    );
+    assert_eq!(serve.get("cells_failed").and_then(|v| v.as_u64()), Some(0));
+}
+
+/// Two overlapping campaigns share the global worker budget: the
+/// per-campaign max-share guarantees the short campaign finishes while
+/// the long one is still running (interleaved progress, asserted via
+/// summaries and `/metrics` gauges — no sleeps), the budget gauge
+/// never exceeds `--workers`, and both aggregates stay byte-identical
+/// to one-shot CLI runs against the same cache.
+#[test]
+fn concurrent_campaigns_share_the_budget_and_aggregate_byte_identically() {
+    let store = fresh_dir("concurrent");
+    let daemon = DaemonProc::start(&store, &[], &[]);
+    let addr = daemon.addr.clone();
+
+    // Long campaign first (so FIFO admission would starve the short
+    // one without the max-share), then a much shorter one.
+    let (status, body) = http(
+        &addr,
+        "POST",
+        "/campaigns",
+        Some(r#"{"builtin": "quick", "warmup": 5000, "instr": 40000}"#),
+    );
+    assert_eq!(status, 202, "{body}");
+    let long_id = serde::json::parse(&body)
+        .expect("json")
+        .get("id")
+        .and_then(|v| v.as_str())
+        .expect("id")
+        .to_string();
+    let (status, body) = http(
+        &addr,
+        "POST",
+        "/campaigns",
+        Some(r#"{"builtin": "quick", "warmup": 1000, "instr": 2000}"#),
+    );
+    assert_eq!(status, 202, "{body}");
+    let short_id = serde::json::parse(&body)
+        .expect("json")
+        .get("id")
+        .and_then(|v| v.as_str())
+        .expect("id")
+        .to_string();
+
+    // Poll the short campaign to completion, sampling the scheduler
+    // gauges on the way: both campaigns must be observed running
+    // concurrently, and cells in flight must never exceed the budget.
+    let started = Instant::now();
+    let mut saw_both_running = false;
+    loop {
+        let metrics = get_json(&addr, "/metrics");
+        let sched = metrics.get("scheduler").expect("scheduler group");
+        let running = sched
+            .get("campaigns_running")
+            .and_then(|v| v.as_u64())
+            .expect("gauge");
+        let in_flight = sched
+            .get("cells_in_flight")
+            .and_then(|v| v.as_u64())
+            .expect("gauge");
+        assert!(
+            in_flight <= 2,
+            "cells in flight ({in_flight}) exceeded the --workers budget"
+        );
+        if running == 2 {
+            saw_both_running = true;
+        }
+        let summary = get_json(&addr, &format!("/campaigns/{short_id}"));
+        if status_of(&summary) == "done" {
+            break;
+        }
+        assert!(
+            started.elapsed() < DEADLINE,
+            "timed out waiting for the short campaign"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    assert!(
+        saw_both_running,
+        "both campaigns were observed running concurrently via /metrics"
+    );
+
+    // Interleaved progress, not FIFO: the short campaign (submitted
+    // second) finished while the long one still has cells to go.
+    let long_summary = get_json(&addr, &format!("/campaigns/{long_id}"));
+    assert_ne!(
+        status_of(&long_summary),
+        "done",
+        "the long campaign must still be in flight when the short one finishes"
+    );
+
+    let long_summary = wait_for(&addr, &long_id, "long campaign done", |s| {
+        status_of(s) == "done"
+    });
+    assert_eq!(
+        long_summary.get("completed").and_then(|v| v.as_u64()),
+        Some(4)
+    );
+
+    // Both aggregates byte-identical to one-shot CLI runs of the same
+    // specs against the same cache.
+    for (id, opts) in [
+        (
+            &long_id,
+            SimOptions {
+                warmup_instructions: 5_000,
+                sim_instructions: 40_000,
+                ..SimOptions::default()
+            },
+        ),
+        (&short_id, tiny_opts()),
+    ] {
+        let (status, daemon_result) = http(&addr, "GET", &format!("/campaigns/{id}/result"), None);
+        assert_eq!(status, 200);
+        let campaign = registry::builtin("quick", opts).expect("builtin exists");
+        let one_shot = run_campaign(
+            &campaign,
+            &RunOptions {
+                jobs: 2,
+                cache_dir: Some(store.clone()),
+                ..RunOptions::default()
+            },
+        );
+        assert_eq!(
+            daemon_result,
+            one_shot.aggregated_json(),
+            "daemon and CLI aggregate byte-identically for campaign {id}"
+        );
+    }
+}
+
 #[test]
 fn trace_dir_campaign_matches_cli_and_validates_workloads() {
     let store = fresh_dir("tracedir");
